@@ -1,0 +1,64 @@
+//! Error type for the algebra layer.
+
+use certus_data::DataError;
+use std::fmt;
+
+/// Errors produced while validating or evaluating relational algebra
+/// expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// An error bubbled up from the data layer.
+    Data(DataError),
+    /// An expression is malformed (e.g. set operation over incompatible
+    /// schemas, unification semijoin over different arities).
+    Malformed(String),
+    /// A scalar subquery returned more than one row or more than one column.
+    ScalarSubquery(String),
+    /// A feature is not supported by the operation that was attempted
+    /// (e.g. desugaring an aggregate for the Figure-2 translation).
+    Unsupported(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Data(e) => write!(f, "{e}"),
+            AlgebraError::Malformed(m) => write!(f, "malformed expression: {m}"),
+            AlgebraError::ScalarSubquery(m) => write!(f, "scalar subquery error: {m}"),
+            AlgebraError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for AlgebraError {
+    fn from(e: DataError) -> Self {
+        AlgebraError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_data_error() {
+        let e: AlgebraError = DataError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_malformed() {
+        let e = AlgebraError::Malformed("x".into());
+        assert_eq!(e.to_string(), "malformed expression: x");
+    }
+}

@@ -1,0 +1,34 @@
+//! # certus-algebra
+//!
+//! The relational-algebra layer of *certus*: the query IR on which the
+//! certain-answer translations of the paper operate, together with a
+//! reference (tuple-at-a-time) evaluator supporting both SQL's three-valued
+//! semantics (`EvalSQL`) and naive evaluation.
+//!
+//! The IR ([`RaExpr`]) covers the paper's algebra — selection, projection,
+//! product, union, intersection, difference — plus the derived operators the
+//! paper relies on: theta-joins, (anti)semijoins, the *unification*
+//! (anti)semijoins `⋉⇑` / `⋉̸⇑` of Definition 4, and division. Selection
+//! conditions ([`Condition`]) are Boolean combinations of comparisons,
+//! `IS [NOT] NULL` predicates (`const(A)` / `null(A)` in the paper), `LIKE`,
+//! `IN`-lists and black-box scalar subqueries.
+
+pub mod builder;
+pub mod condition;
+pub mod display;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod normalize;
+pub mod schema_infer;
+pub mod semantics;
+
+pub use builder::{col, lit, table, values};
+pub use condition::{Condition, Operand};
+pub use error::AlgebraError;
+pub use eval::{eval, Evaluator};
+pub use expr::{AggExpr, AggFunc, ProjCol, RaExpr};
+pub use semantics::NullSemantics;
+
+/// Result alias for the algebra crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

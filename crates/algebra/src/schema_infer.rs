@@ -1,0 +1,318 @@
+//! Output-schema inference and validation for algebra expressions.
+
+use crate::condition::{Condition, Operand};
+use crate::error::AlgebraError;
+use crate::expr::{AggFunc, RaExpr};
+use crate::Result;
+use certus_data::{Attribute, Database, Schema, ValueType};
+use std::sync::Arc;
+
+/// Anything that can provide table schemas and key constraints — the planner
+/// and the translations only need this much of a database.
+pub trait Catalog {
+    /// The schema of a named table.
+    fn table_schema(&self, name: &str) -> Result<Arc<Schema>>;
+    /// The declared primary-key columns of a table (empty if none).
+    fn table_key(&self, name: &str) -> Vec<String>;
+    /// All table names (used by the active-domain computation of the Fig. 2
+    /// translation).
+    fn tables(&self) -> Vec<String>;
+}
+
+impl Catalog for Database {
+    fn table_schema(&self, name: &str) -> Result<Arc<Schema>> {
+        Ok(self.table_def(name).map_err(AlgebraError::Data)?.schema.clone())
+    }
+
+    fn table_key(&self, name: &str) -> Vec<String> {
+        self.table_def(name)
+            .map(|d| d.primary_key.clone())
+            .unwrap_or_default()
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.table_names().into_iter().map(String::from).collect()
+    }
+}
+
+/// Compute the output schema of an expression, validating column references,
+/// arities and set-operation compatibility along the way.
+pub fn output_schema(expr: &RaExpr, catalog: &dyn Catalog) -> Result<Schema> {
+    match expr {
+        RaExpr::Relation { name, alias } => {
+            let schema = catalog.table_schema(name)?;
+            Ok(match alias {
+                Some(a) => schema.qualify(a),
+                None => (*schema).clone(),
+            })
+        }
+        RaExpr::Values { schema, rows } => {
+            for r in rows {
+                if r.len() != schema.arity() {
+                    return Err(AlgebraError::Malformed(format!(
+                        "literal row arity {} does not match schema arity {}",
+                        r.len(),
+                        schema.arity()
+                    )));
+                }
+            }
+            Ok(schema.clone())
+        }
+        RaExpr::Select { input, condition } => {
+            let schema = output_schema(input, catalog)?;
+            check_condition(condition, &schema)?;
+            Ok(schema)
+        }
+        RaExpr::Project { input, columns } => {
+            let schema = output_schema(input, catalog)?;
+            let mut attrs = Vec::with_capacity(columns.len());
+            for c in columns {
+                let pos = schema.position_of(&c.column).map_err(AlgebraError::Data)?;
+                let src = schema.attr(pos);
+                attrs.push(Attribute {
+                    name: c.output_name().to_string(),
+                    ty: src.ty,
+                    nullable: src.nullable,
+                });
+            }
+            Ok(Schema::new(attrs))
+        }
+        RaExpr::Product { left, right } => {
+            Ok(output_schema(left, catalog)?.concat(&output_schema(right, catalog)?))
+        }
+        RaExpr::Join { left, right, condition } => {
+            let schema = output_schema(left, catalog)?.concat(&output_schema(right, catalog)?);
+            check_condition(condition, &schema)?;
+            Ok(schema)
+        }
+        RaExpr::Union { left, right }
+        | RaExpr::Intersect { left, right }
+        | RaExpr::Difference { left, right } => {
+            let l = output_schema(left, catalog)?;
+            let r = output_schema(right, catalog)?;
+            if !l.union_compatible(&r) {
+                return Err(AlgebraError::Malformed(format!(
+                    "set operation over incompatible schemas {l} and {r}"
+                )));
+            }
+            Ok(l)
+        }
+        RaExpr::SemiJoin { left, right, condition }
+        | RaExpr::AntiJoin { left, right, condition } => {
+            let l = output_schema(left, catalog)?;
+            let combined = l.concat(&output_schema(right, catalog)?);
+            check_condition(condition, &combined)?;
+            Ok(l)
+        }
+        RaExpr::UnifySemiJoin { left, right } | RaExpr::UnifyAntiSemiJoin { left, right } => {
+            let l = output_schema(left, catalog)?;
+            let r = output_schema(right, catalog)?;
+            if l.arity() != r.arity() {
+                return Err(AlgebraError::Malformed(format!(
+                    "unification semijoin over different arities {} and {}",
+                    l.arity(),
+                    r.arity()
+                )));
+            }
+            Ok(l)
+        }
+        RaExpr::Division { left, right } => {
+            let l = output_schema(left, catalog)?;
+            let r = output_schema(right, catalog)?;
+            // Divisor columns are matched against dividend columns by base name.
+            let mut keep = Vec::new();
+            for (i, a) in l.attrs().iter().enumerate() {
+                let shared = r.attrs().iter().any(|b| b.base_name() == a.base_name());
+                if !shared {
+                    keep.push(i);
+                }
+            }
+            if keep.len() + r.arity() != l.arity() {
+                return Err(AlgebraError::Malformed(
+                    "division requires the divisor's columns to be a subset of the dividend's".into(),
+                ));
+            }
+            Ok(l.project(&keep))
+        }
+        RaExpr::Rename { input, columns } => {
+            let schema = output_schema(input, catalog)?;
+            schema.rename(columns).map_err(AlgebraError::Data)
+        }
+        RaExpr::Distinct { input } => output_schema(input, catalog),
+        RaExpr::Aggregate { input, group_by, aggregates } => {
+            let schema = output_schema(input, catalog)?;
+            let mut attrs = Vec::new();
+            for g in group_by {
+                let pos = schema.position_of(g).map_err(AlgebraError::Data)?;
+                attrs.push(schema.attr(pos).clone());
+            }
+            for a in aggregates {
+                let ty = match a.func {
+                    AggFunc::CountStar | AggFunc::Count => ValueType::Int,
+                    AggFunc::Avg => ValueType::Float,
+                    AggFunc::Sum | AggFunc::Min | AggFunc::Max => match &a.column {
+                        Some(c) => {
+                            let pos = schema.position_of(c).map_err(AlgebraError::Data)?;
+                            schema.attr(pos).ty
+                        }
+                        None => ValueType::Any,
+                    },
+                };
+                if a.func != AggFunc::CountStar {
+                    let col = a.column.as_ref().ok_or_else(|| {
+                        AlgebraError::Malformed(format!("aggregate {} needs a column", a.func))
+                    })?;
+                    schema.position_of(col).map_err(AlgebraError::Data)?;
+                }
+                attrs.push(Attribute { name: a.alias.clone(), ty, nullable: true });
+            }
+            Ok(Schema::new(attrs))
+        }
+    }
+}
+
+/// Check that every column referenced by a condition resolves in the schema.
+/// Scalar subqueries are *not* resolved here (they are uncorrelated and are
+/// validated when evaluated).
+pub fn check_condition(condition: &Condition, schema: &Schema) -> Result<()> {
+    for col in condition.columns() {
+        schema.position_of(&col).map_err(AlgebraError::Data)?;
+    }
+    // Validate operand shapes: scalar subqueries must be single-column.
+    validate_operands(condition)
+}
+
+fn validate_operands(condition: &Condition) -> Result<()> {
+    match condition {
+        Condition::Cmp { left, right, .. } => {
+            for op in [left, right] {
+                if let Operand::Scalar(q) = op {
+                    if let RaExpr::Aggregate { aggregates, group_by, .. } = q.as_ref() {
+                        if aggregates.len() + group_by.len() != 1 {
+                            return Err(AlgebraError::ScalarSubquery(
+                                "scalar subquery must produce a single column".into(),
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        Condition::And(a, b) | Condition::Or(a, b) => {
+            validate_operands(a)?;
+            validate_operands(b)
+        }
+        Condition::Not(inner) => validate_operands(inner),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggExpr, ProjCol};
+    use certus_data::builder::rel;
+    use certus_data::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(&["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]),
+        );
+        db.insert_relation("s", rel(&["c"], vec![vec![Value::Int(1)]]));
+        db
+    }
+
+    #[test]
+    fn relation_and_alias_schemas() {
+        let db = db();
+        let s = output_schema(&RaExpr::relation("r"), &db).unwrap();
+        assert_eq!(s.names(), vec!["a", "b"]);
+        let s = output_schema(&RaExpr::relation_as("r", "x"), &db).unwrap();
+        assert_eq!(s.names(), vec!["x.a", "x.b"]);
+        assert!(output_schema(&RaExpr::relation("nope"), &db).is_err());
+    }
+
+    #[test]
+    fn select_validates_columns() {
+        let db = db();
+        let ok = RaExpr::relation("r").select(Condition::eq_cols("a", "b"));
+        assert!(output_schema(&ok, &db).is_ok());
+        let bad = RaExpr::relation("r").select(Condition::eq_cols("a", "zzz"));
+        assert!(output_schema(&bad, &db).is_err());
+    }
+
+    #[test]
+    fn project_renames_and_types() {
+        let db = db();
+        let q = RaExpr::relation("r").project_cols(vec![
+            ProjCol::aliased("b", "bb"),
+            ProjCol::named("a"),
+        ]);
+        let s = output_schema(&q, &db).unwrap();
+        assert_eq!(s.names(), vec!["bb", "a"]);
+    }
+
+    #[test]
+    fn set_ops_require_compatibility() {
+        let db = db();
+        let bad = RaExpr::relation("r").union(RaExpr::relation("s"));
+        assert!(output_schema(&bad, &db).is_err());
+        let ok = RaExpr::relation("s").union(RaExpr::relation("s"));
+        assert!(output_schema(&ok, &db).is_ok());
+    }
+
+    #[test]
+    fn semijoin_keeps_left_schema_and_checks_condition() {
+        let db = db();
+        let q = RaExpr::relation("r").semi_join(RaExpr::relation("s"), Condition::eq_cols("a", "c"));
+        let s = output_schema(&q, &db).unwrap();
+        assert_eq!(s.names(), vec!["a", "b"]);
+        let bad =
+            RaExpr::relation("r").anti_join(RaExpr::relation("s"), Condition::eq_cols("a", "zzz"));
+        assert!(output_schema(&bad, &db).is_err());
+    }
+
+    #[test]
+    fn unify_semijoin_requires_same_arity() {
+        let db = db();
+        let bad = RaExpr::relation("r").unify_semi_join(RaExpr::relation("s"));
+        assert!(output_schema(&bad, &db).is_err());
+        let ok = RaExpr::relation("s").unify_anti_join(RaExpr::relation("s"));
+        assert_eq!(output_schema(&ok, &db).unwrap().names(), vec!["c"]);
+    }
+
+    #[test]
+    fn division_schema() {
+        let mut db = Database::new();
+        db.insert_relation(
+            "takes",
+            rel(&["student", "course"], vec![vec![Value::Int(1), Value::Int(10)]]),
+        );
+        db.insert_relation("courses", rel(&["course"], vec![vec![Value::Int(10)]]));
+        let q = RaExpr::relation("takes").divide(RaExpr::relation("courses"));
+        assert_eq!(output_schema(&q, &db).unwrap().names(), vec!["student"]);
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let db = db();
+        let q = RaExpr::relation("r").aggregate(
+            &["a"],
+            vec![AggExpr::new(AggFunc::Avg, "b", "avg_b"), AggExpr::count_star("n")],
+        );
+        let s = output_schema(&q, &db).unwrap();
+        assert_eq!(s.names(), vec!["a", "avg_b", "n"]);
+        assert_eq!(s.attr(1).ty, ValueType::Float);
+        assert_eq!(s.attr(2).ty, ValueType::Int);
+    }
+
+    #[test]
+    fn rename_checks_arity() {
+        let db = db();
+        assert!(output_schema(&RaExpr::relation("r").rename(&["x"]), &db).is_err());
+        let s = output_schema(&RaExpr::relation("r").rename(&["x", "y"]), &db).unwrap();
+        assert_eq!(s.names(), vec!["x", "y"]);
+    }
+}

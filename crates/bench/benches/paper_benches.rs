@@ -1,0 +1,125 @@
+//! Criterion benchmarks, one group per paper artefact.
+//!
+//! * `fig1_false_positive_detection` — the Section 4 pipeline (run a query,
+//!   detect false positives) at a fixed null rate.
+//! * `fig4_price_of_correctness` — original vs translated queries (Figure 4).
+//! * `table1_scaling` — translated Q3 at growing scale factors (Table 1's
+//!   stability claim).
+//! * `sec5_fig2_translation` — the Figure 2 translation vs Q⁺ (Section 5).
+//! * `ablation_or_split` — unsplit vs split translated Q4 (Section 7
+//!   discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use certus_core::{translate_plus, CertainRewriter, ConditionDialect};
+use certus_engine::Engine;
+use certus_tpch::fp_detect::count_false_positives;
+use certus_tpch::{query_by_number, Workload};
+
+fn prepared(scale: f64, null_rate: f64, seed: u64) -> (certus_data::Database, certus_tpch::QueryParams) {
+    let w = Workload::new(scale, null_rate, seed);
+    let db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    (db, params)
+}
+
+fn fig1_false_positive_detection(c: &mut Criterion) {
+    let (db, params) = prepared(0.0004, 0.05, 1);
+    let engine = Engine::new(&db);
+    let mut group = c.benchmark_group("fig1_false_positive_detection");
+    group.sample_size(10);
+    for q in 1..=4usize {
+        let expr = query_by_number(q, &params).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("Q{q}")), &expr, |b, expr| {
+            b.iter(|| {
+                let answers = engine.execute(expr).unwrap();
+                count_false_positives(q, &db, &params, &answers)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig4_price_of_correctness(c: &mut Criterion) {
+    let (db, params) = prepared(0.0008, 0.02, 2);
+    let engine = Engine::new(&db);
+    let rewriter = CertainRewriter::new();
+    let mut group = c.benchmark_group("fig4_price_of_correctness");
+    group.sample_size(10);
+    for q in 1..=4usize {
+        let expr = query_by_number(q, &params).unwrap();
+        let plus = rewriter.rewrite_plus(&expr, &db).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(format!("Q{q}_original")), |b| {
+            b.iter(|| engine.execute(&expr).unwrap())
+        });
+        group.bench_function(BenchmarkId::from_parameter(format!("Q{q}_certain")), |b| {
+            b.iter(|| engine.execute(&plus).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn table1_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_scaling");
+    group.sample_size(10);
+    for scale in [0.0005, 0.001, 0.002] {
+        let (db, params) = prepared(scale, 0.02, 3);
+        let engine = Engine::new(&db);
+        let rewriter = CertainRewriter::new();
+        let q3 = certus_tpch::q3(&params);
+        let plus = rewriter.rewrite_plus(&q3, &db).unwrap();
+        group.bench_with_input(BenchmarkId::new("Q3_original", scale), &scale, |b, _| {
+            b.iter(|| engine.execute(&q3).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("Q3_certain", scale), &scale, |b, _| {
+            b.iter(|| engine.execute(&plus).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn sec5_fig2_translation(c: &mut Criterion) {
+    use certus_algebra::builder::eq_const;
+    use certus_algebra::RaExpr;
+    use certus_data::builder::rel;
+    use certus_data::{Database, Value};
+    let mut db = Database::new();
+    let rows = |o: i64| (0..32).map(|i| vec![Value::Int(o + i), Value::Int(i % 9)]).collect::<Vec<_>>();
+    db.insert_relation("r", rel(&["a", "b"], rows(0)));
+    db.insert_relation("s", rel(&["a", "b"], rows(5)));
+    db.insert_relation("t", rel(&["a", "b"], rows(11)));
+    let q = RaExpr::relation("r").difference(
+        RaExpr::relation("t").project(&["a", "b"]).difference(RaExpr::relation("s").select(eq_const("b", 3i64))),
+    );
+    let plus = translate_plus(&q, ConditionDialect::Sql).unwrap();
+    let fig2 = certus_core::naive_translation::translate_t(&q, &db, ConditionDialect::Sql).unwrap();
+    let engine = Engine::new(&db);
+    let mut group = c.benchmark_group("sec5_fig2_translation");
+    group.sample_size(10);
+    group.bench_function("improved_Q_plus", |b| b.iter(|| engine.execute(&plus).unwrap()));
+    group.bench_function("figure2_Qt", |b| b.iter(|| engine.execute(&fig2).unwrap()));
+    group.finish();
+}
+
+fn ablation_or_split(c: &mut Criterion) {
+    let (db, params) = prepared(0.0002, 0.02, 4);
+    let engine = Engine::new(&db);
+    let q4 = certus_tpch::q4(&params);
+    let unsplit = CertainRewriter::unoptimized().rewrite_plus(&q4, &db).unwrap();
+    let split = CertainRewriter::new().rewrite_plus(&q4, &db).unwrap();
+    let mut group = c.benchmark_group("ablation_or_split");
+    group.sample_size(10);
+    group.bench_function("Q4_original", |b| b.iter(|| engine.execute(&q4).unwrap()));
+    group.bench_function("Q4_plus_unsplit", |b| b.iter(|| engine.execute(&unsplit).unwrap()));
+    group.bench_function("Q4_plus_split", |b| b.iter(|| engine.execute(&split).unwrap()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_false_positive_detection,
+    fig4_price_of_correctness,
+    table1_scaling,
+    sec5_fig2_translation,
+    ablation_or_split
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks instance counts and scale factors so the full suite runs
+//! in well under a minute (used by CI and `cargo bench` smoke runs).
+
+use certus_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let (fig1_scale, fig1_instances, fig1_runs) = if quick { (0.0003, 1, 1) } else { (0.0006, 3, 3) };
+    let fig1_rates = if quick { vec![0.01, 0.05, 0.10] } else { paper_null_rates() };
+    let (fig4_scale, fig4_instances, fig4_reps) = if quick { (0.0005, 1, 1) } else { (0.002, 2, 3) };
+    let fig4_rates: Vec<f64> = (1..=5).map(|i| i as f64 / 100.0).collect();
+    let table1_scales: Vec<f64> = if quick {
+        vec![0.0005, 0.001]
+    } else {
+        vec![0.001, 0.003, 0.006, 0.01]
+    };
+    let sec5_sizes: Vec<usize> = if quick { vec![8, 16, 32] } else { vec![8, 16, 32, 64, 96] };
+
+    if what == "fig1" || what == "all" {
+        print_figure1(&figure1(fig1_scale, fig1_instances, fig1_runs, &fig1_rates));
+        println!();
+    }
+    if what == "fig4" || what == "all" {
+        print_figure4(&figure4(fig4_scale, &fig4_rates, fig4_instances, fig4_reps));
+        println!();
+    }
+    if what == "table1" || what == "all" {
+        print_table1(&table1(&table1_scales, &[0.01, 0.03, 0.05], if quick { 1 } else { 2 }));
+        println!();
+    }
+    if what == "sec5" || what == "all" {
+        print_section5(&section5(&sec5_sizes));
+        println!();
+    }
+    if what == "precision" || what == "all" {
+        print_precision_recall(&precision_recall(if quick { 0.0003 } else { 0.0008 }, 0.05, 17));
+        println!();
+    }
+    if what == "ablation" || what == "all" {
+        print_ablation(&or_split_ablation(0.001, if quick { 0.00008 } else { 0.0002 }, 0.02));
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! # certus
+//!
+//! Certain-answer SQL evaluation on incomplete databases — a Rust
+//! reproduction of Guagliardo & Libkin, *Making SQL Queries Correct on
+//! Incomplete Databases: A Feasibility Study* (PODS 2016).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`data`] — values, nulls, 3VL, tuples, relations, incomplete databases;
+//! * [`algebra`] — the relational-algebra IR and reference evaluator;
+//! * [`core`] — the certain-answer translations `Q⁺`/`Q★`, the Figure 2
+//!   baseline, rewrite optimizations, the exact oracle and metrics;
+//! * [`engine`] — hash-join based physical execution and cost estimates;
+//! * [`tpch`] — the TPC-H substrate, the paper's queries Q1–Q4 and the
+//!   false-positive detectors.
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use certus::{CertainRewriter, Engine, RaExpr};
+//! use certus::algebra::builder::eq;
+//! use certus::data::{builder::rel, Database, Value};
+//! use certus::data::null::NullId;
+//!
+//! let mut db = Database::new();
+//! db.insert_relation("r", rel(&["a"], vec![vec![Value::Int(1)]]));
+//! db.insert_relation("s", rel(&["b"], vec![vec![Value::Null(NullId(1))]]));
+//! let q = RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"));
+//!
+//! // Plain SQL evaluation returns the false positive {1}…
+//! assert_eq!(Engine::new(&db).execute(&q).unwrap().len(), 1);
+//! // …while the certainty-preserving rewriting returns only correct answers.
+//! let rewriter = CertainRewriter::new();
+//! let plus = rewriter.rewrite_plus(&q, &db).unwrap();
+//! assert!(Engine::new(&db).execute(&plus).unwrap().is_empty());
+//! ```
+
+pub use certus_algebra as algebra;
+pub use certus_core as core;
+pub use certus_data as data;
+pub use certus_engine as engine;
+pub use certus_tpch as tpch;
+
+pub use certus_algebra::{Condition, NullSemantics, RaExpr};
+pub use certus_core::{CertainOracle, CertainRewriter, ConditionDialect};
+pub use certus_data::{Database, Relation, Tuple, Value};
+pub use certus_engine::Engine;
+
+/// The semantic version of the certus workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the core (translation) crate.
+
+use certus_algebra::AlgebraError;
+use certus_data::DataError;
+use std::fmt;
+
+/// Errors produced by the certain-answer translations and oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An error from the algebra layer (schema inference, evaluation).
+    Algebra(AlgebraError),
+    /// An error from the data layer.
+    Data(DataError),
+    /// The query uses an operator outside the supported fragment for the
+    /// requested translation (e.g. aggregates in the main operator tree, or
+    /// explicit unification semijoins in a source query).
+    OutsideFragment(String),
+    /// The certain-answer oracle would need to enumerate more valuations than
+    /// the configured limit.
+    TooManyValuations {
+        /// Number of valuations that would be needed.
+        needed: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Algebra(e) => write!(f, "{e}"),
+            CoreError::Data(e) => write!(f, "{e}"),
+            CoreError::OutsideFragment(m) => write!(f, "query outside supported fragment: {m}"),
+            CoreError::TooManyValuations { needed, limit } => write!(
+                f,
+                "certain-answer oracle would need {needed} valuations (limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<AlgebraError> for CoreError {
+    fn from(e: AlgebraError) -> Self {
+        CoreError::Algebra(e)
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_sources() {
+        let e: CoreError = DataError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        let e = CoreError::TooManyValuations { needed: 1000, limit: 10 };
+        assert!(e.to_string().contains("1000"));
+    }
+}

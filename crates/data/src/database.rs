@@ -1,0 +1,323 @@
+//! Incomplete databases: named relations, key constraints, active domains.
+
+use crate::error::DataError;
+use crate::null::NullId;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::valuation::Valuation;
+use crate::value::Value;
+use crate::Result;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Table metadata: the schema plus declared primary key (used by the
+/// key-based simplification `R ⋉̸⇑ S → R − S` of Section 7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Column definitions.
+    pub schema: Arc<Schema>,
+    /// Names of the primary-key columns (empty if no key is declared).
+    pub primary_key: Vec<String>,
+}
+
+impl TableDef {
+    /// Create a table definition without a primary key.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        TableDef { name: name.into(), schema: schema.shared(), primary_key: Vec::new() }
+    }
+
+    /// Declare the primary key columns.
+    pub fn with_key(mut self, key: &[&str]) -> Self {
+        self.primary_key = key.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Whether the table declares a (non-empty) primary key.
+    pub fn has_key(&self) -> bool {
+        !self.primary_key.is_empty()
+    }
+}
+
+/// The set of constants and nulls occurring in a database.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveDomain {
+    /// Constants, deduplicated, in deterministic order.
+    pub constants: Vec<Value>,
+    /// Null ids, deduplicated, in deterministic order.
+    pub nulls: Vec<NullId>,
+}
+
+impl ActiveDomain {
+    /// All elements of the active domain (`Const(D) ∪ Null(D)`) as values.
+    pub fn elements(&self) -> Vec<Value> {
+        let mut out = self.constants.clone();
+        out.extend(self.nulls.iter().map(|&id| Value::Null(id)));
+        out
+    }
+
+    /// Size of the active domain.
+    pub fn len(&self) -> usize {
+        self.constants.len() + self.nulls.len()
+    }
+
+    /// Whether the active domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constants.is_empty() && self.nulls.is_empty()
+    }
+}
+
+/// An incomplete database instance: a collection of named relations with
+/// optional key constraints.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Relation>,
+    defs: BTreeMap<String, TableDef>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a table definition with an empty instance.
+    pub fn create_table(&mut self, def: TableDef) -> Result<()> {
+        if self.tables.contains_key(&def.name) {
+            return Err(DataError::DuplicateTable(def.name.clone()));
+        }
+        self.tables
+            .insert(def.name.clone(), Relation::empty(def.schema.clone()));
+        self.defs.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Add (or replace) a relation under a name, deriving a key-less
+    /// definition from its schema if none was registered.
+    pub fn insert_relation(&mut self, name: impl Into<String>, relation: Relation) {
+        let name = name.into();
+        self.defs.entry(name.clone()).or_insert_with(|| TableDef {
+            name: name.clone(),
+            schema: relation.schema().clone(),
+            primary_key: Vec::new(),
+        });
+        self.tables.insert(name, relation);
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access to a relation by name.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a table definition by name.
+    pub fn table_def(&self, name: &str) -> Result<&TableDef> {
+        self.defs
+            .get(name)
+            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all tables, in deterministic order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// All table definitions.
+    pub fn table_defs(&self) -> impl Iterator<Item = &TableDef> {
+        self.defs.values()
+    }
+
+    /// Whether a table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Total number of tuples across all tables.
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(Relation::len).sum()
+    }
+
+    /// Whether any table contains a null (i.e. the database is incomplete).
+    pub fn has_nulls(&self) -> bool {
+        self.tables.values().any(Relation::has_nulls)
+    }
+
+    /// Whether the database is complete (null-free).
+    pub fn is_complete(&self) -> bool {
+        !self.has_nulls()
+    }
+
+    /// Compute the active domain `adom(D) = Const(D) ∪ Null(D)`.
+    pub fn active_domain(&self) -> ActiveDomain {
+        let mut constants: HashSet<Value> = HashSet::new();
+        let mut nulls: HashSet<NullId> = HashSet::new();
+        for rel in self.tables.values() {
+            constants.extend(rel.constants());
+            nulls.extend(rel.null_ids());
+        }
+        let mut constants: Vec<Value> = constants.into_iter().collect();
+        constants.sort();
+        let mut nulls: Vec<NullId> = nulls.into_iter().collect();
+        nulls.sort();
+        ActiveDomain { constants, nulls }
+    }
+
+    /// All null ids occurring anywhere in the database.
+    pub fn null_ids(&self) -> Vec<NullId> {
+        self.active_domain().nulls
+    }
+
+    /// Apply a valuation to every relation, producing (for a total valuation)
+    /// one of the complete databases this instance represents.
+    pub fn apply(&self, v: &Valuation) -> Database {
+        let mut out = Database::new();
+        for (name, def) in &self.defs {
+            out.defs.insert(name.clone(), def.clone());
+        }
+        for (name, rel) in &self.tables {
+            out.tables.insert(name.clone(), rel.apply(v));
+        }
+        out
+    }
+
+    /// Validate that non-nullable columns contain no nulls and that declared
+    /// primary keys are key-like on the constant part (no two tuples share
+    /// the same ground key).
+    pub fn validate(&self) -> Result<()> {
+        for (name, rel) in &self.tables {
+            let def = &self.defs[name];
+            for t in rel.iter() {
+                for (i, v) in t.values().iter().enumerate() {
+                    if v.is_null() && !rel.schema().attr(i).nullable {
+                        return Err(DataError::NullInNonNullable {
+                            table: name.clone(),
+                            column: rel.schema().attr(i).name.clone(),
+                        });
+                    }
+                }
+            }
+            if def.has_key() {
+                let positions = rel
+                    .schema()
+                    .positions_of(&def.primary_key)
+                    .map_err(|e| DataError::Invalid(format!("bad key on {name}: {e}")))?;
+                let mut seen = HashSet::new();
+                for t in rel.iter() {
+                    let key = t.project(&positions);
+                    if key.is_ground() && !seen.insert(key) {
+                        return Err(DataError::Invalid(format!(
+                            "primary key violated in table {name}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.tables {
+            writeln!(f, "{name}: {} tuples", rel.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::rel;
+    use crate::schema::Attribute;
+    use crate::types::ValueType;
+
+    fn db_with_r() -> Database {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(
+                &["a", "b"],
+                vec![
+                    vec![Value::Int(1), Value::Null(NullId(1))],
+                    vec![Value::Int(2), Value::Int(3)],
+                ],
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        let def = TableDef::new("t", Schema::of_names(&["x"])).with_key(&["x"]);
+        db.create_table(def.clone()).unwrap();
+        assert!(db.has_table("t"));
+        assert!(db.create_table(def).is_err());
+        assert!(db.relation("missing").is_err());
+        assert_eq!(db.table_def("t").unwrap().primary_key, vec!["x"]);
+    }
+
+    #[test]
+    fn active_domain_collects_constants_and_nulls() {
+        let db = db_with_r();
+        let adom = db.active_domain();
+        assert_eq!(adom.nulls, vec![NullId(1)]);
+        assert_eq!(adom.constants.len(), 3);
+        assert_eq!(adom.len(), 4);
+        assert!(db.has_nulls());
+        assert!(!db.is_complete());
+    }
+
+    #[test]
+    fn apply_valuation_completes_database() {
+        let db = db_with_r();
+        let mut v = Valuation::new();
+        v.set(NullId(1), Value::Int(42));
+        let complete = db.apply(&v);
+        assert!(complete.is_complete());
+        assert_eq!(complete.relation("r").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_null_in_non_nullable() {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Attribute::not_null("k", ValueType::Int),
+            Attribute::new("v", ValueType::Int),
+        ]);
+        let mut r = Relation::empty(schema.shared());
+        r.insert_values(vec![Value::Null(NullId(9)), Value::Int(1)]).unwrap();
+        db.insert_relation("t", r);
+        assert!(matches!(db.validate(), Err(DataError::NullInNonNullable { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_keys() {
+        let mut db = Database::new();
+        let def = TableDef::new("t", Schema::of_names(&["k", "v"])).with_key(&["k"]);
+        db.create_table(def).unwrap();
+        let r = db.relation_mut("t").unwrap();
+        r.insert_values(vec![Value::Int(1), Value::Int(10)]).unwrap();
+        r.insert_values(vec![Value::Int(1), Value::Int(20)]).unwrap();
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn total_tuples_counts_all_tables() {
+        let mut db = db_with_r();
+        db.insert_relation("s", rel(&["x"], vec![vec![Value::Int(9)]]));
+        assert_eq!(db.total_tuples(), 3);
+        assert_eq!(db.table_names(), vec!["r", "s"]);
+    }
+}

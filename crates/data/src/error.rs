@@ -1,0 +1,115 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+/// Errors produced by the data layer (schema mismatches, unknown attributes,
+/// type errors, malformed instances).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An attribute name could not be resolved against a schema.
+    UnknownAttribute {
+        /// The attribute that was requested.
+        name: String,
+        /// The attributes that were available.
+        available: Vec<String>,
+    },
+    /// An attribute name resolves to more than one column.
+    AmbiguousAttribute {
+        /// The attribute that was requested.
+        name: String,
+        /// The columns it matched.
+        matches: Vec<String>,
+    },
+    /// A tuple's arity does not match the schema it is inserted into.
+    ArityMismatch {
+        /// Expected number of columns.
+        expected: usize,
+        /// Number of values provided.
+        found: usize,
+    },
+    /// Two schemas that were required to be identical differ.
+    SchemaMismatch {
+        /// Description of the context in which the mismatch occurred.
+        context: String,
+        /// Left-hand schema rendering.
+        left: String,
+        /// Right-hand schema rendering.
+        right: String,
+    },
+    /// A value of an unexpected type was encountered.
+    TypeError {
+        /// Description of the expectation that was violated.
+        expected: String,
+        /// Rendering of the offending value.
+        found: String,
+    },
+    /// A named table does not exist in the database/catalog.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// A NOT NULL / primary-key column received a null value.
+    NullInNonNullable {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// Generic invariant violation with a message.
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute { name, available } => {
+                write!(f, "unknown attribute `{name}` (available: {})", available.join(", "))
+            }
+            DataError::AmbiguousAttribute { name, matches } => {
+                write!(f, "ambiguous attribute `{name}` (matches: {})", matches.join(", "))
+            }
+            DataError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} columns, found {found}")
+            }
+            DataError::SchemaMismatch { context, left, right } => {
+                write!(f, "schema mismatch in {context}: {left} vs {right}")
+            }
+            DataError::TypeError { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            DataError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            DataError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            DataError::NullInNonNullable { table, column } => {
+                write!(f, "null value in non-nullable column {table}.{column}")
+            }
+            DataError::Invalid(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_attribute() {
+        let e = DataError::UnknownAttribute {
+            name: "x".into(),
+            available: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(e.to_string(), "unknown attribute `x` (available: a, b)");
+    }
+
+    #[test]
+    fn display_arity() {
+        let e = DataError::ArityMismatch { expected: 3, found: 2 };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DataError::UnknownTable("t".into()));
+    }
+}

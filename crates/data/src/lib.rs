@@ -1,0 +1,51 @@
+//! # certus-data
+//!
+//! The data substrate of the *certus* workspace: everything the PODS'16 paper
+//! "Making SQL Queries Correct on Incomplete Databases" assumes about the data
+//! model is implemented here.
+//!
+//! * [`Value`] — constants of several SQL types plus *marked nulls*
+//!   ([`NullId`]). Codd nulls are the special case where every null id occurs
+//!   at most once in a database.
+//! * [`Truth`] — SQL's three-valued logic (3VL) with Kleene connectives.
+//! * Comparison semantics: [`compare::sql_cmp`] (3VL, `NULL` comparisons are
+//!   `Unknown`) and [`compare::naive_cmp`] (naive evaluation — nulls behave as
+//!   ordinary values, `⊥ᵢ = ⊥ᵢ` is true).
+//! * [`unify`] — unifiability of values and tuples (Definition 2 of the
+//!   paper), correct for repeated (marked) nulls via a union-find.
+//! * [`Valuation`] — maps from nulls to constants; applying a valuation to a
+//!   database yields one of the complete databases it represents.
+//! * [`Schema`], [`Tuple`], [`Relation`], [`Database`] — incomplete relational
+//!   instances, active domains, key constraints.
+//! * [`inject`] — the null-injection procedure of Section 3 of the paper
+//!   (per-attribute coin flip at a configurable *null rate*).
+
+pub mod builder;
+pub mod compare;
+pub mod database;
+pub mod error;
+pub mod inject;
+pub mod like;
+pub mod null;
+pub mod relation;
+pub mod schema;
+pub mod truth;
+pub mod tuple;
+pub mod types;
+pub mod unify;
+pub mod valuation;
+pub mod value;
+
+pub use database::{ActiveDomain, Database, TableDef};
+pub use error::DataError;
+pub use null::{NullGen, NullId};
+pub use relation::Relation;
+pub use schema::{Attribute, Schema};
+pub use truth::Truth;
+pub use tuple::Tuple;
+pub use types::ValueType;
+pub use valuation::Valuation;
+pub use value::Value;
+
+/// Convenient result alias used across the data crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,104 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! Query Q4 of the paper uses `p_name LIKE '%'||$color||'%'`. The pattern
+//! language supports `%` (any sequence, possibly empty) and `_` (exactly one
+//! character). Matching a null operand yields [`Truth::Unknown`] under SQL
+//! semantics; the naive variant treats a null as a non-matching value.
+
+use crate::truth::Truth;
+use crate::value::Value;
+
+/// Two-valued `LIKE` match between a string and a pattern.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // dp[i][j] = does t[..i] match p[..j]
+    let mut dp = vec![vec![false; p.len() + 1]; t.len() + 1];
+    dp[0][0] = true;
+    for j in 1..=p.len() {
+        if p[j - 1] == '%' {
+            dp[0][j] = dp[0][j - 1];
+        }
+    }
+    for i in 1..=t.len() {
+        for j in 1..=p.len() {
+            dp[i][j] = match p[j - 1] {
+                '%' => dp[i][j - 1] || dp[i - 1][j],
+                '_' => dp[i - 1][j - 1],
+                c => dp[i - 1][j - 1] && t[i - 1] == c,
+            };
+        }
+    }
+    dp[t.len()][p.len()]
+}
+
+/// SQL three-valued `LIKE`: `Unknown` if the value is a null, `False` if it is
+/// a non-string constant, otherwise the Boolean match.
+pub fn sql_like(value: &Value, pattern: &str) -> Truth {
+    match value {
+        Value::Null(_) => Truth::Unknown,
+        Value::Str(s) => Truth::from_bool(like_match(s, pattern)),
+        _ => Truth::False,
+    }
+}
+
+/// Naive two-valued `LIKE`: nulls simply do not match any pattern.
+pub fn naive_like(value: &Value, pattern: &str) -> bool {
+    match value {
+        Value::Str(s) => like_match(s, pattern),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::null::NullId;
+
+    #[test]
+    fn exact_match() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+    }
+
+    #[test]
+    fn percent_wildcard() {
+        assert!(like_match("abc", "%"));
+        assert!(like_match("abc", "a%"));
+        assert!(like_match("abc", "%c"));
+        assert!(like_match("abc", "%b%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", "%d%"));
+        assert!(like_match("almond antique blue", "%antique%"));
+    }
+
+    #[test]
+    fn underscore_wildcard() {
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(!like_match("ab", "a_c"));
+        assert!(like_match("abc", "___"));
+        assert!(!like_match("abc", "____"));
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        assert!(like_match("database", "d%b_se"));
+        assert!(like_match("forest chiffon navy", "%chiffon%"));
+        assert!(!like_match("forest chiffon navy", "%purple%"));
+    }
+
+    #[test]
+    fn sql_like_on_null_is_unknown() {
+        assert_eq!(sql_like(&Value::Null(NullId(1)), "%x%"), Truth::Unknown);
+        assert_eq!(sql_like(&Value::str("xyz"), "%y%"), Truth::True);
+        assert_eq!(sql_like(&Value::Int(3), "%"), Truth::False);
+    }
+
+    #[test]
+    fn naive_like_on_null_is_false() {
+        assert!(!naive_like(&Value::Null(NullId(1)), "%"));
+        assert!(naive_like(&Value::str("abc"), "a%"));
+    }
+}

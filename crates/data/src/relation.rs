@@ -1,0 +1,308 @@
+//! Relations: a schema plus a set of tuples.
+
+use crate::error::DataError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::valuation::Valuation;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relation instance: an ordered schema and a *set* of tuples.
+///
+/// The paper works under set semantics (bag semantics is future work,
+/// Section 8); `Relation` therefore deduplicates on insertion points that
+/// matter (set operations, distinct projection) while physically storing a
+/// `Vec` for cheap iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Create a relation from a schema and tuples (arity-checked).
+    pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Result<Self> {
+        for t in &tuples {
+            if t.len() != schema.arity() {
+                return Err(DataError::ArityMismatch {
+                    expected: schema.arity(),
+                    found: t.len(),
+                });
+            }
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Create a relation without checking arities (used by operators that
+    /// construct tuples of the right shape by construction).
+    pub fn from_parts(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Self {
+        Relation { schema, tuples }
+    }
+
+    /// The schema of the relation.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of tuples (including duplicates, if any were inserted).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples of the relation.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterate over the tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Consume the relation and return its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Insert a tuple (arity-checked).
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.len() != self.schema.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: tuple.len(),
+            });
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Insert a tuple of raw values.
+    pub fn insert_values(&mut self, values: Vec<Value>) -> Result<()> {
+        self.insert(Tuple::new(values))
+    }
+
+    /// Whether the relation contains a syntactically equal tuple.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.iter().any(|t| t == tuple)
+    }
+
+    /// Remove duplicate tuples (set semantics), preserving first occurrences.
+    pub fn dedup(&mut self) {
+        let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.tuples.len());
+        self.tuples.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// A deduplicated copy of this relation.
+    pub fn distinct(&self) -> Relation {
+        let mut r = self.clone();
+        r.dedup();
+        r
+    }
+
+    /// Set union with another relation (schemas must be union compatible;
+    /// the result uses this relation's schema).
+    pub fn union(&self, other: &Relation) -> Result<Relation> {
+        self.check_compatible(other, "union")?;
+        let mut out = self.clone();
+        out.tuples.extend(other.tuples.iter().cloned());
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Set difference (syntactic tuple equality).
+    pub fn difference(&self, other: &Relation) -> Result<Relation> {
+        self.check_compatible(other, "difference")?;
+        let right: HashSet<&Tuple> = other.tuples.iter().collect();
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| !right.contains(t))
+            .cloned()
+            .collect();
+        let mut out = Relation { schema: self.schema.clone(), tuples };
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Set intersection (syntactic tuple equality).
+    pub fn intersect(&self, other: &Relation) -> Result<Relation> {
+        self.check_compatible(other, "intersection")?;
+        let right: HashSet<&Tuple> = other.tuples.iter().collect();
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| right.contains(t))
+            .cloned()
+            .collect();
+        let mut out = Relation { schema: self.schema.clone(), tuples };
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Apply a valuation to every tuple, producing a (possibly complete)
+    /// relation.
+    pub fn apply(&self, v: &Valuation) -> Relation {
+        let mut out = Relation {
+            schema: self.schema.clone(),
+            tuples: self.tuples.iter().map(|t| t.apply(v)).collect(),
+        };
+        out.dedup();
+        out
+    }
+
+    /// Whether any tuple contains a null.
+    pub fn has_nulls(&self) -> bool {
+        self.tuples.iter().any(Tuple::has_null)
+    }
+
+    /// All constants appearing in the relation.
+    pub fn constants(&self) -> HashSet<Value> {
+        let mut out = HashSet::new();
+        for t in &self.tuples {
+            for v in t.values() {
+                if v.is_const() {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// All null ids appearing in the relation.
+    pub fn null_ids(&self) -> HashSet<crate::null::NullId> {
+        let mut out = HashSet::new();
+        for t in &self.tuples {
+            for v in t.values() {
+                if let Value::Null(id) = v {
+                    out.insert(*id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sort tuples (for deterministic display and comparisons in tests).
+    pub fn sorted(&self) -> Relation {
+        let mut r = self.clone();
+        r.tuples.sort();
+        r
+    }
+
+    fn check_compatible(&self, other: &Relation, context: &str) -> Result<()> {
+        if !self.schema.union_compatible(&other.schema) {
+            return Err(DataError::SchemaMismatch {
+                context: context.to_string(),
+                left: self.schema.to_string(),
+                right: other.schema.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "  [{} tuples]", self.tuples.len())
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::rel;
+    use crate::null::NullId;
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut r = Relation::empty(Schema::of_names(&["a", "b"]).shared());
+        assert!(r.insert_values(vec![Value::Int(1), Value::Int(2)]).is_ok());
+        assert!(r.insert_values(vec![Value::Int(1)]).is_err());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn set_operations_are_syntactic() {
+        let r = rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Null(NullId(1))]]);
+        let s = rel(&["a"], vec![vec![Value::Null(NullId(1))], vec![Value::Int(2)]]);
+        let diff = r.difference(&s).unwrap();
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(&Tuple::new(vec![Value::Int(1)])));
+        let inter = r.intersect(&s).unwrap();
+        assert_eq!(inter.len(), 1);
+        assert!(inter.contains(&Tuple::new(vec![Value::Null(NullId(1))])));
+        let uni = r.union(&s).unwrap();
+        assert_eq!(uni.len(), 3);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut r = rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]]);
+        r.dedup();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn incompatible_schemas_error() {
+        let r = rel(&["a"], vec![]);
+        let s = rel(&["a", "b"], vec![]);
+        assert!(r.union(&s).is_err());
+        assert!(r.difference(&s).is_err());
+    }
+
+    #[test]
+    fn constants_and_nulls_collection() {
+        let r = rel(
+            &["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::Null(NullId(7))],
+                vec![Value::str("x"), Value::Int(1)],
+            ],
+        );
+        assert!(r.has_nulls());
+        let consts = r.constants();
+        assert_eq!(consts.len(), 2);
+        assert!(consts.contains(&Value::Int(1)));
+        assert_eq!(r.null_ids().len(), 1);
+    }
+
+    #[test]
+    fn apply_valuation_grounds_relation() {
+        let r = rel(&["a"], vec![vec![Value::Null(NullId(1))], vec![Value::Int(1)]]);
+        let mut v = Valuation::new();
+        v.set(NullId(1), Value::Int(1));
+        let g = r.apply(&v);
+        // Both tuples collapse to (1) and set semantics dedups them.
+        assert_eq!(g.len(), 1);
+        assert!(!g.has_nulls());
+    }
+}

@@ -1,0 +1,318 @@
+//! Unifiability of values and tuples (Definition 2 of the paper).
+//!
+//! Two tuples `r̄` and `s̄` of the same length are *unifiable*, written
+//! `r̄ ⇑ s̄`, if there exists a valuation `v` of nulls with `v(r̄) = v(s̄)`.
+//!
+//! For Codd nulls (no repeated null ids) this is a position-wise check: two
+//! values unify unless both are constants and differ. With *marked* nulls a
+//! repeated null may be forced to take two different constants, so a
+//! consistency check is needed; [`Unifier`] implements it with a union-find
+//! over null ids carrying an optional constant binding per class.
+
+use crate::null::NullId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Position-wise unifiability of two values: true unless both are constants
+/// that differ. This is the exact notion for Codd nulls and a necessary
+/// condition for marked nulls.
+pub fn values_unify(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null(_), _) | (_, Value::Null(_)) => true,
+        _ => crate::compare::sql_eq(a, b).is_true(),
+    }
+}
+
+/// Incremental unifier for marked nulls.
+///
+/// Constraints of the form "value `a` must equal value `b`" are added with
+/// [`Unifier::require_equal`]; the unifier tracks, per equivalence class of
+/// nulls, the unique constant the class is bound to (if any), and reports
+/// failure as soon as two distinct constants would be identified.
+#[derive(Debug, Default, Clone)]
+pub struct Unifier {
+    parent: HashMap<NullId, NullId>,
+    binding: HashMap<NullId, Value>,
+    failed: bool,
+}
+
+impl Unifier {
+    /// Create an empty unifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a contradiction has been detected.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Whether all constraints added so far are simultaneously satisfiable.
+    pub fn consistent(&self) -> bool {
+        !self.failed
+    }
+
+    fn find(&mut self, id: NullId) -> NullId {
+        let mut root = id;
+        while let Some(&p) = self.parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        // Path compression.
+        let mut cur = id;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == root {
+                break;
+            }
+            self.parent.insert(cur, root);
+            cur = p;
+        }
+        root
+    }
+
+    fn ensure(&mut self, id: NullId) -> NullId {
+        if !self.parent.contains_key(&id) {
+            self.parent.insert(id, id);
+        }
+        self.find(id)
+    }
+
+    fn bind(&mut self, id: NullId, c: &Value) {
+        let root = self.ensure(id);
+        match self.binding.get(&root) {
+            Some(existing) => {
+                if !crate::compare::sql_eq(existing, c).is_true() {
+                    self.failed = true;
+                }
+            }
+            None => {
+                self.binding.insert(root, c.clone());
+            }
+        }
+    }
+
+    fn union(&mut self, a: NullId, b: NullId) {
+        let ra = self.ensure(a);
+        let rb = self.ensure(b);
+        if ra == rb {
+            return;
+        }
+        let bind_a = self.binding.get(&ra).cloned();
+        let bind_b = self.binding.get(&rb).cloned();
+        self.parent.insert(rb, ra);
+        match (bind_a, bind_b) {
+            (Some(x), Some(y)) => {
+                if !crate::compare::sql_eq(&x, &y).is_true() {
+                    self.failed = true;
+                }
+            }
+            (None, Some(y)) => {
+                self.binding.insert(ra, y);
+            }
+            _ => {}
+        }
+    }
+
+    /// Add the constraint that `a` and `b` denote the same value. Returns the
+    /// current consistency status.
+    pub fn require_equal(&mut self, a: &Value, b: &Value) -> bool {
+        if self.failed {
+            return false;
+        }
+        match (a, b) {
+            (Value::Null(x), Value::Null(y)) => self.union(*x, *y),
+            (Value::Null(x), c) => self.bind(*x, c),
+            (c, Value::Null(y)) => self.bind(*y, c),
+            (x, y) => {
+                if !crate::compare::sql_eq(x, y).is_true() {
+                    self.failed = true;
+                }
+            }
+        }
+        !self.failed
+    }
+
+    /// The constant a null is currently bound to, if any.
+    pub fn binding_of(&mut self, id: NullId) -> Option<Value> {
+        let root = self.ensure(id);
+        self.binding.get(&root).cloned()
+    }
+}
+
+/// Full tuple unifiability `r̄ ⇑ s̄` under marked-null semantics: there exists
+/// a valuation making the tuples equal. Tuples of different lengths never
+/// unify.
+pub fn tuples_unify(r: &Tuple, s: &Tuple) -> bool {
+    if r.len() != s.len() {
+        return false;
+    }
+    let mut u = Unifier::new();
+    for (a, b) in r.values().iter().zip(s.values()) {
+        if !u.require_equal(a, b) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Codd-null tuple unifiability: position-wise check only. Sound and complete
+/// when no null id repeats across the two tuples.
+pub fn tuples_unify_codd(r: &Tuple, s: &Tuple) -> bool {
+    r.len() == s.len()
+        && r.values()
+            .iter()
+            .zip(s.values())
+            .all(|(a, b)| values_unify(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::null::NullId;
+
+    fn n(i: u64) -> Value {
+        Value::Null(NullId(i))
+    }
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn constants_unify_iff_equal() {
+        assert!(values_unify(&Value::Int(1), &Value::Int(1)));
+        assert!(!values_unify(&Value::Int(1), &Value::Int(2)));
+        assert!(values_unify(&n(1), &Value::Int(2)));
+        assert!(values_unify(&n(1), &n(2)));
+    }
+
+    #[test]
+    fn codd_tuples_unify_positionwise() {
+        let a = t(vec![Value::Int(1), n(1)]);
+        let b = t(vec![n(2), Value::Int(3)]);
+        assert!(tuples_unify_codd(&a, &b));
+        assert!(tuples_unify(&a, &b));
+        let c = t(vec![Value::Int(2), n(3)]);
+        assert!(!tuples_unify_codd(&a, &c));
+        assert!(!tuples_unify(&a, &c));
+    }
+
+    #[test]
+    fn marked_null_repetition_blocks_unification() {
+        // r = (⊥1, ⊥1), s = (1, 2): position-wise OK but no single valuation works.
+        let r = t(vec![n(1), n(1)]);
+        let s = t(vec![Value::Int(1), Value::Int(2)]);
+        assert!(tuples_unify_codd(&r, &s));
+        assert!(!tuples_unify(&r, &s));
+        // With equal constants it unifies.
+        let s2 = t(vec![Value::Int(5), Value::Int(5)]);
+        assert!(tuples_unify(&r, &s2));
+    }
+
+    #[test]
+    fn transitive_binding_conflict() {
+        // r = (⊥1, ⊥2, ⊥1), s = (1, ⊥1... ) chain forcing ⊥1=1 and ⊥1=2 must fail.
+        let r = t(vec![n(1), n(1)]);
+        let s = t(vec![Value::Int(1), n(2)]);
+        // ⊥1=1 and ⊥1=⊥2: consistent (⊥2 := 1).
+        assert!(tuples_unify(&r, &s));
+
+        let r2 = t(vec![n(1), n(2), n(2)]);
+        let s2 = t(vec![Value::Int(1), n(1), Value::Int(2)]);
+        // ⊥1=1, ⊥2=⊥1 (so ⊥2=1), ⊥2=2 → contradiction.
+        assert!(!tuples_unify(&r2, &s2));
+    }
+
+    #[test]
+    fn different_arity_never_unifies() {
+        let a = t(vec![Value::Int(1)]);
+        let b = t(vec![Value::Int(1), Value::Int(2)]);
+        assert!(!tuples_unify(&a, &b));
+        assert!(!tuples_unify_codd(&a, &b));
+    }
+
+    #[test]
+    fn unifier_is_symmetric_on_arguments() {
+        let pairs = vec![
+            (n(1), Value::Int(3)),
+            (Value::Int(3), n(1)),
+            (n(1), n(2)),
+        ];
+        for (a, b) in pairs {
+            let mut u1 = Unifier::new();
+            let mut u2 = Unifier::new();
+            assert_eq!(u1.require_equal(&a, &b), u2.require_equal(&b, &a));
+        }
+    }
+
+    #[test]
+    fn binding_lookup() {
+        let mut u = Unifier::new();
+        u.require_equal(&n(1), &Value::Int(9));
+        u.require_equal(&n(2), &n(1));
+        assert_eq!(u.binding_of(NullId(2)), Some(Value::Int(9)));
+        assert_eq!(u.binding_of(NullId(3)), None);
+    }
+
+    #[test]
+    fn numeric_cross_type_unification() {
+        // Decimal 1.00 and Int 1 are semantically equal constants.
+        assert!(values_unify(&Value::Decimal(100), &Value::Int(1)));
+        let mut u = Unifier::new();
+        assert!(u.require_equal(&Value::Decimal(100), &Value::Int(1)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::null::NullId;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            (0u64..5).prop_map(|i| Value::Null(NullId(i))),
+            (0i64..5).prop_map(Value::Int),
+            "[a-c]{1,2}".prop_map(Value::Str),
+        ]
+    }
+
+    fn arb_tuple(len: usize) -> impl Strategy<Value = Tuple> {
+        prop::collection::vec(arb_value(), len).prop_map(Tuple::new)
+    }
+
+    proptest! {
+        #[test]
+        fn unification_is_symmetric(a in arb_tuple(4), b in arb_tuple(4)) {
+            prop_assert_eq!(tuples_unify(&a, &b), tuples_unify(&b, &a));
+            prop_assert_eq!(tuples_unify_codd(&a, &b), tuples_unify_codd(&b, &a));
+        }
+
+        #[test]
+        fn unification_is_reflexive(a in arb_tuple(4)) {
+            prop_assert!(tuples_unify(&a, &a));
+            prop_assert!(tuples_unify_codd(&a, &a));
+        }
+
+        #[test]
+        fn marked_unification_implies_codd(a in arb_tuple(4), b in arb_tuple(4)) {
+            // The marked-null notion is strictly stronger (it adds consistency).
+            if tuples_unify(&a, &b) {
+                prop_assert!(tuples_unify_codd(&a, &b));
+            }
+        }
+
+        #[test]
+        fn ground_tuples_unify_iff_equal(
+            xs in prop::collection::vec(0i64..5, 4),
+            ys in prop::collection::vec(0i64..5, 4),
+        ) {
+            let a = Tuple::new(xs.iter().copied().map(Value::Int).collect());
+            let b = Tuple::new(ys.iter().copied().map(Value::Int).collect());
+            prop_assert_eq!(tuples_unify(&a, &b), xs == ys);
+        }
+    }
+}

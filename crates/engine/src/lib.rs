@@ -1,0 +1,26 @@
+//! # certus-engine
+//!
+//! Physical execution for *certus*. The reference evaluator in
+//! `certus-algebra` defines the semantics; this crate executes the same
+//! [`RaExpr`](certus_algebra::RaExpr) plans the way a real DBMS would, which
+//! is what makes the paper's *price of correctness* experiments meaningful:
+//!
+//! * equi-join conjuncts are detected and executed as **hash joins** /
+//!   **hash (anti-)semijoins** with residual predicates;
+//! * joins whose conditions hide the equality under a disjunction (the
+//!   `A = B OR B IS NULL` conditions produced by the translation) fall back
+//!   to **nested loops** — reproducing the "confused optimizer" behaviour of
+//!   Section 7 that the OR-splitting rewrite then repairs;
+//! * `NOT EXISTS` subqueries that are **uncorrelated** (the decorrelated
+//!   null-check that the translation adds to query Q2) are evaluated once and
+//!   short-circuit the whole query when they trip;
+//! * a simple cardinality/cost model ([`cost`]) exposes `EXPLAIN`-style
+//!   estimates, including the inflated estimates caused by `OR … IS NULL`
+//!   predicates.
+
+pub mod cost;
+pub mod engine;
+pub mod equi;
+
+pub use cost::{estimate, CostEstimate};
+pub use engine::Engine;

@@ -1,0 +1,3 @@
+//! Placeholder library for the integration-test package. The actual tests
+//! live in `/tests` at the repository root and are wired in via `[[test]]`
+//! entries in this package's manifest so they can span every workspace crate.

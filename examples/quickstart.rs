@@ -1,0 +1,36 @@
+//! Quickstart: the introduction's example.
+//!
+//! `R = {1}`, `S = {NULL}`. SQL evaluates `R − S` (written with `NOT EXISTS`)
+//! to `{1}`, but that tuple is not a certain answer — if the null stands for
+//! `1`, the difference is empty. The certainty-preserving rewriting returns
+//! only correct answers.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use certus::algebra::builder::eq;
+use certus::data::builder::rel;
+use certus::data::null::NullId;
+use certus::{CertainRewriter, Database, Engine, RaExpr, Value};
+
+fn main() {
+    let mut db = Database::new();
+    db.insert_relation("r", rel(&["a"], vec![vec![Value::Int(1)]]));
+    db.insert_relation("s", rel(&["b"], vec![vec![Value::Null(NullId(1))]]));
+
+    // SELECT r.a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE r.a = s.b)
+    let query = RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"));
+
+    let engine = Engine::new(&db);
+    let sql_answers = engine.execute(&query).expect("query runs");
+    println!("SQL evaluation returns      : {} tuple(s)", sql_answers.len());
+    for t in sql_answers.iter() {
+        println!("  {t}   <-- false positive: not a certain answer");
+    }
+
+    let rewriter = CertainRewriter::new();
+    let rewritten = rewriter.rewrite_plus(&query, &db).expect("query is in the supported fragment");
+    println!("\nRewritten query Q+          : {rewritten}");
+    let certain = engine.execute(&rewritten).expect("rewritten query runs");
+    println!("Certain-answer evaluation   : {} tuple(s) (correct: the answer is uncertain)", certain.len());
+    assert!(certain.is_empty());
+}
