@@ -136,16 +136,12 @@ impl Condition {
 
     /// Conjunction of an iterator of conditions.
     pub fn and_all(conds: impl IntoIterator<Item = Condition>) -> Condition {
-        conds
-            .into_iter()
-            .fold(Condition::True, |acc, c| acc.and(c))
+        conds.into_iter().fold(Condition::True, |acc, c| acc.and(c))
     }
 
     /// Disjunction of an iterator of conditions.
     pub fn or_all(conds: impl IntoIterator<Item = Condition>) -> Condition {
-        conds
-            .into_iter()
-            .fold(Condition::False, |acc, c| acc.or(c))
+        conds.into_iter().fold(Condition::False, |acc, c| acc.or(c))
     }
 
     /// Equality comparison between two columns.
@@ -159,11 +155,7 @@ impl Condition {
 
     /// Comparison between a column and a constant.
     pub fn cmp_const(col: impl Into<String>, op: CmpOp, value: Value) -> Condition {
-        Condition::Cmp {
-            left: Operand::Col(col.into()),
-            op,
-            right: Operand::Const(value),
-        }
+        Condition::Cmp { left: Operand::Col(col.into()), op, right: Operand::Const(value) }
     }
 
     /// Push negations inward so that `Not` only remains around atoms that
@@ -333,11 +325,9 @@ impl Condition {
         match self {
             Condition::True => Condition::True,
             Condition::False => Condition::False,
-            Condition::Cmp { left, op, right } => Condition::Cmp {
-                left: left.map_columns(f),
-                op: *op,
-                right: right.map_columns(f),
-            },
+            Condition::Cmp { left, op, right } => {
+                Condition::Cmp { left: left.map_columns(f), op: *op, right: right.map_columns(f) }
+            }
             Condition::IsNull(x) => Condition::IsNull(x.map_columns(f)),
             Condition::IsNotNull(x) => Condition::IsNotNull(x.map_columns(f)),
             Condition::Like { expr, pattern, negated } => Condition::Like {
@@ -351,10 +341,9 @@ impl Condition {
                 negated: *negated,
             },
             Condition::And(a, b) => a.map_columns(f).and(b.map_columns(f)),
-            Condition::Or(a, b) => Condition::Or(
-                Box::new(a.map_columns(f)),
-                Box::new(b.map_columns(f)),
-            ),
+            Condition::Or(a, b) => {
+                Condition::Or(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
             Condition::Not(inner) => Condition::Not(Box::new(inner.map_columns(f))),
         }
     }
@@ -457,7 +446,11 @@ mod tests {
         .not();
         assert_eq!(
             l.to_nnf(),
-            Condition::Like { expr: Operand::Col("p".into()), pattern: "%red%".into(), negated: true }
+            Condition::Like {
+                expr: Operand::Col("p".into()),
+                pattern: "%red%".into(),
+                negated: true
+            }
         );
     }
 

@@ -91,11 +91,9 @@ fn render(expr: &RaExpr, depth: usize, out: &mut String) {
         RaExpr::Division { .. } => "Division".to_string(),
         RaExpr::Rename { columns, .. } => format!("Rename [{}]", columns.join(", ")),
         RaExpr::Distinct { .. } => "Distinct".to_string(),
-        RaExpr::Aggregate { group_by, aggregates, .. } => format!(
-            "Aggregate [group by {}; {} aggregates]",
-            group_by.join(", "),
-            aggregates.len()
-        ),
+        RaExpr::Aggregate { group_by, aggregates, .. } => {
+            format!("Aggregate [group by {}; {} aggregates]", group_by.join(", "), aggregates.len())
+        }
     };
     out.push_str(&indent);
     out.push_str(&label);
@@ -113,9 +111,7 @@ mod tests {
 
     #[test]
     fn display_single_line() {
-        let q = RaExpr::relation("r")
-            .select(eq("a", "b"))
-            .project(&["a"]);
+        let q = RaExpr::relation("r").select(eq("a", "b")).project(&["a"]);
         assert_eq!(q.to_string(), "π[a](σ[a = b](r))");
     }
 

@@ -122,11 +122,7 @@ impl<'a> Evaluator<'a> {
             RaExpr::Division { left, right } => self.division(left, right),
             RaExpr::Rename { input, columns } => {
                 let rel = self.eval(input)?;
-                let schema = rel
-                    .schema()
-                    .rename(columns)
-                    .map_err(AlgebraError::Data)?
-                    .shared();
+                let schema = rel.schema().rename(columns).map_err(AlgebraError::Data)?.shared();
                 Ok(Relation::from_parts(schema, rel.tuples().to_vec()))
             }
             RaExpr::Distinct { input } => Ok(self.eval(input)?.distinct()),
@@ -220,9 +216,8 @@ impl<'a> Evaluator<'a> {
                 })?;
             shared_positions.push(pos);
         }
-        let key_positions: Vec<usize> = (0..l.arity())
-            .filter(|i| !shared_positions.contains(i))
-            .collect();
+        let key_positions: Vec<usize> =
+            (0..l.arity()).filter(|i| !shared_positions.contains(i)).collect();
         let out_schema = l.schema().project(&key_positions).shared();
         let all: std::collections::HashSet<&Tuple> = l.iter().collect();
         let mut seen_keys = std::collections::HashSet::new();
@@ -346,10 +341,14 @@ impl<'a> Evaluator<'a> {
                 let base = match v {
                     Some(v) => {
                         let hits = list.iter().map(|item| match self.semantics {
-                            NullSemantics::Sql => sql_cmp(&v, certus_data::compare::CmpOp::Eq, item),
-                            NullSemantics::Naive => {
-                                Truth::from_bool(naive_cmp(&v, certus_data::compare::CmpOp::Eq, item))
+                            NullSemantics::Sql => {
+                                sql_cmp(&v, certus_data::compare::CmpOp::Eq, item)
                             }
+                            NullSemantics::Naive => Truth::from_bool(naive_cmp(
+                                &v,
+                                certus_data::compare::CmpOp::Eq,
+                                item,
+                            )),
                         });
                         Truth::any(hits)
                     }
@@ -438,7 +437,8 @@ fn compute_aggregate(func: AggFunc, pos: Option<usize>, rows: &[&Tuple]) -> Valu
         }
         AggFunc::Min | AggFunc::Max => {
             let pos = pos.expect("aggregate has a column");
-            let mut vals: Vec<&Value> = rows.iter().map(|t| &t[pos]).filter(|v| v.is_const()).collect();
+            let mut vals: Vec<&Value> =
+                rows.iter().map(|t| &t[pos]).filter(|v| v.is_const()).collect();
             if vals.is_empty() {
                 return Value::fresh_null();
             }
@@ -477,10 +477,7 @@ mod tests {
                 ],
             ),
         );
-        db.insert_relation(
-            "s",
-            rel(&["c"], vec![vec![Value::Int(2)], vec![null(2)]]),
-        );
+        db.insert_relation("s", rel(&["c"], vec![vec![Value::Int(2)], vec![null(2)]]));
         db
     }
 
@@ -575,7 +572,10 @@ mod tests {
                 ],
             ),
         );
-        db.insert_relation("courses", rel(&["course"], vec![vec![Value::Int(10)], vec![Value::Int(20)]]));
+        db.insert_relation(
+            "courses",
+            rel(&["course"], vec![vec![Value::Int(10)], vec![Value::Int(20)]]),
+        );
         let q = RaExpr::relation("takes").divide(RaExpr::relation("courses"));
         let out = eval(&q, &db, NullSemantics::Sql).unwrap();
         assert_eq!(out.len(), 1);
@@ -607,10 +607,8 @@ mod tests {
     fn aggregate_on_empty_input() {
         let mut db = Database::new();
         db.insert_relation("e", rel(&["x"], vec![]));
-        let q = RaExpr::relation("e").aggregate(
-            &[],
-            vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Avg, "x", "a")],
-        );
+        let q = RaExpr::relation("e")
+            .aggregate(&[], vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Avg, "x", "a")]);
         let out = eval(&q, &db, NullSemantics::Sql).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.tuples()[0][0], Value::Int(0));
@@ -621,7 +619,8 @@ mod tests {
     fn scalar_subquery_comparison() {
         let db = sample_db();
         // a > AVG(a) keeps only a = 3 (avg = 2).
-        let avg = RaExpr::relation("r").aggregate(&[], vec![AggExpr::new(AggFunc::Avg, "a", "avg_a")]);
+        let avg =
+            RaExpr::relation("r").aggregate(&[], vec![AggExpr::new(AggFunc::Avg, "a", "avg_a")]);
         let cond = Condition::Cmp {
             left: col("a"),
             op: certus_data::compare::CmpOp::Gt,

@@ -404,9 +404,7 @@ mod tests {
 
     #[test]
     fn builder_methods_compose() {
-        let q = RaExpr::relation("r")
-            .select(Condition::eq_cols("a", "b"))
-            .project(&["a"]);
+        let q = RaExpr::relation("r").select(Condition::eq_cols("a", "b")).project(&["a"]);
         assert_eq!(q.size(), 3);
         assert_eq!(q.base_relations(), vec!["r"]);
     }
@@ -428,14 +426,8 @@ mod tests {
         let s = RaExpr::relation("s");
         assert!(r.clone().select(Condition::eq_cols("a", "b")).is_positive());
         assert!(!r.clone().difference(s.clone()).is_positive());
-        assert!(!r
-            .clone()
-            .anti_join(s.clone(), Condition::eq_cols("a", "b"))
-            .is_positive());
-        assert!(!r
-            .clone()
-            .select(Condition::eq_cols("a", "b").not())
-            .is_positive());
+        assert!(!r.clone().anti_join(s.clone(), Condition::eq_cols("a", "b")).is_positive());
+        assert!(!r.clone().select(Condition::eq_cols("a", "b").not()).is_positive());
         assert!(r.clone().product(s).project(&["a"]).is_positive());
     }
 
@@ -447,8 +439,7 @@ mod tests {
 
     #[test]
     fn base_relations_are_collected_in_preorder() {
-        let q = RaExpr::relation("a")
-            .product(RaExpr::relation("b").union(RaExpr::relation("c")));
+        let q = RaExpr::relation("a").product(RaExpr::relation("b").union(RaExpr::relation("c")));
         assert_eq!(q.base_relations(), vec!["a", "b", "c"]);
     }
 

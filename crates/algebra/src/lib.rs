@@ -22,6 +22,7 @@ pub mod expr;
 pub mod normalize;
 pub mod schema_infer;
 pub mod semantics;
+pub mod visit;
 
 pub use builder::{col, lit, table, values};
 pub use condition::{Condition, Operand};

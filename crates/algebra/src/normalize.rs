@@ -64,10 +64,12 @@ pub fn desugar_core(expr: &RaExpr, catalog: &dyn Catalog) -> Result<RaExpr> {
             let semi = semijoin_expansion(&l, &r, condition, catalog)?;
             Ok(l.difference(semi))
         }
-        RaExpr::UnifySemiJoin { left, right } => Ok(desugar_core(left, catalog)?
-            .unify_semi_join(desugar_core(right, catalog)?)),
-        RaExpr::UnifyAntiSemiJoin { left, right } => Ok(desugar_core(left, catalog)?
-            .unify_anti_join(desugar_core(right, catalog)?)),
+        RaExpr::UnifySemiJoin { left, right } => {
+            Ok(desugar_core(left, catalog)?.unify_semi_join(desugar_core(right, catalog)?))
+        }
+        RaExpr::UnifyAntiSemiJoin { left, right } => {
+            Ok(desugar_core(left, catalog)?.unify_anti_join(desugar_core(right, catalog)?))
+        }
         RaExpr::Division { left, right } => {
             let l = desugar_core(left, catalog)?;
             let r = desugar_core(right, catalog)?;
@@ -92,16 +94,8 @@ fn semijoin_expansion(
     catalog: &dyn Catalog,
 ) -> Result<RaExpr> {
     let left_schema = output_schema(left, catalog)?;
-    let cols: Vec<ProjCol> = left_schema
-        .names()
-        .into_iter()
-        .map(ProjCol::named)
-        .collect();
-    Ok(left
-        .clone()
-        .product(right.clone())
-        .select(condition.clone())
-        .project_cols(cols))
+    let cols: Vec<ProjCol> = left_schema.names().into_iter().map(ProjCol::named).collect();
+    Ok(left.clone().product(right.clone()).select(condition.clone()).project_cols(cols))
 }
 
 /// Textbook expansion of division.
@@ -111,12 +105,7 @@ fn division_expansion(left: &RaExpr, right: &RaExpr, catalog: &dyn Catalog) -> R
     let key_cols: Vec<ProjCol> = l_schema
         .attrs()
         .iter()
-        .filter(|a| {
-            !r_schema
-                .attrs()
-                .iter()
-                .any(|b| b.base_name() == a.base_name())
-        })
+        .filter(|a| !r_schema.attrs().iter().any(|b| b.base_name() == a.base_name()))
         .map(|a| ProjCol::named(a.name.clone()))
         .collect();
     if key_cols.len() + r_schema.arity() != l_schema.arity() {
@@ -139,10 +128,8 @@ fn division_expansion(left: &RaExpr, right: &RaExpr, catalog: &dyn Catalog) -> R
     }
     let aligned_left = left.clone().project_cols(aligned_cols);
     // Missing combinations, projected back to the key columns.
-    let key_names: Vec<ProjCol> = key_cols
-        .iter()
-        .map(|c| ProjCol::named(c.output_name().to_string()))
-        .collect();
+    let key_names: Vec<ProjCol> =
+        key_cols.iter().map(|c| ProjCol::named(c.output_name().to_string())).collect();
     let missing = universe.difference(aligned_left).project_cols(key_names);
     Ok(keys.difference(missing))
 }
@@ -184,7 +171,10 @@ mod tests {
                 ],
             ),
         );
-        db.insert_relation("courses", rel(&["course"], vec![vec![Value::Int(10)], vec![Value::Int(20)]]));
+        db.insert_relation(
+            "courses",
+            rel(&["course"], vec![vec![Value::Int(10)], vec![Value::Int(20)]]),
+        );
         db.insert_relation(
             "r",
             rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]),

@@ -25,9 +25,7 @@ impl Catalog for Database {
     }
 
     fn table_key(&self, name: &str) -> Vec<String> {
-        self.table_def(name)
-            .map(|d| d.primary_key.clone())
-            .unwrap_or_default()
+        self.table_def(name).map(|d| d.primary_key.clone()).unwrap_or_default()
     }
 
     fn tables(&self) -> Vec<String> {
@@ -129,7 +127,8 @@ pub fn output_schema(expr: &RaExpr, catalog: &dyn Catalog) -> Result<Schema> {
             }
             if keep.len() + r.arity() != l.arity() {
                 return Err(AlgebraError::Malformed(
-                    "division requires the divisor's columns to be a subset of the dividend's".into(),
+                    "division requires the divisor's columns to be a subset of the dividend's"
+                        .into(),
                 ));
             }
             Ok(l.project(&keep))
@@ -216,10 +215,7 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.insert_relation(
-            "r",
-            rel(&["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]),
-        );
+        db.insert_relation("r", rel(&["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]));
         db.insert_relation("s", rel(&["c"], vec![vec![Value::Int(1)]]));
         db
     }
@@ -246,10 +242,8 @@ mod tests {
     #[test]
     fn project_renames_and_types() {
         let db = db();
-        let q = RaExpr::relation("r").project_cols(vec![
-            ProjCol::aliased("b", "bb"),
-            ProjCol::named("a"),
-        ]);
+        let q = RaExpr::relation("r")
+            .project_cols(vec![ProjCol::aliased("b", "bb"), ProjCol::named("a")]);
         let s = output_schema(&q, &db).unwrap();
         assert_eq!(s.names(), vec!["bb", "a"]);
     }
@@ -266,7 +260,8 @@ mod tests {
     #[test]
     fn semijoin_keeps_left_schema_and_checks_condition() {
         let db = db();
-        let q = RaExpr::relation("r").semi_join(RaExpr::relation("s"), Condition::eq_cols("a", "c"));
+        let q =
+            RaExpr::relation("r").semi_join(RaExpr::relation("s"), Condition::eq_cols("a", "c"));
         let s = output_schema(&q, &db).unwrap();
         assert_eq!(s.names(), vec!["a", "b"]);
         let bad =

@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig4|table1|sec5|precision|ablation|all] [--quick]
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks instance counts and scale factors so the full suite runs
@@ -14,15 +14,14 @@ fn main() {
     let what = args.first().map(String::as_str).unwrap_or("all");
     let quick = args.iter().any(|a| a == "--quick");
 
-    let (fig1_scale, fig1_instances, fig1_runs) = if quick { (0.0003, 1, 1) } else { (0.0006, 3, 3) };
+    let (fig1_scale, fig1_instances, fig1_runs) =
+        if quick { (0.0003, 1, 1) } else { (0.0006, 3, 3) };
     let fig1_rates = if quick { vec![0.01, 0.05, 0.10] } else { paper_null_rates() };
-    let (fig4_scale, fig4_instances, fig4_reps) = if quick { (0.0005, 1, 1) } else { (0.002, 2, 3) };
+    let (fig4_scale, fig4_instances, fig4_reps) =
+        if quick { (0.0005, 1, 1) } else { (0.002, 2, 3) };
     let fig4_rates: Vec<f64> = (1..=5).map(|i| i as f64 / 100.0).collect();
-    let table1_scales: Vec<f64> = if quick {
-        vec![0.0005, 0.001]
-    } else {
-        vec![0.001, 0.003, 0.006, 0.01]
-    };
+    let table1_scales: Vec<f64> =
+        if quick { vec![0.0005, 0.001] } else { vec![0.001, 0.003, 0.006, 0.01] };
     let sec5_sizes: Vec<usize> = if quick { vec![8, 16, 32] } else { vec![8, 16, 32, 64, 96] };
 
     if what == "fig1" || what == "all" {
@@ -47,6 +46,11 @@ fn main() {
     }
     if what == "ablation" || what == "all" {
         print_ablation(&or_split_ablation(0.001, if quick { 0.00008 } else { 0.0002 }, 0.02));
+        println!();
+    }
+    if what == "planner" || what == "all" {
+        let (scale, reps) = if quick { (0.001, 1) } else { (0.004, 3) };
+        print_planner_on_off(&planner_on_off(scale, 0.02, 904, reps));
         println!();
     }
 }

@@ -9,8 +9,11 @@
 //! * [`data`] — values, nulls, 3VL, tuples, relations, incomplete databases;
 //! * [`algebra`] — the relational-algebra IR and reference evaluator;
 //! * [`core`] — the certain-answer translations `Q⁺`/`Q★`, the Figure 2
-//!   baseline, rewrite optimizations, the exact oracle and metrics;
-//! * [`engine`] — hash-join based physical execution and cost estimates;
+//!   baseline, the exact oracle and metrics;
+//! * [`plan`] — the planning subsystem: the rewrite-pass pipeline (including
+//!   the paper's Section 7 optimizations), statistics catalog, cost model and
+//!   cost-based physical planner;
+//! * [`engine`] — hash-join based physical execution of the planner's plans;
 //! * [`tpch`] — the TPC-H substrate, the paper's queries Q1–Q4 and the
 //!   false-positive detectors.
 //!
@@ -39,12 +42,14 @@ pub use certus_algebra as algebra;
 pub use certus_core as core;
 pub use certus_data as data;
 pub use certus_engine as engine;
+pub use certus_plan as plan;
 pub use certus_tpch as tpch;
 
 pub use certus_algebra::{Condition, NullSemantics, RaExpr};
 pub use certus_core::{CertainOracle, CertainRewriter, ConditionDialect};
 pub use certus_data::{Database, Relation, Tuple, Value};
 pub use certus_engine::Engine;
+pub use certus_plan::{PassManager, PhysicalPlanner, Planner, StatisticsCatalog};
 
 /// The semantic version of the certus workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

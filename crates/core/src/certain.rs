@@ -245,7 +245,10 @@ mod tests {
         let mut db = Database::new();
         db.insert_relation(
             "r",
-            rel(&["a", "b"], vec![vec![Value::Int(1), null(1)], vec![Value::Int(2), Value::Int(3)]]),
+            rel(
+                &["a", "b"],
+                vec![vec![Value::Int(1), null(1)], vec![Value::Int(2), Value::Int(3)]],
+            ),
         );
         let q = RaExpr::relation("r");
         let candidates = db.relation("r").unwrap().clone();
@@ -271,10 +274,8 @@ mod tests {
         }
         // And SQL evaluation of the original query does produce a non-certain tuple.
         let sql = eval(&q, &db, NullSemantics::Sql).unwrap();
-        let not_certain: Vec<_> = sql
-            .iter()
-            .filter(|t| !is_certain_answer(&q, &db, t).unwrap())
-            .collect();
+        let not_certain: Vec<_> =
+            sql.iter().filter(|t| !is_certain_answer(&q, &db, t).unwrap()).collect();
         assert!(!not_certain.is_empty());
     }
 
@@ -285,16 +286,16 @@ mod tests {
         db.insert_relation("s", rel(&["b"], vec![vec![null(1)]]));
         let q = RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"));
         let oracle = CertainOracle::default();
-        let refuted = oracle
-            .refute_sampled(&q, &db, &Tuple::new(vec![Value::Int(1)]), 64, 7)
-            .unwrap();
+        let refuted =
+            oracle.refute_sampled(&q, &db, &Tuple::new(vec![Value::Int(1)]), 64, 7).unwrap();
         assert!(refuted);
     }
 
     #[test]
     fn budget_is_enforced() {
         let mut db = Database::new();
-        let rows: Vec<Vec<Value>> = (0..12).map(|i| vec![Value::Int(i), null(i as u64 + 1)]).collect();
+        let rows: Vec<Vec<Value>> =
+            (0..12).map(|i| vec![Value::Int(i), null(i as u64 + 1)]).collect();
         db.insert_relation("r", rel(&["a", "b"], rows));
         let oracle = CertainOracle::with_limit(1000);
         let q = RaExpr::relation("r");

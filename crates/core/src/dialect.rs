@@ -53,13 +53,7 @@ mod tests {
 
     #[test]
     fn pairing_with_semantics() {
-        assert_eq!(
-            ConditionDialect::Sql.evaluation_semantics(),
-            NullSemantics::Sql
-        );
-        assert_eq!(
-            ConditionDialect::Theoretical.evaluation_semantics(),
-            NullSemantics::Naive
-        );
+        assert_eq!(ConditionDialect::Sql.evaluation_semantics(), NullSemantics::Sql);
+        assert_eq!(ConditionDialect::Theoretical.evaluation_semantics(), NullSemantics::Naive);
     }
 }

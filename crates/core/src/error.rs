@@ -31,10 +31,9 @@ impl fmt::Display for CoreError {
             CoreError::Algebra(e) => write!(f, "{e}"),
             CoreError::Data(e) => write!(f, "{e}"),
             CoreError::OutsideFragment(m) => write!(f, "query outside supported fragment: {m}"),
-            CoreError::TooManyValuations { needed, limit } => write!(
-                f,
-                "certain-answer oracle would need {needed} valuations (limit {limit})"
-            ),
+            CoreError::TooManyValuations { needed, limit } => {
+                write!(f, "certain-answer oracle would need {needed} valuations (limit {limit})")
+            }
         }
     }
 }
@@ -50,6 +49,12 @@ impl From<AlgebraError> for CoreError {
 impl From<DataError> for CoreError {
     fn from(e: DataError) -> Self {
         CoreError::Data(e)
+    }
+}
+
+impl From<certus_plan::PlanError> for CoreError {
+    fn from(e: certus_plan::PlanError) -> Self {
+        CoreError::Algebra(e.into())
     }
 }
 

@@ -1,9 +1,11 @@
 //! # certus-core
 //!
-//! The primary contribution of the reproduced paper (Guagliardo & Libkin,
-//! *Making SQL Queries Correct on Incomplete Databases: A Feasibility Study*,
-//! PODS 2016): query translations that make SQL evaluation return **only
-//! certain answers** on databases with nulls.
+//! The primary contribution of the reproduced paper (Paolo Guagliardo and
+//! Leonid Libkin, *Making SQL Queries Correct on Incomplete Databases: A
+//! Feasibility Study*, Proceedings of the 35th ACM SIGMOD-SIGACT-SIGAI
+//! Symposium on Principles of Database Systems — PODS 2016, pp. 211–223):
+//! query translations that make SQL evaluation return **only certain
+//! answers** on databases with nulls.
 //!
 //! * [`theta::theta_star`] / [`theta::theta_star_star`] — the condition
 //!   translations `θ*` and `θ**` of Sections 5–6, in both the *theoretical*
@@ -16,9 +18,11 @@
 //! * [`naive_translation::translate_t`] / [`naive_translation::translate_f`] —
 //!   the original translation `Q ↦ (Qᵗ, Qᶠ)` of [22] (Figure 2), kept as the
 //!   baseline whose impracticality Section 5 demonstrates.
-//! * [`optimize`] — the syntactic manipulations of Section 7: OR-splitting of
-//!   `NOT EXISTS` conditions, nullability-aware pruning of `IS NULL` checks,
-//!   and the key-based simplification `R ⋉̸⇑ S → R − S`.
+//! * [`optimize`] — compatibility facade for the syntactic manipulations of
+//!   Section 7 (OR-splitting of `NOT EXISTS` conditions, nullability-aware
+//!   pruning of `IS NULL` checks, the key-based simplification
+//!   `R ⋉̸⇑ S → R − S`), which now live as passes in the `certus-plan`
+//!   rewrite pipeline.
 //! * [`certain`] — an exact (exponential) certain-answer oracle used as ground
 //!   truth, plus a sampled refuter.
 //! * [`rewriter::CertainRewriter`] — the high-level API tying it together.

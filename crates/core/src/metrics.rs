@@ -35,11 +35,7 @@ impl AnswerBreakdown {
     /// Build a breakdown from a per-tuple certainty predicate.
     pub fn from_predicate(answers: &Relation, mut is_certain: impl FnMut(&Tuple) -> bool) -> Self {
         let certain = answers.iter().filter(|t| is_certain(t)).count();
-        AnswerBreakdown {
-            total: answers.len(),
-            certain,
-            false_positives: answers.len() - certain,
-        }
+        AnswerBreakdown { total: answers.len(), certain, false_positives: answers.len() - certain }
     }
 
     /// Percentage of false positives among all returned answers (0 when the
@@ -84,8 +80,10 @@ impl PrecisionRecall {
         let relevant_set: HashSet<&Tuple> = relevant.iter().collect();
         let returned_set: HashSet<&Tuple> = returned.iter().collect();
         let hits = returned_set.iter().filter(|t| relevant_set.contains(*t)).count();
-        let precision = if returned_set.is_empty() { 1.0 } else { hits as f64 / returned_set.len() as f64 };
-        let recall = if relevant_set.is_empty() { 1.0 } else { hits as f64 / relevant_set.len() as f64 };
+        let precision =
+            if returned_set.is_empty() { 1.0 } else { hits as f64 / returned_set.len() as f64 };
+        let recall =
+            if relevant_set.is_empty() { 1.0 } else { hits as f64 / relevant_set.len() as f64 };
         PrecisionRecall {
             precision,
             recall,

@@ -34,9 +34,9 @@ pub fn adom_query(catalog: &dyn Catalog) -> Result<RaExpr> {
         }
     }
     let mut iter = parts.into_iter();
-    let first = iter.next().ok_or_else(|| {
-        CoreError::OutsideFragment("active domain of an empty catalog".into())
-    })?;
+    let first = iter
+        .next()
+        .ok_or_else(|| CoreError::OutsideFragment("active domain of an empty catalog".into()))?;
     Ok(iter.fold(first, |acc, q| acc.union(q)))
 }
 
@@ -61,7 +61,11 @@ fn column_names(expr: &RaExpr, catalog: &dyn Catalog) -> Result<Vec<String>> {
 }
 
 /// The `Qᵗ` translation of Figure 2 (left column).
-pub fn translate_t(expr: &RaExpr, catalog: &dyn Catalog, dialect: ConditionDialect) -> Result<RaExpr> {
+pub fn translate_t(
+    expr: &RaExpr,
+    catalog: &dyn Catalog,
+    dialect: ConditionDialect,
+) -> Result<RaExpr> {
     match expr {
         RaExpr::Relation { .. } | RaExpr::Values { .. } => Ok(expr.clone()),
         RaExpr::Union { left, right } => {
@@ -94,7 +98,11 @@ pub fn translate_t(expr: &RaExpr, catalog: &dyn Catalog, dialect: ConditionDiale
 }
 
 /// The `Qᶠ` translation of Figure 2 (right column).
-pub fn translate_f(expr: &RaExpr, catalog: &dyn Catalog, dialect: ConditionDialect) -> Result<RaExpr> {
+pub fn translate_f(
+    expr: &RaExpr,
+    catalog: &dyn Catalog,
+    dialect: ConditionDialect,
+) -> Result<RaExpr> {
     match expr {
         // Rᶠ = adom^ar(R) ⋉̸⇑ R
         RaExpr::Relation { .. } | RaExpr::Values { .. } => {
@@ -209,7 +217,10 @@ mod tests {
         let mut db = Database::new();
         db.insert_relation(
             "r",
-            rel(&["a", "b"], vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(3), Value::Int(3)]]),
+            rel(
+                &["a", "b"],
+                vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(3), Value::Int(3)]],
+            ),
         );
         let q = RaExpr::relation("r").select(eq("a", "b"));
         let qf = translate_f(&q, &db, ConditionDialect::Sql).unwrap();
@@ -227,8 +238,7 @@ mod tests {
         // grows much faster than Q⁺'s. This is the structural seed of the
         // Section 5 infeasibility result.
         let db = tiny_db();
-        let q = RaExpr::relation("r")
-            .difference(RaExpr::relation("s"));
+        let q = RaExpr::relation("r").difference(RaExpr::relation("s"));
         let qt = translate_t(&q, &db, ConditionDialect::Sql).unwrap();
         let qplus = crate::translate::translate_plus(&q, ConditionDialect::Sql).unwrap();
         assert!(qt.size() > qplus.size());

@@ -1,285 +1,61 @@
-//! Post-translation rewrite optimizations (Section 7 of the paper).
+//! Post-translation rewrite optimizations (Section 7 of the paper) —
+//! compatibility facade.
 //!
-//! The translations of [`crate::translate`] are correct but can defeat a
-//! query optimizer: conditions of the form `A = B OR B IS NULL` inside
-//! `NOT EXISTS` subqueries prevent hash joins and lead to "astronomical"
-//! plan costs. The paper fixes this with purely syntactic manipulations,
-//! reproduced here:
-//!
-//! * [`prune_null_checks`] — drop `IS NULL` disjuncts (and `IS NOT NULL`
-//!   conjuncts) on columns that are declared non-nullable. Sanctioned by
-//!   Corollary 1 (it strengthens `θ*` and weakens nothing in `θ**` that could
-//!   ever be true).
-//! * [`split_or_antijoin`] — the OR-splitting of Section 7: a `NOT EXISTS`
-//!   whose condition is a disjunction `∨ᵢ φᵢ` becomes a chain of `NOT EXISTS`
-//!   blocks, one per disjunct, each of which is again hash-joinable.
-//! * [`simplify_key_antijoin`] — the key-based simplification
-//!   `R ⋉̸⇑ S → R − S` when `S ⊆ R` and `R` has a primary key.
+//! The rewrites themselves now live in the `certus-plan` crate as individual
+//! passes behind a [`PassManager`](certus_plan::PassManager) pipeline; this
+//! module keeps the historical `certus-core` entry points
+//! ([`optimize`], [`prune_null_checks`], [`split_or_antijoin`],
+//! [`split_or_join`], [`simplify_key_antijoin`], [`contained_in`]) and routes
+//! them through that pipeline. See `certus_plan::passes` for the pass
+//! implementations and their unit tests.
 
 use crate::Result;
-use certus_algebra::condition::Condition;
 use certus_algebra::expr::RaExpr;
-use certus_algebra::schema_infer::{output_schema, Catalog};
-use certus_data::Schema;
+use certus_algebra::schema_infer::Catalog;
+use certus_plan::{PassManager, PlanOptions};
 
-/// Options controlling which optimizations [`optimize`] applies.
-#[derive(Debug, Clone, Copy)]
-pub struct OptimizeOptions {
-    /// Apply [`prune_null_checks`].
-    pub prune_nonnullable: bool,
-    /// Apply [`split_or_antijoin`].
-    pub split_or: bool,
-    /// Apply [`split_or_join`] (the "view"/union form of OR-splitting for the
-    /// joins *inside* rewritten `NOT EXISTS` subqueries, as used by the
-    /// paper's Q⁺4).
-    pub split_or_joins: bool,
-    /// Apply [`simplify_key_antijoin`].
-    pub key_simplify: bool,
-    /// Maximum number of disjuncts an anti-join condition may have for
-    /// OR-splitting to kick in (prevents exponential blow-up).
-    pub max_split: usize,
-}
+/// Options controlling which optimizations [`optimize`] applies. This is the
+/// planner's [`PlanOptions`] — the historical field names
+/// (`prune_nonnullable`, `split_or`, `split_or_joins`, `key_simplify`,
+/// `max_split`) are unchanged; the planner adds `fold`, `pushdown`,
+/// `collapse` and `max_rounds`.
+pub type OptimizeOptions = PlanOptions;
 
-impl Default for OptimizeOptions {
-    fn default() -> Self {
-        OptimizeOptions {
-            prune_nonnullable: true,
-            split_or: true,
-            split_or_joins: true,
-            key_simplify: true,
-            max_split: 16,
-        }
-    }
-}
-
-/// Apply all enabled optimizations in the order the paper applies them.
+/// Apply all enabled optimizations by running the planner's pass pipeline to
+/// a fixpoint.
 pub fn optimize(expr: &RaExpr, catalog: &dyn Catalog, opts: &OptimizeOptions) -> Result<RaExpr> {
-    let mut out = expr.clone();
-    if opts.prune_nonnullable {
-        out = prune_null_checks(&out, catalog)?;
-    }
-    if opts.key_simplify {
-        out = simplify_key_antijoin(&out, catalog);
-    }
-    if opts.split_or {
-        out = split_or_antijoin(&out, opts.max_split);
-    }
-    if opts.split_or_joins {
-        out = split_or_join(&out, opts.max_split);
-    }
-    Ok(out)
+    PassManager::with_options(*opts).run(expr, catalog).map_err(crate::CoreError::from)
 }
 
-/// OR-splitting for theta-joins: `l ⋈_{φ1 ∨ … ∨ φk} r` is rewritten into the
-/// union `(l ⋈_{φ1} r) ∪ … ∪ (l ⋈_{φk} r)`, which is equivalent under set
-/// semantics. After the certain-answer translation, join conditions inside
-/// `NOT EXISTS` subqueries look like `(A = B OR A IS NULL) ∧ …`; splitting
-/// them gives each branch a plain equality the engine can hash on — this is
-/// the union/view form the paper uses for Q⁺4 (its `part_view` / `supp_view`
-/// are exactly such unions).
-pub fn split_or_join(expr: &RaExpr, max_split: usize) -> RaExpr {
-    match expr {
-        RaExpr::Join { left, right, condition } => {
-            let left = split_or_join(left, max_split);
-            let right = split_or_join(right, max_split);
-            let disjuncts = condition.to_dnf();
-            if disjuncts.len() > 1 && disjuncts.len() <= max_split {
-                let mut iter = disjuncts.into_iter();
-                let first = left.clone().join(right.clone(), iter.next().expect("non-empty"));
-                iter.fold(first, |acc, d| acc.union(left.clone().join(right.clone(), d)))
-            } else {
-                left.join(right, condition.clone())
-            }
-        }
-        other => map_children(other, &mut |c| {
-            Ok::<RaExpr, crate::CoreError>(split_or_join(c, max_split))
-        })
-        .expect("infallible"),
-    }
-}
-
-/// Simplify `IS NULL` / `IS NOT NULL` atoms over columns that can never be
-/// null according to the schema: `col IS NULL → FALSE`, `col IS NOT NULL →
-/// TRUE`, followed by Boolean simplification.
+/// Nullability-aware pruning of `IS [NOT] NULL` checks (Corollary 1); see
+/// [`certus_plan::passes::null_prune`].
 pub fn prune_null_checks(expr: &RaExpr, catalog: &dyn Catalog) -> Result<RaExpr> {
-    Ok(match expr {
-        RaExpr::Select { input, condition } => {
-            let new_input = prune_null_checks(input, catalog)?;
-            let schema = output_schema(&new_input, catalog).map_err(crate::CoreError::Algebra)?;
-            let condition = simplify_nullability(condition, &schema);
-            new_input.select(condition)
-        }
-        RaExpr::Join { left, right, condition } => {
-            let l = prune_null_checks(left, catalog)?;
-            let r = prune_null_checks(right, catalog)?;
-            let schema = output_schema(&l, catalog)
-                .map_err(crate::CoreError::Algebra)?
-                .concat(&output_schema(&r, catalog).map_err(crate::CoreError::Algebra)?);
-            let condition = simplify_nullability(condition, &schema);
-            l.join(r, condition)
-        }
-        RaExpr::SemiJoin { left, right, condition } => {
-            let l = prune_null_checks(left, catalog)?;
-            let r = prune_null_checks(right, catalog)?;
-            let schema = output_schema(&l, catalog)
-                .map_err(crate::CoreError::Algebra)?
-                .concat(&output_schema(&r, catalog).map_err(crate::CoreError::Algebra)?);
-            let condition = simplify_nullability(condition, &schema);
-            l.semi_join(r, condition)
-        }
-        RaExpr::AntiJoin { left, right, condition } => {
-            let l = prune_null_checks(left, catalog)?;
-            let r = prune_null_checks(right, catalog)?;
-            let schema = output_schema(&l, catalog)
-                .map_err(crate::CoreError::Algebra)?
-                .concat(&output_schema(&r, catalog).map_err(crate::CoreError::Algebra)?);
-            let condition = simplify_nullability(condition, &schema);
-            l.anti_join(r, condition)
-        }
-        other => map_children(other, &mut |c| prune_null_checks(c, catalog))?,
-    })
+    certus_plan::passes::null_prune::prune_null_checks(expr, catalog)
+        .map_err(crate::CoreError::from)
 }
 
-/// Rebuild a condition replacing null-checks on non-nullable columns with
-/// Boolean constants and re-simplifying connectives.
-fn simplify_nullability(condition: &Condition, schema: &Schema) -> Condition {
-    match condition {
-        Condition::IsNull(op) => {
-            if let Some(col) = op.as_col() {
-                if let Ok(pos) = schema.position_of(col) {
-                    if !schema.attr(pos).nullable {
-                        return Condition::False;
-                    }
-                }
-            }
-            condition.clone()
-        }
-        Condition::IsNotNull(op) => {
-            if let Some(col) = op.as_col() {
-                if let Ok(pos) = schema.position_of(col) {
-                    if !schema.attr(pos).nullable {
-                        return Condition::True;
-                    }
-                }
-            }
-            condition.clone()
-        }
-        Condition::And(a, b) => {
-            simplify_nullability(a, schema).and(simplify_nullability(b, schema))
-        }
-        Condition::Or(a, b) => {
-            simplify_nullability(a, schema).or(simplify_nullability(b, schema))
-        }
-        Condition::Not(inner) => simplify_nullability(inner, schema).not(),
-        other => other.clone(),
-    }
-}
-
-/// OR-splitting of anti-joins: `l ▷_{φ1 ∨ … ∨ φk} r` is rewritten into
-/// `(((l ▷_{φ1} r) ▷_{φ2} r) … ) ▷_{φk} r`, which is equivalent (a tuple
-/// survives iff it has no match under any disjunct) and lets the physical
-/// planner use a hash anti-join for every disjunct that is a conjunction of
-/// equalities plus residual predicates.
+/// OR-splitting of anti-join conditions (Section 7); see
+/// [`certus_plan::passes::or_split`].
 pub fn split_or_antijoin(expr: &RaExpr, max_split: usize) -> RaExpr {
-    match expr {
-        RaExpr::AntiJoin { left, right, condition } => {
-            let left = split_or_antijoin(left, max_split);
-            let right = split_or_antijoin(right, max_split);
-            let disjuncts = condition.to_dnf();
-            if disjuncts.len() > 1 && disjuncts.len() <= max_split {
-                let mut out = left;
-                for d in disjuncts {
-                    out = out.anti_join(right.clone(), d);
-                }
-                out
-            } else {
-                left.anti_join(right, condition.clone())
-            }
-        }
-        other => map_children(other, &mut |c| {
-            Ok::<RaExpr, crate::CoreError>(split_or_antijoin(c, max_split))
-        })
-        .expect("infallible"),
-    }
+    certus_plan::passes::or_split::split_or_antijoin(expr, max_split)
 }
 
-/// The key-based simplification of Section 7: `R ⋉̸⇑ S → R − S` whenever `R`
-/// is a base relation with a declared primary key and `S` is (structurally
-/// guaranteed to be) a subset of `R`.
+/// OR-splitting of theta-join conditions into unions (the paper's Q⁺4 "view"
+/// form); see [`certus_plan::passes::or_split`].
+pub fn split_or_join(expr: &RaExpr, max_split: usize) -> RaExpr {
+    certus_plan::passes::or_split::split_or_join(expr, max_split)
+}
+
+/// The key-based simplification `R ⋉̸⇑ S → R − S` (Section 7); see
+/// [`certus_plan::passes::key_antijoin`].
 pub fn simplify_key_antijoin(expr: &RaExpr, catalog: &dyn Catalog) -> RaExpr {
-    match expr {
-        RaExpr::UnifyAntiSemiJoin { left, right } => {
-            let left = simplify_key_antijoin(left, catalog);
-            let right = simplify_key_antijoin(right, catalog);
-            let has_key = match &left {
-                RaExpr::Relation { name, .. } => !catalog.table_key(name).is_empty(),
-                _ => false,
-            };
-            if has_key && contained_in(&right, &left) {
-                left.difference(right)
-            } else {
-                left.unify_anti_join(right)
-            }
-        }
-        other => map_children(other, &mut |c| {
-            Ok::<RaExpr, crate::CoreError>(simplify_key_antijoin(c, catalog))
-        })
-        .expect("infallible"),
-    }
+    certus_plan::passes::key_antijoin::simplify_key_antijoin(expr, catalog)
 }
 
-/// Conservative structural containment check: `sub ⊆ sup` holds when `sub` is
-/// built from `sup` by operations that only remove tuples (selections,
-/// semijoins, anti-joins, intersections, differences, distinct).
+/// Conservative structural containment check `sub ⊆ sup`; see
+/// [`certus_plan::passes::key_antijoin`].
 pub fn contained_in(sub: &RaExpr, sup: &RaExpr) -> bool {
-    if sub == sup {
-        return true;
-    }
-    match sub {
-        RaExpr::Select { input, .. } | RaExpr::Distinct { input } => contained_in(input, sup),
-        RaExpr::SemiJoin { left, .. }
-        | RaExpr::AntiJoin { left, .. }
-        | RaExpr::UnifySemiJoin { left, .. }
-        | RaExpr::UnifyAntiSemiJoin { left, .. }
-        | RaExpr::Difference { left, .. } => contained_in(left, sup),
-        RaExpr::Intersect { left, right } => contained_in(left, sup) || contained_in(right, sup),
-        _ => false,
-    }
-}
-
-/// Apply a fallible transformation to every child of a node, rebuilding it.
-fn map_children<E>(
-    expr: &RaExpr,
-    f: &mut impl FnMut(&RaExpr) -> std::result::Result<RaExpr, E>,
-) -> std::result::Result<RaExpr, E> {
-    Ok(match expr {
-        RaExpr::Relation { .. } | RaExpr::Values { .. } => expr.clone(),
-        RaExpr::Select { input, condition } => f(input)?.select(condition.clone()),
-        RaExpr::Project { input, columns } => f(input)?.project_cols(columns.clone()),
-        RaExpr::Product { left, right } => f(left)?.product(f(right)?),
-        RaExpr::Join { left, right, condition } => f(left)?.join(f(right)?, condition.clone()),
-        RaExpr::Union { left, right } => f(left)?.union(f(right)?),
-        RaExpr::Intersect { left, right } => f(left)?.intersect(f(right)?),
-        RaExpr::Difference { left, right } => f(left)?.difference(f(right)?),
-        RaExpr::SemiJoin { left, right, condition } => {
-            f(left)?.semi_join(f(right)?, condition.clone())
-        }
-        RaExpr::AntiJoin { left, right, condition } => {
-            f(left)?.anti_join(f(right)?, condition.clone())
-        }
-        RaExpr::UnifySemiJoin { left, right } => f(left)?.unify_semi_join(f(right)?),
-        RaExpr::UnifyAntiSemiJoin { left, right } => f(left)?.unify_anti_join(f(right)?),
-        RaExpr::Division { left, right } => f(left)?.divide(f(right)?),
-        RaExpr::Rename { input, columns } => {
-            RaExpr::Rename { input: Box::new(f(input)?), columns: columns.clone() }
-        }
-        RaExpr::Distinct { input } => f(input)?.distinct(),
-        RaExpr::Aggregate { input, group_by, aggregates } => RaExpr::Aggregate {
-            input: Box::new(f(input)?),
-            group_by: group_by.clone(),
-            aggregates: aggregates.clone(),
-        },
-    })
+    certus_plan::passes::key_antijoin::contained_in(sub, sup)
 }
 
 #[cfg(test)]
@@ -370,9 +146,7 @@ mod tests {
 
     #[test]
     fn or_split_respects_max_split() {
-        let cond = is_null("l_suppkey")
-            .or(is_null("l_orderkey"))
-            .or(neq("l_suppkey", "o_custkey"));
+        let cond = is_null("l_suppkey").or(is_null("l_orderkey")).or(neq("l_suppkey", "o_custkey"));
         let q = RaExpr::relation("orders").anti_join(RaExpr::relation("lineitem"), cond.clone());
         let kept = split_or_antijoin(&q, 2);
         assert!(matches!(kept, RaExpr::AntiJoin { ref condition, .. } if *condition == cond));
@@ -387,10 +161,7 @@ mod tests {
         assert!(matches!(simplified, RaExpr::Difference { .. }));
         // Without a key (or without containment) nothing happens.
         let other = RaExpr::relation("orders").unify_anti_join(RaExpr::relation("lineitem"));
-        assert!(matches!(
-            simplify_key_antijoin(&other, &db),
-            RaExpr::UnifyAntiSemiJoin { .. }
-        ));
+        assert!(matches!(simplify_key_antijoin(&other, &db), RaExpr::UnifyAntiSemiJoin { .. }));
     }
 
     #[test]
@@ -399,9 +170,8 @@ mod tests {
         let filtered = orders.clone().select(eq("o_orderkey", "o_custkey")).distinct();
         assert!(contained_in(&filtered, &orders));
         assert!(!contained_in(&RaExpr::relation("lineitem"), &orders));
-        let semi = orders
-            .clone()
-            .semi_join(RaExpr::relation("lineitem"), eq("o_orderkey", "l_orderkey"));
+        let semi =
+            orders.clone().semi_join(RaExpr::relation("lineitem"), eq("o_orderkey", "l_orderkey"));
         assert!(contained_in(&semi, &orders));
     }
 
@@ -417,6 +187,28 @@ mod tests {
         let a = eval(&plus, &db, NullSemantics::Sql).unwrap().sorted();
         let b = eval(&optimized, &db, NullSemantics::Sql).unwrap().sorted();
         assert_eq!(a.tuples(), b.tuples());
+    }
+
+    #[test]
+    fn optimize_respects_disabled_passes() {
+        let db = keyed_db();
+        let cond = eq("l_orderkey", "o_orderkey").or(is_null("l_suppkey"));
+        let q = RaExpr::relation("orders").anti_join(RaExpr::relation("lineitem"), cond.clone());
+        let off = OptimizeOptions {
+            split_or: false,
+            split_or_joins: false,
+            prune_nonnullable: false,
+            key_simplify: false,
+            fold: false,
+            pushdown: false,
+            collapse: false,
+            ..OptimizeOptions::default()
+        };
+        assert_eq!(optimize(&q, &db, &off).unwrap(), q);
+        let on = OptimizeOptions::default();
+        assert!(
+            !matches!(optimize(&q, &db, &on).unwrap(), RaExpr::AntiJoin { ref condition, .. } if *condition == cond)
+        );
     }
 
     #[test]

@@ -192,10 +192,7 @@ mod tests {
     #[test]
     fn theoretical_rewriter_uses_naive_evaluation() {
         let rewriter = CertainRewriter::theoretical();
-        assert_eq!(
-            rewriter.dialect.evaluation_semantics(),
-            certus_algebra::NullSemantics::Naive
-        );
+        assert_eq!(rewriter.dialect.evaluation_semantics(), certus_algebra::NullSemantics::Naive);
     }
 
     #[test]

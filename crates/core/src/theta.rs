@@ -98,10 +98,9 @@ fn star_rec(c: &Condition, dialect: ConditionDialect) -> Condition {
             }
         }
         Condition::And(a, b) => star_rec(a, dialect).and(star_rec(b, dialect)),
-        Condition::Or(a, b) => Condition::Or(
-            Box::new(star_rec(a, dialect)),
-            Box::new(star_rec(b, dialect)),
-        ),
+        Condition::Or(a, b) => {
+            Condition::Or(Box::new(star_rec(a, dialect)), Box::new(star_rec(b, dialect)))
+        }
         // to_nnf leaves no Not nodes, but be conservative if one sneaks in.
         Condition::Not(_) => star_rec(&c.to_nnf(), dialect),
     }
@@ -164,10 +163,9 @@ fn star_star_rec(c: &Condition, dialect: ConditionDialect) -> Condition {
             }
         }
         Condition::And(a, b) => star_star_rec(a, dialect).and(star_star_rec(b, dialect)),
-        Condition::Or(a, b) => Condition::Or(
-            Box::new(star_star_rec(a, dialect)),
-            Box::new(star_star_rec(b, dialect)),
-        ),
+        Condition::Or(a, b) => {
+            Condition::Or(Box::new(star_star_rec(a, dialect)), Box::new(star_star_rec(b, dialect)))
+        }
         Condition::Not(_) => star_star_rec(&c.to_nnf(), dialect),
     }
 }
@@ -177,7 +175,6 @@ mod tests {
     use super::*;
     use certus_algebra::builder::{col, eq, eq_const, like, neq};
     use certus_algebra::{Evaluator, NullSemantics};
-    use certus_data::builder::rel;
     use certus_data::null::NullId;
     use certus_data::{Database, Schema, Truth, Tuple, Value};
 
@@ -213,9 +210,7 @@ mod tests {
         let d = neq("a", "b");
         assert_eq!(theta_star_star(&d, ConditionDialect::Theoretical), d);
         let e = eq("a", "b");
-        assert!(theta_star_star(&e, ConditionDialect::Theoretical)
-            .to_string()
-            .contains("IS NULL"));
+        assert!(theta_star_star(&e, ConditionDialect::Theoretical).to_string().contains("IS NULL"));
     }
 
     #[test]
@@ -272,7 +267,8 @@ mod tests {
                 for v in certus_data::valuation::enumerate_valuations(&nulls, &domain) {
                     let ground = t.apply(&v);
                     let sql_ev = Evaluator::new(&db, NullSemantics::Sql);
-                    let holds = sql_ev.eval_condition(&cond, &schema, &ground).unwrap() == Truth::True;
+                    let holds =
+                        sql_ev.eval_condition(&cond, &schema, &ground).unwrap() == Truth::True;
                     all &= holds;
                     some |= holds;
                 }

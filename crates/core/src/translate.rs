@@ -212,10 +212,10 @@ mod tests {
         let mut db = Database::new();
         db.insert_relation(
             "r",
-            rel(&["a", "b"], vec![
-                vec![Value::Int(1), Value::Int(1)],
-                vec![Value::Int(2), Value::Int(3)],
-            ]),
+            rel(
+                &["a", "b"],
+                vec![vec![Value::Int(1), Value::Int(1)], vec![Value::Int(2), Value::Int(3)]],
+            ),
         );
         db.insert_relation("s", rel(&["c"], vec![vec![Value::Int(2)]]));
         let q = RaExpr::relation("r")
@@ -237,17 +237,17 @@ mod tests {
         let mut db = Database::new();
         db.insert_relation(
             "r",
-            rel(&["a", "b"], vec![
-                vec![Value::Int(1), Value::Int(2)],
-                vec![Value::Int(2), null(1)],
-            ]),
+            rel(
+                &["a", "b"],
+                vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(2), null(1)]],
+            ),
         );
         db.insert_relation(
             "s",
-            rel(&["a", "b"], vec![
-                vec![Value::Int(1), Value::Int(2)],
-                vec![null(2), Value::Int(2)],
-            ]),
+            rel(
+                &["a", "b"],
+                vec![vec![Value::Int(1), Value::Int(2)], vec![null(2), Value::Int(2)]],
+            ),
         );
         db.insert_relation("t", rel(&["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]));
         let q = RaExpr::relation("r")
@@ -295,10 +295,8 @@ mod tests {
 
     #[test]
     fn semijoin_condition_is_strengthened_not_weakened() {
-        let q = RaExpr::relation("orders").semi_join(
-            RaExpr::relation("lineitem"),
-            eq("l_orderkey", "o_orderkey"),
-        );
+        let q = RaExpr::relation("orders")
+            .semi_join(RaExpr::relation("lineitem"), eq("l_orderkey", "o_orderkey"));
         let plus = translate_plus(&q, ConditionDialect::Sql).unwrap();
         match plus {
             RaExpr::SemiJoin { condition, .. } => {
@@ -310,8 +308,8 @@ mod tests {
 
     #[test]
     fn unsupported_fragments_are_rejected() {
-        let agg = RaExpr::relation("r")
-            .aggregate(&[], vec![certus_algebra::AggExpr::count_star("n")]);
+        let agg =
+            RaExpr::relation("r").aggregate(&[], vec![certus_algebra::AggExpr::count_star("n")]);
         assert!(matches!(
             translate_plus(&agg, ConditionDialect::Sql),
             Err(CoreError::OutsideFragment(_))

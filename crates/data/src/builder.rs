@@ -19,7 +19,10 @@ pub fn rel(columns: &[&str], rows: Vec<Vec<Value>>) -> Relation {
 
 /// Build a single-column relation of integers.
 pub fn int_rel(column: &str, values: &[i64]) -> Relation {
-    rel(column.split(',').collect::<Vec<_>>().as_slice(), values.iter().map(|&v| vec![Value::Int(v)]).collect())
+    rel(
+        column.split(',').collect::<Vec<_>>().as_slice(),
+        values.iter().map(|&v| vec![Value::Int(v)]).collect(),
+    )
 }
 
 /// Shorthand for a row of values.

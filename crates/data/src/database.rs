@@ -88,8 +88,7 @@ impl Database {
         if self.tables.contains_key(&def.name) {
             return Err(DataError::DuplicateTable(def.name.clone()));
         }
-        self.tables
-            .insert(def.name.clone(), Relation::empty(def.schema.clone()));
+        self.tables.insert(def.name.clone(), Relation::empty(def.schema.clone()));
         self.defs.insert(def.name.clone(), def);
         Ok(())
     }
@@ -108,23 +107,17 @@ impl Database {
 
     /// Look up a relation by name.
     pub fn relation(&self, name: &str) -> Result<&Relation> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+        self.tables.get(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
     }
 
     /// Mutable access to a relation by name.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+        self.tables.get_mut(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
     }
 
     /// Look up a table definition by name.
     pub fn table_def(&self, name: &str) -> Result<&TableDef> {
-        self.defs
-            .get(name)
-            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+        self.defs.get(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
     }
 
     /// Names of all tables, in deterministic order.

@@ -167,15 +167,9 @@ mod tests {
         let b = NullInjector::new(0.3, 42).inject(&db);
         // Null ids are drawn from per-call generators starting at 1, so both
         // runs produce identical instances.
-        assert_eq!(
-            a.relation("t").unwrap().tuples(),
-            b.relation("t").unwrap().tuples()
-        );
+        assert_eq!(a.relation("t").unwrap().tuples(), b.relation("t").unwrap().tuples());
         let c = NullInjector::new(0.3, 43).inject(&db);
-        assert_ne!(
-            a.relation("t").unwrap().tuples(),
-            c.relation("t").unwrap().tuples()
-        );
+        assert_ne!(a.relation("t").unwrap().tuples(), c.relation("t").unwrap().tuples());
     }
 
     #[test]

@@ -32,10 +32,7 @@ impl Relation {
     pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Result<Self> {
         for t in &tuples {
             if t.len() != schema.arity() {
-                return Err(DataError::ArityMismatch {
-                    expected: schema.arity(),
-                    found: t.len(),
-                });
+                return Err(DataError::ArityMismatch { expected: schema.arity(), found: t.len() });
             }
         }
         Ok(Relation { schema, tuples })
@@ -131,12 +128,7 @@ impl Relation {
     pub fn difference(&self, other: &Relation) -> Result<Relation> {
         self.check_compatible(other, "difference")?;
         let right: HashSet<&Tuple> = other.tuples.iter().collect();
-        let tuples = self
-            .tuples
-            .iter()
-            .filter(|t| !right.contains(t))
-            .cloned()
-            .collect();
+        let tuples = self.tuples.iter().filter(|t| !right.contains(t)).cloned().collect();
         let mut out = Relation { schema: self.schema.clone(), tuples };
         out.dedup();
         Ok(out)
@@ -146,12 +138,7 @@ impl Relation {
     pub fn intersect(&self, other: &Relation) -> Result<Relation> {
         self.check_compatible(other, "intersection")?;
         let right: HashSet<&Tuple> = other.tuples.iter().collect();
-        let tuples = self
-            .tuples
-            .iter()
-            .filter(|t| right.contains(t))
-            .cloned()
-            .collect();
+        let tuples = self.tuples.iter().filter(|t| right.contains(t)).cloned().collect();
         let mut out = Relation { schema: self.schema.clone(), tuples };
         out.dedup();
         Ok(out)
@@ -266,7 +253,8 @@ mod tests {
 
     #[test]
     fn dedup_removes_duplicates() {
-        let mut r = rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let mut r =
+            rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]]);
         r.dedup();
         assert_eq!(r.len(), 2);
     }
@@ -283,10 +271,7 @@ mod tests {
     fn constants_and_nulls_collection() {
         let r = rel(
             &["a", "b"],
-            vec![
-                vec![Value::Int(1), Value::Null(NullId(7))],
-                vec![Value::str("x"), Value::Int(1)],
-            ],
+            vec![vec![Value::Int(1), Value::Null(NullId(7))], vec![Value::str("x"), Value::Int(1)]],
         );
         assert!(r.has_nulls());
         let consts = r.constants();

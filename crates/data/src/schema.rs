@@ -61,12 +61,7 @@ impl Schema {
 
     /// Build a schema of nullable `Any`-typed columns from names (handy in tests).
     pub fn of_names(names: &[&str]) -> Self {
-        Schema {
-            attrs: names
-                .iter()
-                .map(|n| Attribute::new(*n, ValueType::Any))
-                .collect(),
-        }
+        Schema { attrs: names.iter().map(|n| Attribute::new(*n, ValueType::Any)).collect() }
     }
 
     /// An empty (0-ary) schema.
@@ -106,13 +101,8 @@ impl Schema {
     /// unqualified reference is an error, as in SQL.
     pub fn position_of(&self, name: &str) -> Result<usize> {
         // Exact match.
-        let exact: Vec<usize> = self
-            .attrs
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.name == name)
-            .map(|(i, _)| i)
-            .collect();
+        let exact: Vec<usize> =
+            self.attrs.iter().enumerate().filter(|(_, a)| a.name == name).map(|(i, _)| i).collect();
         match exact.len() {
             1 => return Ok(exact[0]),
             n if n > 1 => {
@@ -167,25 +157,18 @@ impl Schema {
 
     /// Project the schema onto the given positions.
     pub fn project(&self, positions: &[usize]) -> Schema {
-        Schema {
-            attrs: positions.iter().map(|&i| self.attrs[i].clone()).collect(),
-        }
+        Schema { attrs: positions.iter().map(|&i| self.attrs[i].clone()).collect() }
     }
 
     /// Rename every column by prefixing it with a qualifier (table alias).
     pub fn qualify(&self, qualifier: &str) -> Schema {
-        Schema {
-            attrs: self.attrs.iter().map(|a| a.qualified(qualifier)).collect(),
-        }
+        Schema { attrs: self.attrs.iter().map(|a| a.qualified(qualifier)).collect() }
     }
 
     /// Rename the columns to the given names (must match arity).
     pub fn rename(&self, names: &[String]) -> Result<Schema> {
         if names.len() != self.arity() {
-            return Err(DataError::ArityMismatch {
-                expected: self.arity(),
-                found: names.len(),
-            });
+            return Err(DataError::ArityMismatch { expected: self.arity(), found: names.len() });
         }
         Ok(Schema {
             attrs: self
@@ -248,10 +231,7 @@ mod tests {
             Attribute::new("a.x", ValueType::Int),
             Attribute::new("b.x", ValueType::Int),
         ]);
-        assert!(matches!(
-            s.position_of("x"),
-            Err(DataError::AmbiguousAttribute { .. })
-        ));
+        assert!(matches!(s.position_of("x"), Err(DataError::AmbiguousAttribute { .. })));
         assert_eq!(s.position_of("b.x").unwrap(), 1);
     }
 

@@ -34,7 +34,12 @@ impl ValueType {
         }
         matches!(
             (self, other),
-            (Int, Decimal) | (Decimal, Int) | (Float, Int) | (Int, Float) | (Float, Decimal) | (Decimal, Float)
+            (Int, Decimal)
+                | (Decimal, Int)
+                | (Float, Int)
+                | (Int, Float)
+                | (Float, Decimal)
+                | (Decimal, Float)
         )
     }
 

@@ -74,9 +74,7 @@ impl Unifier {
     }
 
     fn ensure(&mut self, id: NullId) -> NullId {
-        if !self.parent.contains_key(&id) {
-            self.parent.insert(id, id);
-        }
+        self.parent.entry(id).or_insert(id);
         self.find(id)
     }
 
@@ -104,10 +102,8 @@ impl Unifier {
         let bind_b = self.binding.get(&rb).cloned();
         self.parent.insert(rb, ra);
         match (bind_a, bind_b) {
-            (Some(x), Some(y)) => {
-                if !crate::compare::sql_eq(&x, &y).is_true() {
-                    self.failed = true;
-                }
+            (Some(x), Some(y)) if !crate::compare::sql_eq(&x, &y).is_true() => {
+                self.failed = true;
             }
             (None, Some(y)) => {
                 self.binding.insert(ra, y);
@@ -161,11 +157,7 @@ pub fn tuples_unify(r: &Tuple, s: &Tuple) -> bool {
 /// Codd-null tuple unifiability: position-wise check only. Sound and complete
 /// when no null id repeats across the two tuples.
 pub fn tuples_unify_codd(r: &Tuple, s: &Tuple) -> bool {
-    r.len() == s.len()
-        && r.values()
-            .iter()
-            .zip(s.values())
-            .all(|(a, b)| values_unify(a, b))
+    r.len() == s.len() && r.values().iter().zip(s.values()).all(|(a, b)| values_unify(a, b))
 }
 
 #[cfg(test)]
@@ -236,11 +228,7 @@ mod tests {
 
     #[test]
     fn unifier_is_symmetric_on_arguments() {
-        let pairs = vec![
-            (n(1), Value::Int(3)),
-            (Value::Int(3), n(1)),
-            (n(1), n(2)),
-        ];
+        let pairs = vec![(n(1), Value::Int(3)), (Value::Int(3), n(1)), (n(1), n(2))];
         for (a, b) in pairs {
             let mut u1 = Unifier::new();
             let mut u2 = Unifier::new();
@@ -267,52 +255,78 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Property-style checks on deterministic random tuples (the vendored
+    //! `rand` shim replaces the original proptest strategies).
+
     use super::*;
     use crate::null::NullId;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        prop_oneof![
-            (0u64..5).prop_map(|i| Value::Null(NullId(i))),
-            (0i64..5).prop_map(Value::Int),
-            "[a-c]{1,2}".prop_map(Value::Str),
-        ]
-    }
-
-    fn arb_tuple(len: usize) -> impl Strategy<Value = Tuple> {
-        prop::collection::vec(arb_value(), len).prop_map(Tuple::new)
-    }
-
-    proptest! {
-        #[test]
-        fn unification_is_symmetric(a in arb_tuple(4), b in arb_tuple(4)) {
-            prop_assert_eq!(tuples_unify(&a, &b), tuples_unify(&b, &a));
-            prop_assert_eq!(tuples_unify_codd(&a, &b), tuples_unify_codd(&b, &a));
-        }
-
-        #[test]
-        fn unification_is_reflexive(a in arb_tuple(4)) {
-            prop_assert!(tuples_unify(&a, &a));
-            prop_assert!(tuples_unify_codd(&a, &a));
-        }
-
-        #[test]
-        fn marked_unification_implies_codd(a in arb_tuple(4), b in arb_tuple(4)) {
-            // The marked-null notion is strictly stronger (it adds consistency).
-            if tuples_unify(&a, &b) {
-                prop_assert!(tuples_unify_codd(&a, &b));
+    fn random_value(rng: &mut StdRng) -> Value {
+        match rng.gen_range(0..3u32) {
+            0 => Value::Null(NullId(rng.gen_range(0..5u64))),
+            1 => Value::Int(rng.gen_range(0..5i64)),
+            _ => {
+                let len = rng.gen_range(1..=2usize);
+                let s: String =
+                    (0..len).map(|_| char::from(b'a' + rng.gen_range(0..3u8))).collect();
+                Value::Str(s)
             }
         }
+    }
 
-        #[test]
-        fn ground_tuples_unify_iff_equal(
-            xs in prop::collection::vec(0i64..5, 4),
-            ys in prop::collection::vec(0i64..5, 4),
-        ) {
+    fn random_tuple(rng: &mut StdRng, len: usize) -> Tuple {
+        Tuple::new((0..len).map(|_| random_value(rng)).collect())
+    }
+
+    #[test]
+    fn unification_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        for _ in 0..500 {
+            let a = random_tuple(&mut rng, 4);
+            let b = random_tuple(&mut rng, 4);
+            assert_eq!(tuples_unify(&a, &b), tuples_unify(&b, &a), "{a} vs {b}");
+            assert_eq!(tuples_unify_codd(&a, &b), tuples_unify_codd(&b, &a), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unification_is_reflexive() {
+        let mut rng = StdRng::seed_from_u64(0xB0B);
+        for _ in 0..200 {
+            let a = random_tuple(&mut rng, 4);
+            assert!(tuples_unify(&a, &a), "{a}");
+            assert!(tuples_unify_codd(&a, &a), "{a}");
+        }
+    }
+
+    #[test]
+    fn marked_unification_implies_codd() {
+        // The marked-null notion is strictly stronger (it adds consistency).
+        let mut rng = StdRng::seed_from_u64(0xC0DD);
+        let mut implications = 0usize;
+        for _ in 0..500 {
+            let a = random_tuple(&mut rng, 4);
+            let b = random_tuple(&mut rng, 4);
+            if tuples_unify(&a, &b) {
+                implications += 1;
+                assert!(tuples_unify_codd(&a, &b), "{a} vs {b}");
+            }
+        }
+        assert!(implications > 0, "the sample never exercised the implication");
+    }
+
+    #[test]
+    fn ground_tuples_unify_iff_equal() {
+        let mut rng = StdRng::seed_from_u64(0x6E0);
+        for _ in 0..500 {
+            let xs: Vec<i64> = (0..4).map(|_| rng.gen_range(0..5i64)).collect();
+            let ys: Vec<i64> = (0..4).map(|_| rng.gen_range(0..5i64)).collect();
             let a = Tuple::new(xs.iter().copied().map(Value::Int).collect());
             let b = Tuple::new(ys.iter().copied().map(Value::Int).collect());
-            prop_assert_eq!(tuples_unify(&a, &b), xs == ys);
+            assert_eq!(tuples_unify(&a, &b), xs == ys);
         }
     }
 }

@@ -159,8 +159,7 @@ mod tests {
         for v in &all {
             assert!(v.covers(nulls.iter().copied()));
         }
-        let unique: std::collections::HashSet<String> =
-            all.iter().map(|v| v.to_string()).collect();
+        let unique: std::collections::HashSet<String> = all.iter().map(|v| v.to_string()).collect();
         assert_eq!(unique.len(), 9);
     }
 

@@ -184,9 +184,7 @@ impl Ord for Value {
         match (self, other) {
             (Value::Null(a), Value::Null(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
-            (Value::Float(a), Value::Float(b)) => {
-                Self::float_bits(*a).cmp(&Self::float_bits(*b))
-            }
+            (Value::Float(a), Value::Float(b)) => Self::float_bits(*a).cmp(&Self::float_bits(*b)),
             (Value::Decimal(a), Value::Decimal(b)) => a.cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),

@@ -1,230 +1,8 @@
-//! Cardinality and cost estimation (`EXPLAIN`-style).
-//!
-//! The model is deliberately simple, but it reproduces the phenomenon the
-//! paper reports in Section 7: predicates of the form `A = B OR B IS NULL`
-//! cannot be used as hash-join keys, so the estimated cost of the affected
-//! joins degenerates to nested-loop cost — the "astronomical" plan costs that
-//! motivate the OR-splitting rewrite.
+//! Cost estimation — moved to [`certus_plan::cost`] (where the statistics
+//! catalog lives), re-exported here so pre-planner call sites
+//! (`certus_engine::cost::explain`, `certus_engine::estimate`) keep
+//! compiling.
 
-use crate::equi::{references_schema, split_equi};
-use certus_algebra::condition::Condition;
-use certus_algebra::expr::RaExpr;
-use certus_algebra::schema_infer::output_schema;
-use certus_algebra::Result;
-use certus_data::Database;
-
-/// Estimated output rows and cumulative cost (in abstract "row operations").
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CostEstimate {
-    /// Estimated number of output rows.
-    pub rows: f64,
-    /// Estimated cumulative cost.
-    pub cost: f64,
-}
-
-/// Estimate the selectivity of a condition (fraction of tuples kept).
-pub fn selectivity(condition: &Condition) -> f64 {
-    match condition {
-        Condition::True => 1.0,
-        Condition::False => 0.0,
-        Condition::Cmp { op, .. } => match op {
-            certus_data::compare::CmpOp::Eq => 0.1,
-            certus_data::compare::CmpOp::Neq => 0.9,
-            _ => 0.33,
-        },
-        Condition::IsNull(_) => 0.05,
-        Condition::IsNotNull(_) => 0.95,
-        Condition::Like { negated, .. } => {
-            if *negated {
-                0.9
-            } else {
-                0.1
-            }
-        }
-        Condition::InList { list, negated, .. } => {
-            let s = (0.1 * list.len() as f64).min(1.0);
-            if *negated {
-                1.0 - s
-            } else {
-                s
-            }
-        }
-        Condition::And(a, b) => selectivity(a) * selectivity(b),
-        Condition::Or(a, b) => {
-            let (x, y) = (selectivity(a), selectivity(b));
-            (x + y - x * y).min(1.0)
-        }
-        Condition::Not(inner) => 1.0 - selectivity(inner),
-    }
-}
-
-/// Estimate rows and cost for an expression over the given database.
-pub fn estimate(expr: &RaExpr, db: &Database) -> Result<CostEstimate> {
-    Ok(match expr {
-        RaExpr::Relation { name, .. } => {
-            let rows = db.relation(name).map(|r| r.len()).unwrap_or(0) as f64;
-            CostEstimate { rows, cost: rows }
-        }
-        RaExpr::Values { rows, .. } => {
-            CostEstimate { rows: rows.len() as f64, cost: rows.len() as f64 }
-        }
-        RaExpr::Select { input, condition } => {
-            let c = estimate(input, db)?;
-            CostEstimate { rows: c.rows * selectivity(condition), cost: c.cost + c.rows }
-        }
-        RaExpr::Project { input, .. } | RaExpr::Rename { input, .. } | RaExpr::Distinct { input } => {
-            let c = estimate(input, db)?;
-            CostEstimate { rows: c.rows, cost: c.cost + c.rows }
-        }
-        RaExpr::Product { left, right } => {
-            let l = estimate(left, db)?;
-            let r = estimate(right, db)?;
-            CostEstimate { rows: l.rows * r.rows, cost: l.cost + r.cost + l.rows * r.rows }
-        }
-        RaExpr::Join { left, right, condition } => {
-            let l = estimate(left, db)?;
-            let r = estimate(right, db)?;
-            let hashable = join_is_hashable(left, right, condition, db);
-            let out_rows =
-                (l.rows * r.rows * selectivity(condition) / l.rows.max(r.rows).max(1.0)).max(1.0);
-            let op_cost = if hashable { l.rows + r.rows } else { l.rows * r.rows };
-            CostEstimate { rows: out_rows, cost: l.cost + r.cost + op_cost }
-        }
-        RaExpr::SemiJoin { left, right, condition } | RaExpr::AntiJoin { left, right, condition } => {
-            let l = estimate(left, db)?;
-            let r = estimate(right, db)?;
-            let left_schema = output_schema(left, db)?;
-            let decorrelated = !references_schema(condition, &left_schema);
-            let hashable = join_is_hashable(left, right, condition, db);
-            let op_cost = if decorrelated {
-                r.rows
-            } else if hashable {
-                l.rows + r.rows
-            } else {
-                l.rows * r.rows
-            };
-            CostEstimate { rows: (l.rows * 0.5).max(1.0), cost: l.cost + r.cost + op_cost }
-        }
-        RaExpr::Union { left, right } | RaExpr::Intersect { left, right } | RaExpr::Difference { left, right } => {
-            let l = estimate(left, db)?;
-            let r = estimate(right, db)?;
-            CostEstimate { rows: l.rows.max(r.rows), cost: l.cost + r.cost + l.rows + r.rows }
-        }
-        RaExpr::UnifySemiJoin { left, right } | RaExpr::UnifyAntiSemiJoin { left, right } | RaExpr::Division { left, right } => {
-            let l = estimate(left, db)?;
-            let r = estimate(right, db)?;
-            CostEstimate { rows: l.rows, cost: l.cost + r.cost + l.rows * r.rows }
-        }
-        RaExpr::Aggregate { input, group_by, .. } => {
-            let c = estimate(input, db)?;
-            let rows = if group_by.is_empty() { 1.0 } else { (c.rows / 10.0).max(1.0) };
-            CostEstimate { rows, cost: c.cost + c.rows }
-        }
-    })
-}
-
-fn join_is_hashable(left: &RaExpr, right: &RaExpr, condition: &Condition, db: &Database) -> bool {
-    match (output_schema(left, db), output_schema(right, db)) {
-        (Ok(l), Ok(r)) => split_equi(condition, &l, &r).has_keys(),
-        _ => false,
-    }
-}
-
-/// Render an `EXPLAIN`-style tree with per-node row and cost estimates.
-pub fn explain(expr: &RaExpr, db: &Database) -> Result<String> {
-    let mut out = String::new();
-    render(expr, db, 0, &mut out)?;
-    Ok(out)
-}
-
-fn render(expr: &RaExpr, db: &Database, depth: usize, out: &mut String) -> Result<()> {
-    let est = estimate(expr, db)?;
-    let label = match expr {
-        RaExpr::Relation { name, .. } => format!("Scan {name}"),
-        RaExpr::Join { condition, .. } => format!("Join [{condition}]"),
-        RaExpr::AntiJoin { condition, .. } => format!("AntiJoin [{condition}]"),
-        RaExpr::SemiJoin { condition, .. } => format!("SemiJoin [{condition}]"),
-        RaExpr::Select { condition, .. } => format!("Select [{condition}]"),
-        other => {
-            let s = other.to_string();
-            s.chars().take(40).collect::<String>()
-        }
-    };
-    out.push_str(&"  ".repeat(depth));
-    out.push_str(&format!("{label}  (rows≈{:.0}, cost≈{:.0})\n", est.rows, est.cost));
-    for c in expr.children() {
-        render(c, db, depth + 1, out)?;
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use certus_algebra::builder::{eq, is_null};
-    use certus_data::builder::rel;
-    use certus_data::Value;
-
-    fn db() -> Database {
-        let mut db = Database::new();
-        db.insert_relation(
-            "r",
-            rel(&["a"], (0..1000).map(|i| vec![Value::Int(i)]).collect()),
-        );
-        db.insert_relation(
-            "s",
-            rel(&["b"], (0..1000).map(|i| vec![Value::Int(i)]).collect()),
-        );
-        db
-    }
-
-    #[test]
-    fn or_is_null_inflates_join_cost() {
-        let db = db();
-        let good = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "b"));
-        let bad = RaExpr::relation("r")
-            .join(RaExpr::relation("s"), eq("a", "b").or(is_null("b")));
-        let g = estimate(&good, &db).unwrap();
-        let b = estimate(&bad, &db).unwrap();
-        assert!(
-            b.cost > 100.0 * g.cost,
-            "nested-loop estimate should dwarf hash estimate: {b:?} vs {g:?}"
-        );
-    }
-
-    #[test]
-    fn decorrelated_antijoin_is_cheap() {
-        let db = db();
-        let correlated = RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"));
-        let decorrelated = RaExpr::relation("r").anti_join(RaExpr::relation("s"), is_null("b"));
-        let c = estimate(&correlated, &db).unwrap();
-        let d = estimate(&decorrelated, &db).unwrap();
-        assert!(d.cost < c.cost);
-    }
-
-    #[test]
-    fn selectivity_is_within_bounds() {
-        let conds = [
-            Condition::True,
-            Condition::False,
-            eq("a", "b"),
-            eq("a", "b").or(is_null("b")),
-            eq("a", "b").and(is_null("b")),
-            eq("a", "b").not(),
-        ];
-        for c in conds {
-            let s = selectivity(&c);
-            assert!((0.0..=1.0).contains(&s), "{c} -> {s}");
-        }
-    }
-
-    #[test]
-    fn explain_renders_costs() {
-        let db = db();
-        let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "b")).project(&["a"]);
-        let text = explain(&q, &db).unwrap();
-        assert!(text.contains("Scan r"));
-        assert!(text.contains("cost≈"));
-        assert_eq!(text.lines().count(), 4);
-    }
-}
+pub use certus_plan::cost::{
+    estimate, estimate_with, explain, selectivity, selectivity_with, CostEstimate,
+};

@@ -1,28 +1,34 @@
 //! The execution engine.
 //!
-//! [`Engine::execute`] evaluates a logical [`RaExpr`] bottom-up, choosing a
-//! physical strategy per node:
+//! [`Engine::execute_physical`] evaluates a [`PhysicalExpr`] produced by the
+//! `certus-plan` planner bottom-up. The engine no longer derives any
+//! strategy itself — every per-node choice (hash join vs. nested loop vs.
+//! decorrelated short-circuit) is read off the plan:
 //!
-//! * theta-joins and (anti-)semijoins whose condition contains plain
-//!   equi-conjuncts run as **hash joins** with a residual predicate;
-//! * conditions without extractable equalities (e.g. `A = B OR B IS NULL`)
-//!   fall back to **nested loops**;
-//! * (anti-)semijoins whose condition does not reference the outer side are
-//!   **decorrelated**: the inner side is evaluated once, and for a
-//!   `NOT EXISTS` the whole branch short-circuits to the empty result without
-//!   touching the outer side — this is what makes the translated query Q⁺2
-//!   orders of magnitude faster than Q2, as in the paper;
+//! * [`JoinAlgo::Hash`] / [`SemiAlgo::Hash`] run as **hash joins** with a
+//!   residual predicate;
+//! * [`JoinAlgo::NestedLoop`] / [`SemiAlgo::NestedLoop`] compare every pair
+//!   (the fate of conditions like `A = B OR B IS NULL` that hide their
+//!   equality from the key extractor);
+//! * [`SemiAlgo::Decorrelated`] evaluates the inner side once and
+//!   short-circuits the whole branch — for a `NOT EXISTS` that found a
+//!   witness the outer side is never touched, which is what makes the
+//!   translated query Q⁺2 orders of magnitude faster than Q2, as in the
+//!   paper;
 //! * every other operator is delegated to the reference evaluator on already
 //!   materialised children, so engine results are by construction consistent
 //!   with the semantics defined in `certus-algebra`.
+//!
+//! [`Engine::execute`] is the convenience entry point for logical plans: it
+//! runs the statistics-free [`heuristic_plan`] (the same choices the
+//! pre-planner engine hard-coded) and executes the result.
 
-use crate::equi::{references_schema, split_equi};
 use certus_algebra::condition::Condition;
 use certus_algebra::eval::Evaluator;
 use certus_algebra::expr::RaExpr;
-use certus_algebra::schema_infer::output_schema;
 use certus_algebra::{AlgebraError, NullSemantics, Result};
 use certus_data::{Database, Relation, Schema, Tuple, Value};
+use certus_plan::physical::{heuristic_plan, JoinAlgo, PhysicalExpr, SemiAlgo};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -45,79 +51,84 @@ impl<'a> Engine<'a> {
         Engine { db, semantics }
     }
 
-    /// Execute a query and materialise its result.
+    /// Execute a logical query: plan it with the statistics-free heuristic
+    /// planner, then execute the physical plan.
     pub fn execute(&self, expr: &RaExpr) -> Result<Relation> {
-        let ev = Evaluator::new(self.db, self.semantics);
-        self.exec(expr, &ev)
+        let plan = heuristic_plan(expr, self.db)?;
+        self.execute_physical(&plan)
     }
 
-    fn exec(&self, expr: &RaExpr, ev: &Evaluator<'_>) -> Result<Relation> {
-        match expr {
-            RaExpr::Relation { .. } | RaExpr::Values { .. } => ev.eval(expr),
-            RaExpr::Product { left, right } => self.exec_join(left, right, &Condition::True, ev),
-            RaExpr::Join { left, right, condition } => self.exec_join(left, right, condition, ev),
-            RaExpr::SemiJoin { left, right, condition } => {
-                self.exec_semi(left, right, condition, true, ev)
+    /// Execute a physical plan and materialise its result.
+    pub fn execute_physical(&self, plan: &PhysicalExpr) -> Result<Relation> {
+        let ev = Evaluator::new(self.db, self.semantics);
+        self.exec(plan, &ev)
+    }
+
+    fn exec(&self, plan: &PhysicalExpr, ev: &Evaluator<'_>) -> Result<Relation> {
+        match plan {
+            PhysicalExpr::Source(expr) => ev.eval(expr),
+            PhysicalExpr::Join { left, right, condition, algo } => {
+                self.exec_join(left, right, condition, algo, ev)
             }
-            RaExpr::AntiJoin { left, right, condition } => {
-                self.exec_semi(left, right, condition, false, ev)
+            PhysicalExpr::Semi { left, right, condition, algo, anti, left_schema } => {
+                self.exec_semi(left, right, condition, algo, !*anti, left_schema, ev)
             }
             // Every other operator: execute the children here (so joins below
-            // them still get hash plans) and delegate the node itself to the
-            // reference evaluator over the materialised inputs.
-            RaExpr::Select { input, condition } => {
+            // them still run their planned algorithms) and delegate the node
+            // itself to the reference evaluator over the materialised inputs.
+            PhysicalExpr::Filter { input, condition } => {
                 let child = self.exec(input, ev)?;
                 ev.eval(&RaExpr::Select {
                     input: Box::new(values_of(child)),
                     condition: condition.clone(),
                 })
             }
-            RaExpr::Project { input, columns } => {
+            PhysicalExpr::Project { input, columns } => {
                 let child = self.exec(input, ev)?;
                 ev.eval(&RaExpr::Project {
                     input: Box::new(values_of(child)),
                     columns: columns.clone(),
                 })
             }
-            RaExpr::Union { left, right } => {
+            PhysicalExpr::Union { left, right } => {
                 let l = self.exec(left, ev)?;
                 let r = self.exec(right, ev)?;
                 ev.eval(&values_of(l).union(values_of(r)))
             }
-            RaExpr::Intersect { left, right } => {
+            PhysicalExpr::Intersect { left, right } => {
                 let l = self.exec(left, ev)?;
                 let r = self.exec(right, ev)?;
                 ev.eval(&values_of(l).intersect(values_of(r)))
             }
-            RaExpr::Difference { left, right } => {
+            PhysicalExpr::Difference { left, right } => {
                 let l = self.exec(left, ev)?;
                 let r = self.exec(right, ev)?;
                 ev.eval(&values_of(l).difference(values_of(r)))
             }
-            RaExpr::UnifySemiJoin { left, right } => {
+            PhysicalExpr::UnifySemi { left, right, anti } => {
                 let l = self.exec(left, ev)?;
                 let r = self.exec(right, ev)?;
-                ev.eval(&values_of(l).unify_semi_join(values_of(r)))
+                let expr = if *anti {
+                    values_of(l).unify_anti_join(values_of(r))
+                } else {
+                    values_of(l).unify_semi_join(values_of(r))
+                };
+                ev.eval(&expr)
             }
-            RaExpr::UnifyAntiSemiJoin { left, right } => {
-                let l = self.exec(left, ev)?;
-                let r = self.exec(right, ev)?;
-                ev.eval(&values_of(l).unify_anti_join(values_of(r)))
-            }
-            RaExpr::Division { left, right } => {
+            PhysicalExpr::Division { left, right } => {
                 let l = self.exec(left, ev)?;
                 let r = self.exec(right, ev)?;
                 ev.eval(&values_of(l).divide(values_of(r)))
             }
-            RaExpr::Rename { input, columns } => {
+            PhysicalExpr::Rename { input, columns } => {
                 let child = self.exec(input, ev)?;
                 ev.eval(&RaExpr::Rename {
                     input: Box::new(values_of(child)),
                     columns: columns.clone(),
                 })
             }
-            RaExpr::Distinct { input } => Ok(self.exec(input, ev)?.distinct()),
-            RaExpr::Aggregate { input, group_by, aggregates } => {
+            PhysicalExpr::Distinct { input } => Ok(self.exec(input, ev)?.distinct()),
+            PhysicalExpr::Aggregate { input, group_by, aggregates } => {
                 let child = self.exec(input, ev)?;
                 ev.eval(&RaExpr::Aggregate {
                     input: Box::new(values_of(child)),
@@ -130,38 +141,41 @@ impl<'a> Engine<'a> {
 
     fn exec_join(
         &self,
-        left: &RaExpr,
-        right: &RaExpr,
+        left: &PhysicalExpr,
+        right: &PhysicalExpr,
         condition: &Condition,
+        algo: &JoinAlgo,
         ev: &Evaluator<'_>,
     ) -> Result<Relation> {
         let l = self.exec(left, ev)?;
         let r = self.exec(right, ev)?;
         let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
-        let split = split_equi(condition, l.schema(), r.schema());
         let mut out = Vec::new();
-        if split.has_keys() {
-            let l_pos = positions(l.schema(), &split.left_keys)?;
-            let r_pos = positions(r.schema(), &split.right_keys)?;
-            let allow_nulls = self.semantics == NullSemantics::Naive;
-            let table = build_hash(&r, &r_pos, allow_nulls);
-            for lt in l.iter() {
-                let Some(key) = key_of(lt, &l_pos, allow_nulls) else { continue };
-                if let Some(candidates) = table.get(&key) {
-                    for &rt in candidates {
-                        let tuple = lt.concat(rt);
-                        if ev.eval_condition(&split.residual, &combined, &tuple)?.is_true() {
-                            out.push(tuple);
+        match algo {
+            JoinAlgo::Hash { left_keys, right_keys, residual } => {
+                let l_pos = positions(l.schema(), left_keys)?;
+                let r_pos = positions(r.schema(), right_keys)?;
+                let allow_nulls = self.semantics == NullSemantics::Naive;
+                let table = build_hash(&r, &r_pos, allow_nulls);
+                for lt in l.iter() {
+                    let Some(key) = key_of(lt, &l_pos, allow_nulls) else { continue };
+                    if let Some(candidates) = table.get(&key) {
+                        for &rt in candidates {
+                            let tuple = lt.concat(rt);
+                            if ev.eval_condition(residual, &combined, &tuple)?.is_true() {
+                                out.push(tuple);
+                            }
                         }
                     }
                 }
             }
-        } else {
-            for lt in l.iter() {
-                for rt in r.iter() {
-                    let tuple = lt.concat(rt);
-                    if ev.eval_condition(condition, &combined, &tuple)?.is_true() {
-                        out.push(tuple);
+            JoinAlgo::NestedLoop => {
+                for lt in l.iter() {
+                    for rt in r.iter() {
+                        let tuple = lt.concat(rt);
+                        if ev.eval_condition(condition, &combined, &tuple)?.is_true() {
+                            out.push(tuple);
+                        }
                     }
                 }
             }
@@ -169,18 +183,20 @@ impl<'a> Engine<'a> {
         Ok(Relation::from_parts(combined, out))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_semi(
         &self,
-        left: &RaExpr,
-        right: &RaExpr,
+        left: &PhysicalExpr,
+        right: &PhysicalExpr,
         condition: &Condition,
+        algo: &SemiAlgo,
         keep_matching: bool,
+        left_schema: &Schema,
         ev: &Evaluator<'_>,
     ) -> Result<Relation> {
-        let left_schema = output_schema(left, self.db)?;
         // Decorrelated subquery: the condition never looks at the outer side,
         // so the inner side decides the fate of *all* outer tuples at once.
-        if !references_schema(condition, &left_schema) {
+        if let SemiAlgo::Decorrelated = algo {
             let r = self.exec(right, ev)?;
             let r_schema = r.schema().clone();
             let mut exists = false;
@@ -195,57 +211,57 @@ impl<'a> Engine<'a> {
             } else {
                 // Short-circuit: for a NOT EXISTS that found a witness the
                 // answer is empty and the outer side is never evaluated.
-                Ok(Relation::empty(left_schema.shared()))
+                Ok(Relation::empty(left_schema.clone().shared()))
             };
         }
 
         let l = self.exec(left, ev)?;
         let r = self.exec(right, ev)?;
         let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
-        let split = split_equi(condition, l.schema(), r.schema());
         let mut out = Vec::new();
-        if split.has_keys() {
-            let l_pos = positions(l.schema(), &split.left_keys)?;
-            let r_pos = positions(r.schema(), &split.right_keys)?;
-            let allow_nulls = self.semantics == NullSemantics::Naive;
-            let table = build_hash(&r, &r_pos, allow_nulls);
-            for lt in l.iter() {
-                let matched = match key_of(lt, &l_pos, allow_nulls) {
-                    None => false, // a null key never matches under SQL semantics
-                    Some(key) => match table.get(&key) {
-                        None => false,
-                        Some(candidates) => {
-                            let mut m = false;
-                            for &rt in candidates {
-                                let tuple = lt.concat(rt);
-                                if ev
-                                    .eval_condition(&split.residual, &combined, &tuple)?
-                                    .is_true()
-                                {
-                                    m = true;
-                                    break;
+        match algo {
+            SemiAlgo::Decorrelated => unreachable!("handled above"),
+            SemiAlgo::Hash { left_keys, right_keys, residual } => {
+                let l_pos = positions(l.schema(), left_keys)?;
+                let r_pos = positions(r.schema(), right_keys)?;
+                let allow_nulls = self.semantics == NullSemantics::Naive;
+                let table = build_hash(&r, &r_pos, allow_nulls);
+                for lt in l.iter() {
+                    let matched = match key_of(lt, &l_pos, allow_nulls) {
+                        None => false, // a null key never matches under SQL semantics
+                        Some(key) => match table.get(&key) {
+                            None => false,
+                            Some(candidates) => {
+                                let mut m = false;
+                                for &rt in candidates {
+                                    let tuple = lt.concat(rt);
+                                    if ev.eval_condition(residual, &combined, &tuple)?.is_true() {
+                                        m = true;
+                                        break;
+                                    }
                                 }
+                                m
                             }
-                            m
-                        }
-                    },
-                };
-                if matched == keep_matching {
-                    out.push(lt.clone());
-                }
-            }
-        } else {
-            for lt in l.iter() {
-                let mut matched = false;
-                for rt in r.iter() {
-                    let tuple = lt.concat(rt);
-                    if ev.eval_condition(condition, &combined, &tuple)?.is_true() {
-                        matched = true;
-                        break;
+                        },
+                    };
+                    if matched == keep_matching {
+                        out.push(lt.clone());
                     }
                 }
-                if matched == keep_matching {
-                    out.push(lt.clone());
+            }
+            SemiAlgo::NestedLoop => {
+                for lt in l.iter() {
+                    let mut matched = false;
+                    for rt in r.iter() {
+                        let tuple = lt.concat(rt);
+                        if ev.eval_condition(condition, &combined, &tuple)?.is_true() {
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if matched == keep_matching {
+                        out.push(lt.clone());
+                    }
                 }
             }
         }
@@ -260,10 +276,7 @@ fn values_of(rel: Relation) -> RaExpr {
 }
 
 fn positions(schema: &Schema, names: &[String]) -> Result<Vec<usize>> {
-    names
-        .iter()
-        .map(|n| schema.position_of(n).map_err(AlgebraError::Data))
-        .collect()
+    names.iter().map(|n| schema.position_of(n).map_err(AlgebraError::Data)).collect()
 }
 
 /// Hash key of a tuple over the given positions. Under SQL semantics a null
@@ -304,6 +317,7 @@ mod tests {
     use certus_core::{CertainRewriter, ConditionDialect};
     use certus_data::builder::rel;
     use certus_data::null::NullId;
+    use certus_plan::{PhysicalPlanner, Planner, StatisticsCatalog};
     use certus_tpch::{q1, q2, q3, q4, DbGen, QueryParams};
 
     fn null(i: u64) -> Value {
@@ -321,19 +335,25 @@ mod tests {
         let mut db = Database::new();
         db.insert_relation(
             "r",
-            rel(&["a", "b"], vec![
-                vec![Value::Int(1), Value::Int(10)],
-                vec![Value::Int(2), null(1)],
-                vec![Value::Int(3), Value::Int(30)],
-            ]),
+            rel(
+                &["a", "b"],
+                vec![
+                    vec![Value::Int(1), Value::Int(10)],
+                    vec![Value::Int(2), null(1)],
+                    vec![Value::Int(3), Value::Int(30)],
+                ],
+            ),
         );
         db.insert_relation(
             "s",
-            rel(&["c", "d"], vec![
-                vec![Value::Int(1), Value::Int(100)],
-                vec![Value::Int(1), Value::Int(200)],
-                vec![null(2), Value::Int(300)],
-            ]),
+            rel(
+                &["c", "d"],
+                vec![
+                    vec![Value::Int(1), Value::Int(100)],
+                    vec![Value::Int(1), Value::Int(200)],
+                    vec![null(2), Value::Int(300)],
+                ],
+            ),
         );
         let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c"));
         assert_same_as_reference(&q, &db);
@@ -351,10 +371,7 @@ mod tests {
             "r",
             rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![null(5)]]),
         );
-        db.insert_relation(
-            "s",
-            rel(&["b"], vec![vec![Value::Int(2)], vec![null(1)]]),
-        );
+        db.insert_relation("s", rel(&["b"], vec![vec![Value::Int(2)], vec![null(1)]]));
         for cond in [eq("a", "b"), eq("a", "b").or(is_null("b")), neq("a", "b")] {
             let semi = RaExpr::relation("r").semi_join(RaExpr::relation("s"), cond.clone());
             assert_same_as_reference(&semi, &db);
@@ -369,8 +386,7 @@ mod tests {
         db.insert_relation("big", rel(&["x"], (0..100).map(|i| vec![Value::Int(i)]).collect()));
         db.insert_relation("orders", rel(&["o_custkey"], vec![vec![null(1)], vec![Value::Int(1)]]));
         // NOT EXISTS (orders with null custkey) — uncorrelated, witness present.
-        let q = RaExpr::relation("big")
-            .anti_join(RaExpr::relation("orders"), is_null("o_custkey"));
+        let q = RaExpr::relation("big").anti_join(RaExpr::relation("orders"), is_null("o_custkey"));
         let out = Engine::new(&db).execute(&q).unwrap();
         assert!(out.is_empty());
         assert_same_as_reference(&q, &db);
@@ -379,6 +395,39 @@ mod tests {
             .anti_join(RaExpr::relation("orders"), eq_const("o_custkey", 999i64));
         assert_eq!(Engine::new(&db).execute(&q2).unwrap().len(), 100);
         assert_same_as_reference(&q2, &db);
+    }
+
+    #[test]
+    fn cost_based_physical_plans_execute_identically() {
+        let complete = DbGen::new(0.0002, 11).generate();
+        let db = certus_data::inject::NullInjector::new(0.05, 3).inject(&complete);
+        let params = QueryParams::random(&db, 2);
+        let stats = StatisticsCatalog::analyze(&db);
+        let planner = PhysicalPlanner::new(&db, &stats);
+        let engine = Engine::new(&db);
+        for q in [q1(&params), q3(&params), q4(&params)] {
+            let plan = planner.plan(&q).unwrap();
+            let planned = engine.execute_physical(&plan).unwrap().sorted().distinct();
+            let heuristic = engine.execute(&q).unwrap().sorted().distinct();
+            assert_eq!(planned.tuples(), heuristic.tuples(), "query: {q}");
+        }
+    }
+
+    #[test]
+    fn full_planner_pipeline_matches_unplanned_execution() {
+        let complete = DbGen::new(0.0002, 12).generate();
+        let db = certus_data::inject::NullInjector::new(0.05, 7).inject(&complete);
+        let params = QueryParams::random(&db, 4);
+        let engine = Engine::new(&db);
+        let rewriter = CertainRewriter::unoptimized();
+        let planner = Planner::new();
+        for q in [q3(&params), q4(&params)] {
+            let raw = rewriter.rewrite_plus(&q, &db).unwrap();
+            let optimized = planner.optimize(&raw, &db).unwrap();
+            let a = engine.execute(&raw).unwrap().sorted().distinct();
+            let b = engine.execute(&optimized).unwrap().sorted().distinct();
+            assert_eq!(a.tuples(), b.tuples(), "Q pipeline changed results");
+        }
     }
 
     #[test]

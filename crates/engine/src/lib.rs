@@ -1,12 +1,13 @@
 //! # certus-engine
 //!
 //! Physical execution for *certus*. The reference evaluator in
-//! `certus-algebra` defines the semantics; this crate executes the same
-//! [`RaExpr`](certus_algebra::RaExpr) plans the way a real DBMS would, which
-//! is what makes the paper's *price of correctness* experiments meaningful:
+//! `certus-algebra` defines the semantics; this crate executes
+//! [`PhysicalExpr`](certus_plan::PhysicalExpr) plans produced by the
+//! `certus-plan` planner the way a real DBMS would, which is what makes the
+//! paper's *price of correctness* experiments meaningful:
 //!
-//! * equi-join conjuncts are detected and executed as **hash joins** /
-//!   **hash (anti-)semijoins** with residual predicates;
+//! * plans choose **hash joins** / **hash (anti-)semijoins** with residual
+//!   predicates wherever equi-join conjuncts exist;
 //! * joins whose conditions hide the equality under a disjunction (the
 //!   `A = B OR B IS NULL` conditions produced by the translation) fall back
 //!   to **nested loops** — reproducing the "confused optimizer" behaviour of
@@ -14,13 +15,15 @@
 //! * `NOT EXISTS` subqueries that are **uncorrelated** (the decorrelated
 //!   null-check that the translation adds to query Q2) are evaluated once and
 //!   short-circuit the whole query when they trip;
-//! * a simple cardinality/cost model ([`cost`]) exposes `EXPLAIN`-style
-//!   estimates, including the inflated estimates caused by `OR … IS NULL`
-//!   predicates.
+//! * the cost model and equi-key analysis live in `certus-plan` and are
+//!   re-exported here ([`cost`], [`equi`]) for compatibility.
 
 pub mod cost;
 pub mod engine;
 pub mod equi;
 
+pub use certus_plan::physical::{
+    heuristic_plan, ExplainPlan, JoinAlgo, PhysicalExpr, PhysicalPlanner, SemiAlgo,
+};
 pub use cost::{estimate, CostEstimate};
 pub use engine::Engine;

@@ -1,0 +1,126 @@
+//! Extraction of equi-join keys from join conditions.
+//!
+//! A conjunct `x = y` where `x` resolves in the left schema and `y` in the
+//! right schema (or vice versa) is usable as a hash-join key. Everything else
+//! — including equalities hidden under a disjunction such as
+//! `x = y OR y IS NULL` — stays in the *residual* condition. That asymmetry
+//! is precisely what makes the unoptimized translated queries slow and the
+//! OR-split ones fast (paper, Section 7).
+
+use certus_algebra::condition::{Condition, Operand};
+use certus_data::compare::CmpOp;
+use certus_data::Schema;
+
+/// The result of splitting a join condition.
+#[derive(Debug, Clone)]
+pub struct EquiSplit {
+    /// Column names on the left side, positionally paired with `right_keys`.
+    pub left_keys: Vec<String>,
+    /// Column names on the right side.
+    pub right_keys: Vec<String>,
+    /// Conjuncts that could not be turned into hash keys.
+    pub residual: Condition,
+}
+
+impl EquiSplit {
+    /// Whether any hash keys were found.
+    pub fn has_keys(&self) -> bool {
+        !self.left_keys.is_empty()
+    }
+}
+
+/// Split a condition into hashable equi-pairs and a residual, relative to the
+/// given left/right schemas.
+pub fn split_equi(condition: &Condition, left: &Schema, right: &Schema) -> EquiSplit {
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut residual = Condition::True;
+    for conjunct in condition.conjuncts() {
+        match &conjunct {
+            Condition::Cmp { left: a, op: CmpOp::Eq, right: b } => match (a, b) {
+                (Operand::Col(x), Operand::Col(y)) => {
+                    let (xl, xr) = (left.contains(x), right.contains(x));
+                    let (yl, yr) = (left.contains(y), right.contains(y));
+                    if xl && !xr && yr && !yl {
+                        left_keys.push(x.clone());
+                        right_keys.push(y.clone());
+                        continue;
+                    }
+                    if yl && !yr && xr && !xl {
+                        left_keys.push(y.clone());
+                        right_keys.push(x.clone());
+                        continue;
+                    }
+                    residual = residual.and(conjunct.clone());
+                }
+                _ => residual = residual.and(conjunct.clone()),
+            },
+            _ => residual = residual.and(conjunct.clone()),
+        }
+    }
+    EquiSplit { left_keys, right_keys, residual }
+}
+
+/// Whether a condition references any column of the given schema (used to
+/// detect *uncorrelated* `EXISTS` / `NOT EXISTS` subqueries).
+pub fn references_schema(condition: &Condition, schema: &Schema) -> bool {
+    condition.columns().iter().any(|c| schema.contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certus_algebra::builder::{eq, is_null, neq};
+
+    fn schemas() -> (Schema, Schema) {
+        (
+            Schema::of_names(&["o_orderkey", "o_custkey"]),
+            Schema::of_names(&["l_orderkey", "l_suppkey"]),
+        )
+    }
+
+    #[test]
+    fn plain_equality_becomes_a_key() {
+        let (l, r) = schemas();
+        let split = split_equi(&eq("l_orderkey", "o_orderkey"), &l, &r);
+        assert_eq!(split.left_keys, vec!["o_orderkey"]);
+        assert_eq!(split.right_keys, vec!["l_orderkey"]);
+        assert_eq!(split.residual, Condition::True);
+    }
+
+    #[test]
+    fn or_disjunction_blocks_hashing() {
+        let (l, r) = schemas();
+        let cond = eq("l_orderkey", "o_orderkey").or(is_null("l_suppkey"));
+        let split = split_equi(&cond, &l, &r);
+        assert!(!split.has_keys());
+        assert_eq!(split.residual, cond);
+    }
+
+    #[test]
+    fn mixed_condition_splits_cleanly() {
+        let (l, r) = schemas();
+        let cond = eq("l_orderkey", "o_orderkey")
+            .and(neq("l_suppkey", "o_custkey").or(is_null("l_suppkey")));
+        let split = split_equi(&cond, &l, &r);
+        assert!(split.has_keys());
+        assert!(split.residual.to_string().contains("IS NULL"));
+    }
+
+    #[test]
+    fn same_side_equality_stays_residual() {
+        let (l, r) = schemas();
+        let split = split_equi(&eq("o_orderkey", "o_custkey"), &l, &r);
+        assert!(!split.has_keys());
+        let split2 = split_equi(&eq("l_orderkey", "l_suppkey"), &l, &r);
+        assert!(!split2.has_keys());
+    }
+
+    #[test]
+    fn correlation_detection() {
+        let (l, r) = schemas();
+        assert!(references_schema(&eq("l_orderkey", "o_orderkey"), &l));
+        assert!(!references_schema(&is_null("l_suppkey"), &l));
+        assert!(references_schema(&is_null("l_suppkey"), &r));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the planning crate.
+
+use certus_algebra::AlgebraError;
+use certus_data::DataError;
+use std::fmt;
+
+/// Errors produced while rewriting or planning queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// An error from the algebra layer (schema inference, validation).
+    Algebra(AlgebraError),
+    /// An error from the data layer.
+    Data(DataError),
+    /// A pass produced or received an expression it cannot handle.
+    Invalid(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Algebra(e) => write!(f, "{e}"),
+            PlanError::Data(e) => write!(f, "{e}"),
+            PlanError::Invalid(m) => write!(f, "invalid plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Algebra(e) => Some(e),
+            PlanError::Data(e) => Some(e),
+            PlanError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for PlanError {
+    fn from(e: AlgebraError) -> Self {
+        PlanError::Algebra(e)
+    }
+}
+
+impl From<DataError> for PlanError {
+    fn from(e: DataError) -> Self {
+        PlanError::Data(e)
+    }
+}
+
+/// Planning errors lower into algebra errors so the engine (whose public
+/// `Result` predates the planner) can propagate them with `?`.
+impl From<PlanError> for AlgebraError {
+    fn from(e: PlanError) -> Self {
+        match e {
+            PlanError::Algebra(inner) => inner,
+            PlanError::Data(inner) => AlgebraError::Data(inner),
+            PlanError::Invalid(m) => AlgebraError::Malformed(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_sources() {
+        let e: PlanError = DataError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: PlanError = AlgebraError::Malformed("x".into()).into();
+        assert!(e.to_string().contains("malformed"));
+        assert!(PlanError::Invalid("p".into()).to_string().contains("invalid plan"));
+    }
+}

@@ -1,0 +1,384 @@
+//! Predicate pushdown.
+//!
+//! Selections migrate towards the scans: through projections (rewriting the
+//! condition's columns via the projection's alias map), through set
+//! operations, into the preserved side of (anti-)semijoins, and into join
+//! conditions — where they may expose new equi-join keys for the physical
+//! planner to hash on. A selection over a cartesian product whose condition
+//! relates both sides turns the product into a theta-join.
+//!
+//! Every rule is a strong equivalence under both SQL 3VL and naive
+//! evaluation: Kleene conjunction is associative/commutative and selections
+//! commute with the tuple-preserving operators used here.
+
+use crate::pass::{Pass, PassContext, PlanOptions};
+use crate::{PlanError, Result};
+use certus_algebra::condition::Condition;
+use certus_algebra::expr::RaExpr;
+use certus_algebra::schema_infer::{output_schema, Catalog};
+use certus_data::Schema;
+
+/// The predicate-pushdown pass.
+pub struct PushdownPass;
+
+impl Pass for PushdownPass {
+    fn name(&self) -> &'static str {
+        "predicate-pushdown"
+    }
+
+    fn enabled(&self, options: &PlanOptions) -> bool {
+        options.pushdown
+    }
+
+    fn run(&self, expr: &RaExpr, ctx: &PassContext<'_>) -> Result<RaExpr> {
+        pushdown(expr, ctx.catalog)
+    }
+}
+
+/// Push every selection in the expression as far down as it can go.
+pub fn pushdown(expr: &RaExpr, catalog: &dyn Catalog) -> Result<RaExpr> {
+    match expr {
+        RaExpr::Select { input, condition } => {
+            let input = pushdown(input, catalog)?;
+            push_select(input, condition.clone(), catalog)
+        }
+        other => other.map_children(&mut |c| pushdown(c, catalog)),
+    }
+}
+
+/// Push one selection into an (already pushed-down) input expression.
+fn push_select(input: RaExpr, condition: Condition, catalog: &dyn Catalog) -> Result<RaExpr> {
+    match input {
+        // σ_θ(σ_φ(e)) = σ_{φ∧θ}(e): merge and retry on the inner input.
+        RaExpr::Select { input: inner, condition: inner_cond } => {
+            push_select(*inner, inner_cond.and(condition), catalog)
+        }
+        // σ_θ(π(e)) = π(σ_{θ'}(e)) with θ' renamed through the alias map.
+        RaExpr::Project { input: inner, columns } => {
+            let all_mappable =
+                condition.columns().iter().all(|c| columns.iter().any(|pc| pc.output_name() == c));
+            if all_mappable {
+                let renamed = condition.map_columns(&mut |c| {
+                    columns
+                        .iter()
+                        .find(|pc| pc.output_name() == c)
+                        .map(|pc| pc.column.clone())
+                        .unwrap_or_else(|| c.to_string())
+                });
+                Ok(push_select(*inner, renamed, catalog)?.project_cols(columns))
+            } else {
+                Ok(RaExpr::Project { input: inner, columns }.select(condition))
+            }
+        }
+        // σ_θ(ρ(e)) = ρ(σ_{θ'}(e)) with θ' renamed back positionally.
+        RaExpr::Rename { input: inner, columns } => {
+            let inner_schema = output_schema(&inner, catalog).map_err(PlanError::Algebra)?;
+            let all_exact = condition.columns().iter().all(|c| columns.contains(c));
+            if all_exact && columns.len() == inner_schema.arity() {
+                let renamed = condition.map_columns(&mut |c| {
+                    columns
+                        .iter()
+                        .position(|n| n == c)
+                        .map(|i| inner_schema.attr(i).name.clone())
+                        .unwrap_or_else(|| c.to_string())
+                });
+                Ok(RaExpr::Rename {
+                    input: Box::new(push_select(*inner, renamed, catalog)?),
+                    columns,
+                })
+            } else {
+                Ok(RaExpr::Rename { input: inner, columns }.select(condition))
+            }
+        }
+        // σ_θ(l ⋈_φ r): distribute single-side conjuncts, fold the rest into
+        // the join condition.
+        RaExpr::Join { left, right, condition: join_cond } => {
+            let (l, r, merged) = distribute(*left, *right, join_cond.and(condition), catalog)?;
+            Ok(l.join(r, merged))
+        }
+        // σ_θ(l × r): like a join with condition TRUE; if mixed conjuncts
+        // remain the product becomes a theta-join.
+        RaExpr::Product { left, right } => {
+            let (l, r, merged) = distribute(*left, *right, condition, catalog)?;
+            Ok(match merged {
+                Condition::True => l.product(r),
+                mixed => l.join(r, mixed),
+            })
+        }
+        // The output schema of an (anti-)semijoin is the left schema, so the
+        // whole selection moves onto the preserved side.
+        RaExpr::SemiJoin { left, right, condition: jc } => {
+            Ok(push_select(*left, condition, catalog)?.semi_join(*right, jc))
+        }
+        RaExpr::AntiJoin { left, right, condition: jc } => {
+            Ok(push_select(*left, condition, catalog)?.anti_join(*right, jc))
+        }
+        RaExpr::UnifySemiJoin { left, right } => {
+            Ok(push_select(*left, condition, catalog)?.unify_semi_join(*right))
+        }
+        RaExpr::UnifyAntiSemiJoin { left, right } => {
+            Ok(push_select(*left, condition, catalog)?.unify_anti_join(*right))
+        }
+        // σ(l ∪ r) = σ(l) ∪ σ(r). Union semantics are positional and the
+        // union's output schema is the *left* one, so pushing into the right
+        // branch is only sound when every condition column resolves to the
+        // same position in both branch schemas (set operands need only be
+        // union-compatible, not name-identical — a same-named column at a
+        // different position would silently change results).
+        RaExpr::Union { left, right } => {
+            let l_schema = output_schema(&left, catalog).map_err(PlanError::Algebra)?;
+            let r_schema = output_schema(&right, catalog).map_err(PlanError::Algebra)?;
+            if resolves_positionally(&condition, &l_schema, &r_schema) {
+                Ok(push_select(*left, condition.clone(), catalog)?
+                    .union(push_select(*right, condition, catalog)?))
+            } else {
+                Ok(RaExpr::Union { left, right }.select(condition))
+            }
+        }
+        // σ(l ∩ r) = σ(l) ∩ r and σ(l − r) = σ(l) − r.
+        RaExpr::Intersect { left, right } => {
+            Ok(push_select(*left, condition, catalog)?.intersect(*right))
+        }
+        RaExpr::Difference { left, right } => {
+            Ok(push_select(*left, condition, catalog)?.difference(*right))
+        }
+        // σ(δ(e)) = δ(σ(e)).
+        RaExpr::Distinct { input: inner } => {
+            Ok(push_select(*inner, condition, catalog)?.distinct())
+        }
+        // Leaves and aggregates: the selection stays where it is.
+        other => Ok(other.select(condition)),
+    }
+}
+
+/// Distribute the conjuncts of a join condition: conjuncts that resolve only
+/// on one side become selections on that side, the rest stays in the join.
+fn distribute(
+    left: RaExpr,
+    right: RaExpr,
+    condition: Condition,
+    catalog: &dyn Catalog,
+) -> Result<(RaExpr, RaExpr, Condition)> {
+    let l_schema = output_schema(&left, catalog).map_err(PlanError::Algebra)?;
+    let r_schema = output_schema(&right, catalog).map_err(PlanError::Algebra)?;
+    let mut left_only = Condition::True;
+    let mut right_only = Condition::True;
+    let mut keep = Condition::True;
+    for conjunct in condition.conjuncts() {
+        let cols = conjunct.columns();
+        let on_left = cols.iter().all(|c| l_schema.contains(c));
+        let on_right = cols.iter().all(|c| r_schema.contains(c));
+        // A column-free conjunct (constants, scalar subqueries) is kept in
+        // the join: it is cheap anyway, and moving it would not help.
+        if cols.is_empty() {
+            keep = keep.and(conjunct);
+        } else if on_left && !on_right {
+            left_only = left_only.and(conjunct);
+        } else if on_right && !on_left {
+            right_only = right_only.and(conjunct);
+        } else {
+            keep = keep.and(conjunct);
+        }
+    }
+    let l = match left_only {
+        Condition::True => left,
+        c => push_select(left, c, catalog)?,
+    };
+    let r = match right_only {
+        Condition::True => right,
+        c => push_select(right, c, catalog)?,
+    };
+    Ok((l, r, keep))
+}
+
+/// Whether every column of the condition resolves in both schemas *at the
+/// same position* (required for pushing through positional set operations).
+fn resolves_positionally(condition: &Condition, left: &Schema, right: &Schema) -> bool {
+    condition.columns().iter().all(|c| match (left.position_of(c), right.position_of(c)) {
+        (Ok(l), Ok(r)) => l == r,
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certus_algebra::builder::{eq, eq_const, is_null, neq};
+    use certus_algebra::eval::eval;
+    use certus_algebra::NullSemantics;
+    use certus_data::builder::rel;
+    use certus_data::null::NullId;
+    use certus_data::{Database, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(
+                &["a", "b"],
+                vec![
+                    vec![Value::Int(1), Value::Int(10)],
+                    vec![Value::Int(2), Value::Null(NullId(1))],
+                    vec![Value::Int(3), Value::Int(30)],
+                ],
+            ),
+        );
+        db.insert_relation(
+            "s",
+            rel(
+                &["c", "d"],
+                vec![
+                    vec![Value::Int(1), Value::Int(10)],
+                    vec![Value::Null(NullId(2)), Value::Int(30)],
+                ],
+            ),
+        );
+        db
+    }
+
+    fn assert_equivalent(before: &RaExpr, after: &RaExpr, db: &Database) {
+        for semantics in [NullSemantics::Sql, NullSemantics::Naive] {
+            let a = eval(before, db, semantics).unwrap().sorted();
+            let b = eval(after, db, semantics).unwrap().sorted();
+            assert_eq!(a.tuples(), b.tuples(), "{before} vs {after}");
+        }
+    }
+
+    #[test]
+    fn select_over_product_becomes_a_join_with_side_filters() {
+        let db = db();
+        let q = RaExpr::relation("r")
+            .product(RaExpr::relation("s"))
+            .select(eq("a", "c").and(eq_const("b", 10i64)).and(neq("d", "d")));
+        let out = pushdown(&q, &db).unwrap();
+        // The mixed conjunct a = c lands in a Join node; b = 10 moved left,
+        // d <> d moved right.
+        match &out {
+            RaExpr::Join { left, right, condition } => {
+                assert_eq!(condition, &eq("a", "c"));
+                assert!(matches!(**left, RaExpr::Select { .. }));
+                assert!(matches!(**right, RaExpr::Select { .. }));
+            }
+            other => panic!("expected Join, got {other}"),
+        }
+        assert_equivalent(&q, &out, &db);
+    }
+
+    #[test]
+    fn select_merges_into_join_condition() {
+        let db = db();
+        let q = RaExpr::relation("r")
+            .join(RaExpr::relation("s"), eq("a", "c"))
+            .select(is_null("d").or(eq("b", "d")));
+        let out = pushdown(&q, &db).unwrap();
+        match &out {
+            RaExpr::Join { condition, .. } => {
+                assert_eq!(*condition, eq("a", "c").and(is_null("d").or(eq("b", "d"))));
+            }
+            other => panic!("expected Join, got {other}"),
+        }
+        assert_equivalent(&q, &out, &db);
+    }
+
+    #[test]
+    fn select_pushes_through_projection_aliases() {
+        let db = db();
+        use certus_algebra::expr::ProjCol;
+        let q = RaExpr::relation("r")
+            .project_cols(vec![ProjCol::aliased("a", "x"), ProjCol::named("b")])
+            .select(eq_const("x", 2i64));
+        let out = pushdown(&q, &db).unwrap();
+        match &out {
+            RaExpr::Project { input, .. } => {
+                assert!(matches!(**input, RaExpr::Select { .. }), "selection moved below: {out}");
+            }
+            other => panic!("expected Project on top, got {other}"),
+        }
+        assert_equivalent(&q, &out, &db);
+    }
+
+    #[test]
+    fn select_pushes_into_set_operations_and_semijoins() {
+        let db = db();
+        let union = RaExpr::relation("r")
+            .project(&["a"])
+            .union(RaExpr::relation("s").project(&["c"]).rename(&["a"]))
+            .select(eq_const("a", 1i64));
+        let out = pushdown(&union, &db).unwrap();
+        assert!(matches!(out, RaExpr::Union { .. }), "selection distributed: {out}");
+        assert_equivalent(&union, &out, &db);
+
+        let diff = RaExpr::relation("r")
+            .difference(RaExpr::relation("s").rename(&["a", "b"]))
+            .select(eq_const("a", 1i64));
+        let out = pushdown(&diff, &db).unwrap();
+        assert!(matches!(out, RaExpr::Difference { .. }));
+        assert_equivalent(&diff, &out, &db);
+
+        let semi = RaExpr::relation("r")
+            .semi_join(RaExpr::relation("s"), eq("a", "c"))
+            .select(eq_const("b", 10i64));
+        let out = pushdown(&semi, &db).unwrap();
+        match &out {
+            RaExpr::SemiJoin { left, .. } => assert!(matches!(**left, RaExpr::Select { .. })),
+            other => panic!("expected SemiJoin, got {other}"),
+        }
+        assert_equivalent(&semi, &out, &db);
+    }
+
+    #[test]
+    fn union_with_unresolvable_right_side_is_left_alone() {
+        let db = db();
+        // Right branch's schema has columns c/d — "a" does not resolve.
+        let q = RaExpr::relation("r")
+            .project(&["a"])
+            .union(RaExpr::relation("s").project(&["c"]))
+            .select(eq_const("a", 1i64));
+        let out = pushdown(&q, &db).unwrap();
+        assert!(matches!(out, RaExpr::Select { .. }), "must not push: {out}");
+        assert_equivalent(&q, &out, &db);
+    }
+
+    #[test]
+    fn union_with_positionally_misaligned_names_is_left_alone() {
+        // Regression: union alignment is positional, so a right branch whose
+        // same-named column sits at a *different* position must not receive
+        // the selection. Here rename(s, ["b", "a"]) puts "a" at position 1,
+        // while the union's output schema (r's) has it at position 0: tuple
+        // (9, 1) has a = 9 through the union but a = 1 inside the branch.
+        let mut db = Database::new();
+        db.insert_relation("r", rel(&["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]));
+        db.insert_relation("s", rel(&["c", "d"], vec![vec![Value::Int(9), Value::Int(1)]]));
+        let q = RaExpr::relation("r")
+            .union(RaExpr::relation("s").rename(&["b", "a"]))
+            .select(eq_const("a", 1i64));
+        let out = pushdown(&q, &db).unwrap();
+        assert!(matches!(out, RaExpr::Select { .. }), "must not push: {out}");
+        assert_equivalent(&q, &out, &db);
+        // Aligned names at matching positions still push.
+        let aligned = RaExpr::relation("r")
+            .union(RaExpr::relation("s").rename(&["a", "b"]))
+            .select(eq_const("a", 1i64));
+        let out = pushdown(&aligned, &db).unwrap();
+        assert!(matches!(out, RaExpr::Union { .. }), "should push: {out}");
+        assert_equivalent(&aligned, &out, &db);
+    }
+
+    #[test]
+    fn pushdown_is_idempotent() {
+        let db = db();
+        let q = RaExpr::relation("r")
+            .product(RaExpr::relation("s"))
+            .select(eq("a", "c").and(eq_const("b", 10i64)));
+        let once = pushdown(&q, &db).unwrap();
+        let twice = pushdown(&once, &db).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn no_op_on_queries_without_selections() {
+        let db = db();
+        let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c")).project(&["a"]);
+        assert_eq!(pushdown(&q, &db).unwrap(), q);
+    }
+}

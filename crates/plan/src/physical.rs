@@ -1,0 +1,704 @@
+//! Physical planning: turning a logical [`RaExpr`] into a [`PhysicalExpr`]
+//! tree with an explicit algorithm choice per join-like node.
+//!
+//! Two planners are provided:
+//!
+//! * [`heuristic_plan`] — the statistics-free rules the engine always
+//!   applied inline before this subsystem existed (hash join whenever an
+//!   equi-key can be extracted, decorrelated short-circuit whenever a
+//!   semijoin condition ignores the outer side, nested loops otherwise).
+//!   `Engine::execute` uses it so plain execution needs no statistics.
+//! * [`PhysicalPlanner`] — cost-based: consults a [`StatisticsCatalog`] and
+//!   the cost model to choose hash join vs. nested loop vs. decorrelated
+//!   short-circuit per node, and emits an [`ExplainPlan`] tree with per-node
+//!   row/cost estimates (rendered by `examples/explain_plans.rs`).
+
+use crate::equi::{references_schema, split_equi};
+use crate::stats::StatisticsCatalog;
+use crate::{PlanError, Result};
+use certus_algebra::condition::Condition;
+use certus_algebra::expr::{AggExpr, ProjCol, RaExpr};
+use certus_algebra::schema_infer::{output_schema, Catalog};
+use certus_data::Schema;
+use std::fmt;
+
+/// Algorithm choice for a theta-join (or cartesian product).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinAlgo {
+    /// Build a hash table on the right side over `right_keys`, probe with
+    /// `left_keys`, apply `residual` to surviving pairs.
+    Hash {
+        /// Probe-side key columns (resolved in the left schema).
+        left_keys: Vec<String>,
+        /// Build-side key columns (resolved in the right schema).
+        right_keys: Vec<String>,
+        /// Condition part not covered by the keys.
+        residual: Condition,
+    },
+    /// Compare every pair of tuples.
+    NestedLoop,
+}
+
+/// Algorithm choice for a (anti-)semijoin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemiAlgo {
+    /// The condition never references the outer side: evaluate the inner
+    /// side once; the whole node short-circuits to either the left input or
+    /// the empty relation (the `NOT EXISTS` rescue of query Q2).
+    Decorrelated,
+    /// Hash (anti-)semijoin with residual predicate.
+    Hash {
+        /// Probe-side key columns (resolved in the left schema).
+        left_keys: Vec<String>,
+        /// Build-side key columns (resolved in the right schema).
+        right_keys: Vec<String>,
+        /// Condition part not covered by the keys.
+        residual: Condition,
+    },
+    /// Compare every pair of tuples.
+    NestedLoop,
+}
+
+/// A physical plan: the logical tree annotated with per-node algorithm
+/// choices. The engine executes this without re-deriving any strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalExpr {
+    /// A scan of a base relation or literal relation (kept as the logical
+    /// node — the reference evaluator materialises it).
+    Source(RaExpr),
+    /// Selection over a materialised input.
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+        /// Selection condition.
+        condition: Condition,
+    },
+    /// Projection (deduplicating, set semantics).
+    Project {
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+        /// Output columns.
+        columns: Vec<ProjCol>,
+    },
+    /// Theta-join (products are joins with condition `TRUE`).
+    Join {
+        /// Left input.
+        left: Box<PhysicalExpr>,
+        /// Right input.
+        right: Box<PhysicalExpr>,
+        /// Full join condition (used verbatim by nested loops).
+        condition: Condition,
+        /// Chosen algorithm.
+        algo: JoinAlgo,
+    },
+    /// Semijoin (`anti == false`) or anti-semijoin (`anti == true`).
+    Semi {
+        /// Left (preserved) input.
+        left: Box<PhysicalExpr>,
+        /// Right (probe) input.
+        right: Box<PhysicalExpr>,
+        /// Full matching condition.
+        condition: Condition,
+        /// Chosen algorithm.
+        algo: SemiAlgo,
+        /// Whether this is an anti-semijoin.
+        anti: bool,
+        /// Schema of the left input (needed to emit an empty result without
+        /// executing the left side when a decorrelated check short-circuits).
+        left_schema: Schema,
+    },
+    /// Set union.
+    Union {
+        /// Left input.
+        left: Box<PhysicalExpr>,
+        /// Right input.
+        right: Box<PhysicalExpr>,
+    },
+    /// Set intersection.
+    Intersect {
+        /// Left input.
+        left: Box<PhysicalExpr>,
+        /// Right input.
+        right: Box<PhysicalExpr>,
+    },
+    /// Set difference.
+    Difference {
+        /// Left input.
+        left: Box<PhysicalExpr>,
+        /// Right input.
+        right: Box<PhysicalExpr>,
+    },
+    /// Unification (anti-)semijoin of Definition 4.
+    UnifySemi {
+        /// Left (preserved) input.
+        left: Box<PhysicalExpr>,
+        /// Right input.
+        right: Box<PhysicalExpr>,
+        /// Whether this is the anti variant.
+        anti: bool,
+    },
+    /// Relational division.
+    Division {
+        /// Dividend.
+        left: Box<PhysicalExpr>,
+        /// Divisor.
+        right: Box<PhysicalExpr>,
+    },
+    /// Column renaming.
+    Rename {
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+        /// New column names.
+        columns: Vec<String>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+    },
+    /// Grouping and aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggregates: Vec<AggExpr>,
+    },
+}
+
+impl PhysicalExpr {
+    /// Number of nodes in the physical plan.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&PhysicalExpr> {
+        match self {
+            PhysicalExpr::Source(_) => vec![],
+            PhysicalExpr::Filter { input, .. }
+            | PhysicalExpr::Project { input, .. }
+            | PhysicalExpr::Rename { input, .. }
+            | PhysicalExpr::Distinct { input }
+            | PhysicalExpr::Aggregate { input, .. } => vec![input],
+            PhysicalExpr::Join { left, right, .. }
+            | PhysicalExpr::Semi { left, right, .. }
+            | PhysicalExpr::Union { left, right }
+            | PhysicalExpr::Intersect { left, right }
+            | PhysicalExpr::Difference { left, right }
+            | PhysicalExpr::UnifySemi { left, right, .. }
+            | PhysicalExpr::Division { left, right } => vec![left, right],
+        }
+    }
+
+    /// Short operator label for explain output.
+    pub fn label(&self) -> String {
+        match self {
+            PhysicalExpr::Source(RaExpr::Relation { name, .. }) => format!("Scan {name}"),
+            PhysicalExpr::Source(_) => "Values".to_string(),
+            PhysicalExpr::Filter { condition, .. } => format!("Filter [{condition}]"),
+            PhysicalExpr::Project { .. } => "Project".to_string(),
+            PhysicalExpr::Join { condition, algo, .. } => match algo {
+                JoinAlgo::Hash { left_keys, right_keys, .. } => {
+                    format!("HashJoin [{}]", key_pairs(left_keys, right_keys))
+                }
+                JoinAlgo::NestedLoop => format!("NestedLoopJoin [{condition}]"),
+            },
+            PhysicalExpr::Semi { condition, algo, anti, .. } => {
+                let kind = if *anti { "Anti" } else { "Semi" };
+                match algo {
+                    SemiAlgo::Decorrelated => format!("Decorrelated{kind}Join [{condition}]"),
+                    SemiAlgo::Hash { left_keys, right_keys, .. } => {
+                        format!("Hash{kind}Join [{}]", key_pairs(left_keys, right_keys))
+                    }
+                    SemiAlgo::NestedLoop => format!("NestedLoop{kind}Join [{condition}]"),
+                }
+            }
+            PhysicalExpr::Union { .. } => "Union".to_string(),
+            PhysicalExpr::Intersect { .. } => "Intersect".to_string(),
+            PhysicalExpr::Difference { .. } => "Difference".to_string(),
+            PhysicalExpr::UnifySemi { anti, .. } => {
+                if *anti {
+                    "UnifyAntiSemiJoin".to_string()
+                } else {
+                    "UnifySemiJoin".to_string()
+                }
+            }
+            PhysicalExpr::Division { .. } => "Division".to_string(),
+            PhysicalExpr::Rename { .. } => "Rename".to_string(),
+            PhysicalExpr::Distinct { .. } => "Distinct".to_string(),
+            PhysicalExpr::Aggregate { .. } => "Aggregate".to_string(),
+        }
+    }
+}
+
+fn key_pairs(left: &[String], right: &[String]) -> String {
+    left.iter().zip(right).map(|(l, r)| format!("{l} = {r}")).collect::<Vec<_>>().join(" AND ")
+}
+
+/// An `EXPLAIN`-style tree: one node per physical operator with row and cost
+/// estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainPlan {
+    /// Operator label (includes the chosen algorithm).
+    pub op: String,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated cumulative cost (abstract row operations).
+    pub cost: f64,
+    /// Child nodes.
+    pub children: Vec<ExplainPlan>,
+}
+
+impl ExplainPlan {
+    fn render(&self, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!("{}  (rows≈{:.0}, cost≈{:.0})\n", self.op, self.rows, self.cost));
+        for c in &self.children {
+            c.render(depth + 1, out);
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(ExplainPlan::size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for ExplainPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.render(0, &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// The statistics-free planner: hash wherever an equi-key exists,
+/// decorrelated short-circuit wherever a semijoin ignores its outer side,
+/// nested loops otherwise. These are exactly the choices the engine used to
+/// re-derive inline on every execution.
+pub fn heuristic_plan(expr: &RaExpr, catalog: &dyn Catalog) -> Result<PhysicalExpr> {
+    plan_rec(expr, catalog, None).map(|p| p.phys)
+}
+
+/// A cost-based physical planner over a statistics catalog.
+pub struct PhysicalPlanner<'a> {
+    catalog: &'a dyn Catalog,
+    stats: &'a StatisticsCatalog,
+}
+
+impl<'a> PhysicalPlanner<'a> {
+    /// A planner over the given catalog and statistics.
+    pub fn new(catalog: &'a dyn Catalog, stats: &'a StatisticsCatalog) -> Self {
+        PhysicalPlanner { catalog, stats }
+    }
+
+    /// Produce the physical plan for an expression.
+    pub fn plan(&self, expr: &RaExpr) -> Result<PhysicalExpr> {
+        plan_rec(expr, self.catalog, Some(self.stats)).map(|p| p.phys)
+    }
+
+    /// Produce the physical plan together with its explain tree.
+    pub fn plan_explained(&self, expr: &RaExpr) -> Result<(PhysicalExpr, ExplainPlan)> {
+        plan_rec(expr, self.catalog, Some(self.stats)).map(|p| (p.phys, p.explain))
+    }
+
+    /// Produce only the explain tree.
+    pub fn explain(&self, expr: &RaExpr) -> Result<ExplainPlan> {
+        plan_rec(expr, self.catalog, Some(self.stats)).map(|p| p.explain)
+    }
+}
+
+struct Planned {
+    phys: PhysicalExpr,
+    explain: ExplainPlan,
+}
+
+fn explained(phys: PhysicalExpr, rows: f64, cost: f64, children: Vec<ExplainPlan>) -> Planned {
+    let explain = ExplainPlan { op: phys.label(), rows, cost, children };
+    Planned { phys, explain }
+}
+
+fn plan_rec(
+    expr: &RaExpr,
+    catalog: &dyn Catalog,
+    stats: Option<&StatisticsCatalog>,
+) -> Result<Planned> {
+    let empty_stats = StatisticsCatalog::empty();
+    let st = stats.unwrap_or(&empty_stats);
+    Ok(match expr {
+        RaExpr::Relation { name, .. } => {
+            let rows = st.row_count(name).unwrap_or(0) as f64;
+            explained(PhysicalExpr::Source(expr.clone()), rows, rows, vec![])
+        }
+        RaExpr::Values { rows, .. } => {
+            let n = rows.len() as f64;
+            explained(PhysicalExpr::Source(expr.clone()), n, n, vec![])
+        }
+        RaExpr::Select { input, condition } => {
+            let c = plan_rec(input, catalog, stats)?;
+            let rows = c.explain.rows * crate::cost::selectivity_with(condition, st);
+            let cost = c.explain.cost + c.explain.rows;
+            explained(
+                PhysicalExpr::Filter { input: Box::new(c.phys), condition: condition.clone() },
+                rows,
+                cost,
+                vec![c.explain],
+            )
+        }
+        RaExpr::Project { input, columns } => {
+            let c = plan_rec(input, catalog, stats)?;
+            let (rows, cost) = (c.explain.rows, c.explain.cost + c.explain.rows);
+            explained(
+                PhysicalExpr::Project { input: Box::new(c.phys), columns: columns.clone() },
+                rows,
+                cost,
+                vec![c.explain],
+            )
+        }
+        RaExpr::Product { left, right } => {
+            plan_join(left, right, &Condition::True, catalog, stats)?
+        }
+        RaExpr::Join { left, right, condition } => {
+            plan_join(left, right, condition, catalog, stats)?
+        }
+        RaExpr::SemiJoin { left, right, condition } => {
+            plan_semi(left, right, condition, false, catalog, stats)?
+        }
+        RaExpr::AntiJoin { left, right, condition } => {
+            plan_semi(left, right, condition, true, catalog, stats)?
+        }
+        RaExpr::Union { left, right } => plan_setop(expr, left, right, catalog, stats)?,
+        RaExpr::Intersect { left, right } => plan_setop(expr, left, right, catalog, stats)?,
+        RaExpr::Difference { left, right } => plan_setop(expr, left, right, catalog, stats)?,
+        RaExpr::UnifySemiJoin { left, right } => {
+            let l = plan_rec(left, catalog, stats)?;
+            let r = plan_rec(right, catalog, stats)?;
+            let rows = l.explain.rows;
+            let cost = l.explain.cost + r.explain.cost + l.explain.rows * r.explain.rows;
+            explained(
+                PhysicalExpr::UnifySemi {
+                    left: Box::new(l.phys),
+                    right: Box::new(r.phys),
+                    anti: false,
+                },
+                rows,
+                cost,
+                vec![l.explain, r.explain],
+            )
+        }
+        RaExpr::UnifyAntiSemiJoin { left, right } => {
+            let l = plan_rec(left, catalog, stats)?;
+            let r = plan_rec(right, catalog, stats)?;
+            let rows = l.explain.rows;
+            let cost = l.explain.cost + r.explain.cost + l.explain.rows * r.explain.rows;
+            explained(
+                PhysicalExpr::UnifySemi {
+                    left: Box::new(l.phys),
+                    right: Box::new(r.phys),
+                    anti: true,
+                },
+                rows,
+                cost,
+                vec![l.explain, r.explain],
+            )
+        }
+        RaExpr::Division { left, right } => {
+            let l = plan_rec(left, catalog, stats)?;
+            let r = plan_rec(right, catalog, stats)?;
+            let rows = l.explain.rows;
+            let cost = l.explain.cost + r.explain.cost + l.explain.rows * r.explain.rows;
+            explained(
+                PhysicalExpr::Division { left: Box::new(l.phys), right: Box::new(r.phys) },
+                rows,
+                cost,
+                vec![l.explain, r.explain],
+            )
+        }
+        RaExpr::Rename { input, columns } => {
+            let c = plan_rec(input, catalog, stats)?;
+            let (rows, cost) = (c.explain.rows, c.explain.cost + c.explain.rows);
+            explained(
+                PhysicalExpr::Rename { input: Box::new(c.phys), columns: columns.clone() },
+                rows,
+                cost,
+                vec![c.explain],
+            )
+        }
+        RaExpr::Distinct { input } => {
+            let c = plan_rec(input, catalog, stats)?;
+            let (rows, cost) = (c.explain.rows, c.explain.cost + c.explain.rows);
+            explained(
+                PhysicalExpr::Distinct { input: Box::new(c.phys) },
+                rows,
+                cost,
+                vec![c.explain],
+            )
+        }
+        RaExpr::Aggregate { input, group_by, aggregates } => {
+            let c = plan_rec(input, catalog, stats)?;
+            let rows = crate::cost::aggregate_rows(c.explain.rows, !group_by.is_empty());
+            let cost = c.explain.cost + c.explain.rows;
+            explained(
+                PhysicalExpr::Aggregate {
+                    input: Box::new(c.phys),
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                },
+                rows,
+                cost,
+                vec![c.explain],
+            )
+        }
+    })
+}
+
+fn plan_setop(
+    expr: &RaExpr,
+    left: &RaExpr,
+    right: &RaExpr,
+    catalog: &dyn Catalog,
+    stats: Option<&StatisticsCatalog>,
+) -> Result<Planned> {
+    let l = plan_rec(left, catalog, stats)?;
+    let r = plan_rec(right, catalog, stats)?;
+    let rows = crate::cost::setop_rows(l.explain.rows, r.explain.rows);
+    let cost = l.explain.cost + r.explain.cost + l.explain.rows + r.explain.rows;
+    let phys = match expr {
+        RaExpr::Union { .. } => {
+            PhysicalExpr::Union { left: Box::new(l.phys), right: Box::new(r.phys) }
+        }
+        RaExpr::Intersect { .. } => {
+            PhysicalExpr::Intersect { left: Box::new(l.phys), right: Box::new(r.phys) }
+        }
+        RaExpr::Difference { .. } => {
+            PhysicalExpr::Difference { left: Box::new(l.phys), right: Box::new(r.phys) }
+        }
+        other => {
+            return Err(PlanError::Invalid(format!("plan_setop over non-set operator {other}")))
+        }
+    };
+    explained_ok(phys, rows, cost, vec![l.explain, r.explain])
+}
+
+fn explained_ok(
+    phys: PhysicalExpr,
+    rows: f64,
+    cost: f64,
+    children: Vec<ExplainPlan>,
+) -> Result<Planned> {
+    Ok(explained(phys, rows, cost, children))
+}
+
+fn plan_join(
+    left: &RaExpr,
+    right: &RaExpr,
+    condition: &Condition,
+    catalog: &dyn Catalog,
+    stats: Option<&StatisticsCatalog>,
+) -> Result<Planned> {
+    let l = plan_rec(left, catalog, stats)?;
+    let r = plan_rec(right, catalog, stats)?;
+    let l_schema = output_schema(left, catalog).map_err(PlanError::Algebra)?;
+    let r_schema = output_schema(right, catalog).map_err(PlanError::Algebra)?;
+    let split = split_equi(condition, &l_schema, &r_schema);
+    let (lr, rr) = (l.explain.rows, r.explain.rows);
+    // Hash beats nested loops unless an input is so tiny that building the
+    // table costs more than probing everything. The cost comparison only
+    // applies when statistics are available; the heuristic planner always
+    // hashes when it can, exactly like the pre-planner engine.
+    let algo = if split.has_keys() && (stats.is_none() || lr + rr <= lr * rr.max(1.0) + 1.0) {
+        JoinAlgo::Hash {
+            left_keys: split.left_keys,
+            right_keys: split.right_keys,
+            residual: split.residual,
+        }
+    } else {
+        JoinAlgo::NestedLoop
+    };
+    let empty_stats = StatisticsCatalog::empty();
+    let st = stats.unwrap_or(&empty_stats);
+    // Shared with the logical estimator (products — condition TRUE — keep
+    // the full cross-product cardinality).
+    let out_rows = crate::cost::join_rows(lr, rr, condition, st);
+    let op_cost = match &algo {
+        JoinAlgo::Hash { .. } => lr + rr,
+        JoinAlgo::NestedLoop => lr * rr,
+    };
+    let cost = l.explain.cost + r.explain.cost + op_cost;
+    explained_ok(
+        PhysicalExpr::Join {
+            left: Box::new(l.phys),
+            right: Box::new(r.phys),
+            condition: condition.clone(),
+            algo,
+        },
+        out_rows,
+        cost,
+        vec![l.explain, r.explain],
+    )
+}
+
+fn plan_semi(
+    left: &RaExpr,
+    right: &RaExpr,
+    condition: &Condition,
+    anti: bool,
+    catalog: &dyn Catalog,
+    stats: Option<&StatisticsCatalog>,
+) -> Result<Planned> {
+    let l = plan_rec(left, catalog, stats)?;
+    let r = plan_rec(right, catalog, stats)?;
+    let left_schema = output_schema(left, catalog).map_err(PlanError::Algebra)?;
+    let r_schema = output_schema(right, catalog).map_err(PlanError::Algebra)?;
+    let (lr, rr) = (l.explain.rows, r.explain.rows);
+    let algo = if !references_schema(condition, &left_schema) {
+        SemiAlgo::Decorrelated
+    } else {
+        let split = split_equi(condition, &left_schema, &r_schema);
+        if split.has_keys() && (stats.is_none() || lr + rr <= lr * rr.max(1.0) + 1.0) {
+            SemiAlgo::Hash {
+                left_keys: split.left_keys,
+                right_keys: split.right_keys,
+                residual: split.residual,
+            }
+        } else {
+            SemiAlgo::NestedLoop
+        }
+    };
+    let op_cost = match &algo {
+        SemiAlgo::Decorrelated => rr,
+        SemiAlgo::Hash { .. } => lr + rr,
+        SemiAlgo::NestedLoop => lr * rr,
+    };
+    let rows = crate::cost::semi_rows(lr);
+    let cost = l.explain.cost + r.explain.cost + op_cost;
+    explained_ok(
+        PhysicalExpr::Semi {
+            left: Box::new(l.phys),
+            right: Box::new(r.phys),
+            condition: condition.clone(),
+            algo,
+            anti,
+            left_schema,
+        },
+        rows,
+        cost,
+        vec![l.explain, r.explain],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certus_algebra::builder::{eq, is_null};
+    use certus_data::builder::rel;
+    use certus_data::{Database, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(&["a", "b"], (0..50).map(|i| vec![Value::Int(i), Value::Int(i * 2)]).collect()),
+        );
+        db.insert_relation(
+            "s",
+            rel(&["c", "d"], (0..40).map(|i| vec![Value::Int(i), Value::Int(i * 3)]).collect()),
+        );
+        db
+    }
+
+    #[test]
+    fn heuristic_plan_picks_hash_for_equi_joins() {
+        let db = db();
+        let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c"));
+        match heuristic_plan(&q, &db).unwrap() {
+            PhysicalExpr::Join {
+                algo: JoinAlgo::Hash { left_keys, right_keys, residual }, ..
+            } => {
+                assert_eq!(left_keys, vec!["a"]);
+                assert_eq!(right_keys, vec!["c"]);
+                assert_eq!(residual, Condition::True);
+            }
+            other => panic!("expected hash join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_condition_forces_nested_loops() {
+        let db = db();
+        let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c").or(is_null("d")));
+        assert!(matches!(
+            heuristic_plan(&q, &db).unwrap(),
+            PhysicalExpr::Join { algo: JoinAlgo::NestedLoop, .. }
+        ));
+    }
+
+    #[test]
+    fn uncorrelated_antijoin_is_decorrelated() {
+        let db = db();
+        let q = RaExpr::relation("r").anti_join(RaExpr::relation("s"), is_null("d"));
+        match heuristic_plan(&q, &db).unwrap() {
+            PhysicalExpr::Semi { algo, anti, left_schema, .. } => {
+                assert_eq!(algo, SemiAlgo::Decorrelated);
+                assert!(anti);
+                assert_eq!(left_schema.names(), vec!["a", "b"]);
+            }
+            other => panic!("expected semi node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn products_become_nested_loop_joins_with_true_condition() {
+        let db = db();
+        let q = RaExpr::relation("r").product(RaExpr::relation("s"));
+        assert!(matches!(
+            heuristic_plan(&q, &db).unwrap(),
+            PhysicalExpr::Join { algo: JoinAlgo::NestedLoop, condition: Condition::True, .. }
+        ));
+    }
+
+    #[test]
+    fn cost_based_planner_annotates_rows_and_costs() {
+        let db = db();
+        let stats = StatisticsCatalog::analyze(&db);
+        let planner = PhysicalPlanner::new(&db, &stats);
+        let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c")).project(&["a"]);
+        let (phys, explain) = planner.plan_explained(&q).unwrap();
+        assert_eq!(phys.size(), 4);
+        assert_eq!(explain.size(), 4);
+        assert_eq!(explain.children[0].children[0].rows, 50.0);
+        let text = explain.to_string();
+        assert!(text.contains("HashJoin [a = c]"), "{text}");
+        assert!(text.contains("Scan r"), "{text}");
+        assert!(text.contains("cost≈"), "{text}");
+    }
+
+    #[test]
+    fn product_explain_keeps_cross_product_cardinality() {
+        // Regression: products are planned as TRUE-condition joins; the row
+        // estimate must stay l*r (matching cost::estimate_with's Product
+        // arm), not the equi-join formula's ~min(l, r).
+        let db = db();
+        let stats = StatisticsCatalog::analyze(&db);
+        let planner = PhysicalPlanner::new(&db, &stats);
+        let q = RaExpr::relation("r").product(RaExpr::relation("s"));
+        let explain = planner.explain(&q).unwrap();
+        assert_eq!(explain.rows, 2000.0, "{explain}");
+        let logical = crate::cost::estimate_with(&q, &db, &stats).unwrap();
+        assert_eq!(explain.rows, logical.rows);
+    }
+
+    #[test]
+    fn explain_shows_nested_loop_cost_blowup() {
+        let db = db();
+        let stats = StatisticsCatalog::analyze(&db);
+        let planner = PhysicalPlanner::new(&db, &stats);
+        let good = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c"));
+        let bad = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c").or(is_null("d")));
+        let g = planner.explain(&good).unwrap();
+        let b = planner.explain(&bad).unwrap();
+        assert!(b.cost > 10.0 * g.cost, "NL {b:?} should dwarf hash {g:?}");
+    }
+}

@@ -54,9 +54,7 @@ pub fn detect_q1(db: &Database, answer: &Tuple) -> bool {
 /// Detector for Q2: if any order has a null `o_custkey`, that order's customer
 /// could be anybody, so *every* answer to Q2 is a false positive.
 pub fn detect_q2(db: &Database) -> bool {
-    db.relation("orders")
-        .map(|orders| orders.iter().any(|t| t[1].is_null()))
-        .unwrap_or(false)
+    db.relation("orders").map(|orders| orders.iter().any(|t| t[1].is_null())).unwrap_or(false)
 }
 
 /// Detector for Q3 (order `orderkey` claimed to be supplied entirely by the
@@ -68,11 +66,7 @@ pub fn detect_q3(db: &Database, answer: &Tuple) -> bool {
         None => return false,
     };
     db.relation("lineitem")
-        .map(|lineitem| {
-            lineitem
-                .iter()
-                .any(|t| eq_int(&t[0], orderkey) && t[3].is_null())
-        })
+        .map(|lineitem| lineitem.iter().any(|t| eq_int(&t[0], orderkey) && t[3].is_null()))
         .unwrap_or(false)
 }
 
@@ -156,13 +150,7 @@ pub fn count_false_positives(
 ) -> usize {
     match query {
         1 => answers.iter().filter(|t| detect_q1(db, t)).count(),
-        2 => {
-            if detect_q2(db) {
-                answers.len()
-            } else {
-                0
-            }
-        }
+        2 if detect_q2(db) => answers.len(),
         3 => answers.iter().filter(|t| detect_q3(db, t)).count(),
         4 => answers.iter().filter(|t| detect_q4(db, params, t)).count(),
         _ => 0,
@@ -187,19 +175,40 @@ mod tests {
             "lineitem",
             rel(
                 &[
-                    "l_orderkey", "l_linenumber", "l_partkey", "l_suppkey", "l_quantity",
-                    "l_extendedprice", "l_shipdate", "l_commitdate", "l_receiptdate",
+                    "l_orderkey",
+                    "l_linenumber",
+                    "l_partkey",
+                    "l_suppkey",
+                    "l_quantity",
+                    "l_extendedprice",
+                    "l_shipdate",
+                    "l_commitdate",
+                    "l_receiptdate",
                 ],
                 vec![
                     // order 1: supplier unknown, late delivery impossible to rule out
                     vec![
-                        Value::Int(1), Value::Int(1), Value::Int(5), null(1), Value::Int(1),
-                        Value::Decimal(100), date(1995, 1, 10), null(2), date(1995, 1, 20),
+                        Value::Int(1),
+                        Value::Int(1),
+                        Value::Int(5),
+                        null(1),
+                        Value::Int(1),
+                        Value::Decimal(100),
+                        date(1995, 1, 10),
+                        null(2),
+                        date(1995, 1, 20),
                     ],
                     // order 2: all known, on time, supplied by supplier 3
                     vec![
-                        Value::Int(2), Value::Int(1), Value::Int(6), Value::Int(3), Value::Int(1),
-                        Value::Decimal(100), date(1995, 1, 10), date(1995, 2, 1), date(1995, 1, 20),
+                        Value::Int(2),
+                        Value::Int(1),
+                        Value::Int(6),
+                        Value::Int(3),
+                        Value::Int(1),
+                        Value::Decimal(100),
+                        date(1995, 1, 10),
+                        date(1995, 2, 1),
+                        date(1995, 1, 20),
                     ],
                 ],
             ),
@@ -209,8 +218,20 @@ mod tests {
             rel(
                 &["o_orderkey", "o_custkey", "o_orderstatus", "o_orderdate", "o_totalprice"],
                 vec![
-                    vec![Value::Int(1), Value::Int(10), Value::str("F"), date(1995, 1, 1), Value::Decimal(1)],
-                    vec![Value::Int(2), null(3), Value::str("F"), date(1995, 1, 1), Value::Decimal(1)],
+                    vec![
+                        Value::Int(1),
+                        Value::Int(10),
+                        Value::str("F"),
+                        date(1995, 1, 1),
+                        Value::Decimal(1),
+                    ],
+                    vec![
+                        Value::Int(2),
+                        null(3),
+                        Value::str("F"),
+                        date(1995, 1, 1),
+                        Value::Decimal(1),
+                    ],
                 ],
             ),
         );
@@ -219,7 +240,11 @@ mod tests {
             rel(
                 &["p_partkey", "p_name", "p_retailprice"],
                 vec![
-                    vec![Value::Int(5), Value::str("almond red rose navy misty"), Value::Decimal(1)],
+                    vec![
+                        Value::Int(5),
+                        Value::str("almond red rose navy misty"),
+                        Value::Decimal(1),
+                    ],
                     vec![Value::Int(6), null(4), Value::Decimal(1)],
                 ],
             ),
@@ -276,7 +301,8 @@ mod tests {
     #[test]
     fn q4_detector_follows_algorithm_2() {
         let db = tiny_db();
-        let params = QueryParams { nation: "FRANCE".into(), color: "red".into(), ..QueryParams::fixed() };
+        let params =
+            QueryParams { nation: "FRANCE".into(), color: "red".into(), ..QueryParams::fixed() };
         // Order 1: part 5 matches "red", supplier is unknown ⇒ could be from FRANCE.
         assert!(detect_q4(&db, &params, &Tuple::new(vec![Value::Int(1)])));
         // Order 2: part 6 has a null name (could be red), supplier 3 has unknown

@@ -20,10 +20,7 @@ use certus_data::Value;
 /// finalized multi-supplier order.
 pub fn q1(params: &QueryParams) -> RaExpr {
     let base = RaExpr::relation("supplier")
-        .join(
-            RaExpr::relation_as("lineitem", "l1"),
-            eq("s_suppkey", "l1.l_suppkey"),
-        )
+        .join(RaExpr::relation_as("lineitem", "l1"), eq("s_suppkey", "l1.l_suppkey"))
         .join(RaExpr::relation("orders"), eq("o_orderkey", "l1.l_orderkey"))
         .join(RaExpr::relation("nation"), eq("s_nationkey", "n_nationkey"))
         .select(
@@ -59,13 +56,11 @@ pub fn q2(params: &QueryParams) -> RaExpr {
         )
         .aggregate(&[], vec![AggExpr::new(AggFunc::Avg, "c2.c_acctbal", "avg_bal")]);
     RaExpr::relation("customer")
-        .select(
-            in_list("c_nationkey", countries).and(Condition::Cmp {
-                left: col("c_acctbal"),
-                op: CmpOp::Gt,
-                right: Operand::Scalar(Box::new(avg_subquery)),
-            }),
-        )
+        .select(in_list("c_nationkey", countries).and(Condition::Cmp {
+            left: col("c_acctbal"),
+            op: CmpOp::Gt,
+            right: Operand::Scalar(Box::new(avg_subquery)),
+        }))
         .anti_join(RaExpr::relation("orders"), eq("o_custkey", "c_custkey"))
         .project(&["c_custkey", "c_nationkey"])
 }
@@ -85,10 +80,7 @@ pub fn q3(params: &QueryParams) -> RaExpr {
 pub fn q4(params: &QueryParams) -> RaExpr {
     let pattern = format!("%{}%", params.color);
     let inner = RaExpr::relation("lineitem")
-        .join(
-            RaExpr::relation("part"),
-            eq("l_partkey", "p_partkey").and(like("p_name", pattern)),
-        )
+        .join(RaExpr::relation("part"), eq("l_partkey", "p_partkey").and(like("p_name", pattern)))
         .join(RaExpr::relation("supplier"), eq("l_suppkey", "s_suppkey"))
         .join(
             RaExpr::relation("nation"),

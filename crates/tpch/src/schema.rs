@@ -134,9 +134,8 @@ pub fn tpch_catalog() -> Database {
 }
 
 /// Names of the eight TPC-H tables.
-pub const TABLE_NAMES: [&str; 8] = [
-    "customer", "lineitem", "nation", "orders", "part", "partsupp", "region", "supplier",
-];
+pub const TABLE_NAMES: [&str; 8] =
+    ["customer", "lineitem", "nation", "orders", "part", "partsupp", "region", "supplier"];
 
 #[cfg(test)]
 mod tests {

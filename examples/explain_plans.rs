@@ -1,11 +1,13 @@
-//! Why the naive rewriting confuses the optimizer — and how OR-splitting
-//! fixes it. Prints EXPLAIN-style plans with estimated costs for query Q4,
-//! its direct translation, and the split translation (Section 7 discussion).
+//! Why the naive rewriting confuses the optimizer — and how the planner's
+//! OR-splitting pipeline fixes it. Prints the cost-based physical planner's
+//! `EXPLAIN` trees (with statistics-backed row/cost estimates and the chosen
+//! join algorithm per node) for query Q4, its direct translation, and the
+//! pipeline-rewritten translation (Section 7 discussion).
 //!
 //! Run with `cargo run --release --example explain_plans`.
 
 use certus::core::rewriter::CertainRewriter;
-use certus::engine::cost::explain;
+use certus::plan::{PhysicalPlanner, StatisticsCatalog};
 use certus::tpch::{q4, Workload};
 
 fn main() {
@@ -14,18 +16,18 @@ fn main() {
     let params = workload.params(&db, 0);
     let query = q4(&params);
 
+    let stats = StatisticsCatalog::analyze(&db);
+    let planner = PhysicalPlanner::new(&db, &stats);
+
     println!("=== Original Q4 ===");
-    println!("{}", explain(&query, &db).expect("estimates"));
+    println!("{}", planner.explain(&query).expect("plans"));
 
-    let unsplit = CertainRewriter::unoptimized()
-        .rewrite_plus(&query, &db)
-        .expect("translation succeeds");
+    let unsplit =
+        CertainRewriter::unoptimized().rewrite_plus(&query, &db).expect("translation succeeds");
     println!("=== Direct translation Q4+ (OR .. IS NULL conditions block hash joins) ===");
-    println!("{}", explain(&unsplit, &db).expect("estimates"));
+    println!("{}", planner.explain(&unsplit).expect("plans"));
 
-    let split = CertainRewriter::new()
-        .rewrite_plus(&query, &db)
-        .expect("translation succeeds");
-    println!("=== Optimized translation Q4+ (OR-splitting restores hash joins) ===");
-    println!("{}", explain(&split, &db).expect("estimates"));
+    let split = CertainRewriter::new().rewrite_plus(&query, &db).expect("translation succeeds");
+    println!("=== Optimized translation Q4+ (the pass pipeline restores hash joins) ===");
+    println!("{}", planner.explain(&split).expect("plans"));
 }

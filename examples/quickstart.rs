@@ -31,6 +31,9 @@ fn main() {
     let rewritten = rewriter.rewrite_plus(&query, &db).expect("query is in the supported fragment");
     println!("\nRewritten query Q+          : {rewritten}");
     let certain = engine.execute(&rewritten).expect("rewritten query runs");
-    println!("Certain-answer evaluation   : {} tuple(s) (correct: the answer is uncertain)", certain.len());
+    println!(
+        "Certain-answer evaluation   : {} tuple(s) (correct: the answer is uncertain)",
+        certain.len()
+    );
     assert!(certain.is_empty());
 }

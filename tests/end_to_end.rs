@@ -72,10 +72,7 @@ fn recall_experiment_certain_sql_answers_are_preserved() {
                 _ => certus::tpch::fp_detect::detect_q3(&db, t),
             };
             if !flagged {
-                assert!(
-                    certain.contains(t),
-                    "Q{q}+ missed the certain SQL answer {t}"
-                );
+                assert!(certain.contains(t), "Q{q}+ missed the certain SQL answer {t}");
             }
         }
     }
