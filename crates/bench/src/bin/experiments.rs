@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|all] [--quick]
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks instance counts and scale factors so the full suite runs
@@ -51,6 +51,13 @@ fn main() {
     if what == "planner" || what == "all" {
         let (scale, reps) = if quick { (0.001, 1) } else { (0.004, 3) };
         print_planner_on_off(&planner_on_off(scale, 0.02, 904, reps));
+        println!();
+    }
+    if what == "parallel" || what == "all" {
+        // The optimized Q4+ keeps quadratic nested-loop joins (the OR-split
+        // is cost-guarded), so the scale is kept moderate.
+        let (scale, reps) = if quick { (0.001, 1) } else { (0.002, 2) };
+        print_parallel_scaling(&parallel_scaling(scale, 0.02, 905, reps, &[1, 2, 4, 8]));
         println!();
     }
 }

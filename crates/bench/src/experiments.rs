@@ -8,7 +8,7 @@ use certus_algebra::expr::RaExpr;
 use certus_core::{translate_plus, CertainRewriter, ConditionDialect};
 use certus_data::builder::rel;
 use certus_data::{Database, Value};
-use certus_engine::{estimate, Engine};
+use certus_engine::{estimate, Engine, EngineConfig};
 use certus_plan::Planner;
 use certus_tpch::fp_detect::count_false_positives;
 use certus_tpch::{query_by_number, Workload};
@@ -46,7 +46,7 @@ pub fn figure1(
         for inst in 0..instances_per_rate {
             let w = Workload::new(scale_factor, rate, 100 + inst);
             let db = w.incomplete_instance();
-            let engine = Engine::new(&db);
+            let engine = Engine::with_config(&db, EngineConfig::serial());
             for run in 0..runs_per_instance {
                 let params = w.params(&db, run);
                 for q in 1..=4usize {
@@ -111,7 +111,7 @@ pub fn figure4(
         for inst in 0..instances {
             let w = Workload::new(scale_factor, rate, 500 + inst);
             let db = w.incomplete_instance();
-            let engine = Engine::new(&db);
+            let engine = Engine::with_config(&db, EngineConfig::serial());
             let params = w.params(&db, inst);
             for q in 1..=4usize {
                 let expr = query_by_number(q, &params).expect("query exists");
@@ -239,7 +239,7 @@ pub fn section5(sizes: &[usize]) -> Vec<Sec5Row> {
         let plus = translate_plus(&q, ConditionDialect::Sql).expect("translates");
         let fig2 = certus_core::naive_translation::translate_t(&q, &db, ConditionDialect::Sql)
             .expect("translates");
-        let engine = Engine::new(&db);
+        let engine = Engine::with_config(&db, EngineConfig::serial());
         let t_plus = time_mean(1, || engine.execute(&plus).expect("runs"));
         let t_fig2 = time_mean(1, || engine.execute(&fig2).expect("runs"));
         out.push(Sec5Row { tuples_per_relation: n, t_plus, t_fig2 });
@@ -284,7 +284,7 @@ pub struct PrecisionRecallRow {
 pub fn precision_recall(scale_factor: f64, null_rate: f64, seed: u64) -> Vec<PrecisionRecallRow> {
     let w = Workload::new(scale_factor, null_rate, seed);
     let db = w.incomplete_instance();
-    let engine = Engine::new(&db);
+    let engine = Engine::with_config(&db, EngineConfig::serial());
     let rewriter = CertainRewriter::new();
     let params = w.params(&db, 0);
     let mut out = Vec::new();
@@ -389,7 +389,7 @@ pub fn or_split_ablation(bench_scale: f64, tiny_scale: f64, null_rate: f64) -> A
     let unsplit_tiny =
         CertainRewriter::unoptimized().rewrite_plus(&q4_tiny, &tiny).expect("translates");
     let split_tiny = CertainRewriter::new().rewrite_plus(&q4_tiny, &tiny).expect("translates");
-    let engine = Engine::new(&tiny);
+    let engine = Engine::with_config(&tiny, EngineConfig::serial());
     let original_time = time_mean(1, || engine.execute(&q4_tiny).expect("runs"));
     let unsplit_time = time_mean(1, || engine.execute(&unsplit_tiny).expect("runs"));
     let split_time = time_mean(1, || engine.execute(&split_tiny).expect("runs"));
@@ -447,7 +447,7 @@ pub fn planner_on_off(
     let w = Workload::new(scale_factor, null_rate, seed);
     let db = w.incomplete_instance();
     let params = w.params(&db, 0);
-    let engine = Engine::new(&db);
+    let engine = Engine::with_config(&db, EngineConfig::serial());
     let raw_rewriter = CertainRewriter::unoptimized();
     let planner = Planner::new();
     let mut out = Vec::new();
@@ -482,6 +482,86 @@ pub fn print_planner_on_off(rows: &[PlannerOnOffRow]) {
             r.answers
         );
     }
+}
+
+/// One row of the parallel-scaling experiment: wall-clock latency of the
+/// translated queries at a given worker-thread count.
+#[derive(Debug, Clone)]
+pub struct ParallelScalingRow {
+    /// Worker threads the engine was configured with.
+    pub threads: usize,
+    /// Mean latency of the optimized Q3+ (seconds).
+    pub t_q3: f64,
+    /// Mean latency of the optimized Q4+ (seconds).
+    pub t_q4: f64,
+    /// Answer counts (identical at every thread count, asserted).
+    pub answers: [usize; 2],
+}
+
+/// The parallel-scaling experiment: run the pipeline-optimized translations
+/// Q3+ and Q4+ (the hash-anti-join- and split-union-heavy workload) through
+/// engines configured with each of the given thread counts, asserting that
+/// every configuration returns the serial result before timing it. The first
+/// entry of `thread_counts` is the baseline of the printed speedups.
+pub fn parallel_scaling(
+    scale_factor: f64,
+    null_rate: f64,
+    seed: u64,
+    reps: usize,
+    thread_counts: &[usize],
+) -> Vec<ParallelScalingRow> {
+    let w = Workload::new(scale_factor, null_rate, seed);
+    let db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let rewriter = CertainRewriter::new();
+    let planner = Planner::new();
+    // The fully pipeline-optimized translations: the pass pipeline turns the
+    // OR'd conditions back into hashable equi-joins, which is exactly the
+    // shape the exchange operators then parallelise.
+    let optimized = |q: usize| {
+        let plus = rewriter
+            .rewrite_plus(&query_by_number(q, &params).expect("query exists"), &db)
+            .expect("translates");
+        planner.optimize(&plus, &db).expect("pipeline runs")
+    };
+    let q3p = optimized(3);
+    let q4p = optimized(4);
+    let serial = Engine::with_config(&db, EngineConfig::serial());
+    let expected3 = serial.execute(&q3p).expect("runs").sorted().distinct();
+    let expected4 = serial.execute(&q4p).expect("runs").sorted().distinct();
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        let engine = Engine::with_config(&db, EngineConfig::with_threads(threads));
+        let got3 = engine.execute(&q3p).expect("runs").sorted().distinct();
+        let got4 = engine.execute(&q4p).expect("runs").sorted().distinct();
+        assert_eq!(got3.tuples(), expected3.tuples(), "Q3+ differs at {threads} threads");
+        assert_eq!(got4.tuples(), expected4.tuples(), "Q4+ differs at {threads} threads");
+        let t_q3 = time_mean(reps, || engine.execute(&q3p).expect("runs"));
+        let t_q4 = time_mean(reps, || engine.execute(&q4p).expect("runs"));
+        out.push(ParallelScalingRow { threads, t_q3, t_q4, answers: [got3.len(), got4.len()] });
+    }
+    out
+}
+
+/// Print parallel-scaling rows with speedups relative to the first row.
+pub fn print_parallel_scaling(rows: &[ParallelScalingRow]) {
+    println!("== Parallel scaling: optimized Q3+/Q4+ latency vs worker threads ==");
+    println!(
+        "{:>8} {:>12} {:>9} {:>12} {:>9}",
+        "threads", "t(Q3+) s", "speedup", "t(Q4+) s", "speedup"
+    );
+    let Some(base) = rows.first() else { return };
+    for r in rows {
+        println!(
+            "{:>8} {:>12.5} {:>8}x {:>12.5} {:>8}x",
+            r.threads,
+            r.t_q3,
+            fmt_ratio(base.t_q3 / r.t_q3.max(1e-9)),
+            r.t_q4,
+            fmt_ratio(base.t_q4 / r.t_q4.max(1e-9))
+        );
+    }
+    println!("(results identical at every thread count, asserted before timing)");
 }
 
 #[cfg(test)]
@@ -570,6 +650,21 @@ mod tests {
             q4.t_on
         );
         print_planner_on_off(&rows);
+    }
+
+    #[test]
+    fn parallel_scaling_agrees_across_thread_counts() {
+        // Correctness smoke: tiny instance, every thread count returns the
+        // serial result (asserted inside the experiment). No wall-clock
+        // assertions here — speedups depend on the host's core count.
+        let rows = parallel_scaling(0.0004, 0.02, 33, 1, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].threads, 1);
+        for r in &rows {
+            assert!(r.t_q3 > 0.0 && r.t_q4 > 0.0);
+            assert_eq!(r.answers, rows[0].answers);
+        }
+        print_parallel_scaling(&rows);
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub use certus_tpch as tpch;
 pub use certus_algebra::{Condition, NullSemantics, RaExpr};
 pub use certus_core::{CertainOracle, CertainRewriter, ConditionDialect};
 pub use certus_data::{Database, Relation, Tuple, Value};
-pub use certus_engine::Engine;
-pub use certus_plan::{PassManager, PhysicalPlanner, Planner, StatisticsCatalog};
+pub use certus_engine::{Engine, EngineConfig};
+pub use certus_plan::{Parallelism, PassManager, PhysicalPlanner, Planner, StatisticsCatalog};
 
 /// The semantic version of the certus workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

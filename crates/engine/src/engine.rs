@@ -22,39 +22,149 @@
 //! [`Engine::execute`] is the convenience entry point for logical plans: it
 //! runs the statistics-free [`heuristic_plan`] (the same choices the
 //! pre-planner engine hard-coded) and executes the result.
+//!
+//! # Parallel execution
+//!
+//! Plans may contain [`PhysicalExpr::Exchange`] operators (inserted by the
+//! planners when configured with a [`Parallelism`]); the engine turns them
+//! into multi-threaded execution with `std::thread::scope`:
+//!
+//! * an exchange with [`Partitioning::Hash`] under a hash (semi-)join's build
+//!   side splits **both** sides by a deterministic key hash and runs build +
+//!   probe of every partition on its own worker;
+//! * exchanges under a union mark its branches (the translation's split-union
+//!   `Q⁺` arms) for **concurrent evaluation**;
+//! * an exchange with [`Partitioning::RoundRobin`] under a filter splits the
+//!   input into contiguous morsels filtered in parallel.
+//!
+//! With [`EngineConfig::threads`] `== 1` (or on plans without exchanges) the
+//! engine takes exactly the serial code paths. All parallel paths are
+//! deterministic: partition routing uses a fixed hash and results are
+//! concatenated in partition order.
 
 use certus_algebra::condition::Condition;
 use certus_algebra::eval::Evaluator;
 use certus_algebra::expr::RaExpr;
 use certus_algebra::{AlgebraError, NullSemantics, Result};
 use certus_data::{Database, Relation, Schema, Tuple, Value};
-use certus_plan::physical::{heuristic_plan, JoinAlgo, PhysicalExpr, SemiAlgo};
+use certus_plan::physical::{
+    heuristic_plan_with, JoinAlgo, Parallelism, Partitioning, PhysicalExpr, SemiAlgo,
+};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// The physical query engine. Holds a reference to the database and the null
-/// semantics applied to conditions (SQL 3VL by default).
+/// Runtime configuration of the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of worker threads exchange operators may fan out to
+    /// (1 = serial execution, and the planners insert no exchanges).
+    pub threads: usize,
+    /// Minimum input work (rows for hash/filter operators, pairs for nested
+    /// loops) before a parallel operator actually spawns threads; smaller
+    /// inputs run inline so tiny queries never pay the scope overhead. The
+    /// heuristic planner has no statistics, so this runtime floor is what
+    /// keeps its exchanges harmless on small data.
+    pub parallel_floor: usize,
+}
+
+impl EngineConfig {
+    /// Default [`EngineConfig::parallel_floor`].
+    pub const DEFAULT_PARALLEL_FLOOR: usize = 1024;
+
+    /// Serial execution: one thread, no exchange operators.
+    pub fn serial() -> Self {
+        EngineConfig::with_threads(1)
+    }
+
+    /// A configuration with an explicit thread count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig { threads: threads.max(1), parallel_floor: Self::DEFAULT_PARALLEL_FLOOR }
+    }
+
+    /// The environment-driven default: the `CERTUS_THREADS` variable when set
+    /// to a positive integer, the machine's available parallelism otherwise.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("CERTUS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        EngineConfig::with_threads(threads)
+    }
+
+    /// Replace the parallel floor (0 forces every exchange to fan out, used
+    /// by the differential tests to exercise the parallel paths on small
+    /// instances).
+    pub fn with_parallel_floor(mut self, rows: usize) -> Self {
+        self.parallel_floor = rows;
+        self
+    }
+
+    /// The [`Parallelism`] the heuristic planner should plan for.
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.threads)
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::from_env()
+    }
+}
+
+/// The physical query engine. Holds a reference to the database, the null
+/// semantics applied to conditions (SQL 3VL by default), and the runtime
+/// configuration (thread count).
 pub struct Engine<'a> {
     db: &'a Database,
     semantics: NullSemantics,
+    config: EngineConfig,
+    /// Worker threads currently spawned by this engine's parallel regions;
+    /// nested operators subtract it from the configured thread budget so the
+    /// total fan-out never exceeds `config.threads`.
+    in_flight: AtomicUsize,
 }
 
 impl<'a> Engine<'a> {
-    /// An engine over a database using SQL three-valued semantics.
+    /// An engine over a database using SQL three-valued semantics and the
+    /// environment-driven default configuration ([`EngineConfig::from_env`]).
     pub fn new(db: &'a Database) -> Self {
-        Engine { db, semantics: NullSemantics::Sql }
+        Engine::configured(db, NullSemantics::Sql, EngineConfig::default())
     }
 
     /// An engine using the given null semantics (naive evaluation is used
     /// when executing translations in the theoretical dialect).
     pub fn with_semantics(db: &'a Database, semantics: NullSemantics) -> Self {
-        Engine { db, semantics }
+        Engine::configured(db, semantics, EngineConfig::default())
+    }
+
+    /// An engine with an explicit configuration, using SQL semantics.
+    pub fn with_config(db: &'a Database, config: EngineConfig) -> Self {
+        Engine::configured(db, NullSemantics::Sql, config)
+    }
+
+    /// An engine with explicit semantics and configuration.
+    pub fn configured(db: &'a Database, semantics: NullSemantics, config: EngineConfig) -> Self {
+        Engine { db, semantics, config, in_flight: AtomicUsize::new(0) }
+    }
+
+    /// The engine's runtime configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The physical plan [`Engine::execute`] would run: the statistics-free
+    /// heuristic plan, with exchange operators iff `threads > 1`.
+    pub fn plan(&self, expr: &RaExpr) -> Result<PhysicalExpr> {
+        Ok(heuristic_plan_with(expr, self.db, &self.config.parallelism())?)
     }
 
     /// Execute a logical query: plan it with the statistics-free heuristic
-    /// planner, then execute the physical plan.
+    /// planner (inserting exchanges when this engine is multi-threaded),
+    /// then execute the physical plan.
     pub fn execute(&self, expr: &RaExpr) -> Result<Relation> {
-        let plan = heuristic_plan(expr, self.db)?;
+        let plan = self.plan(expr)?;
         self.execute_physical(&plan)
     }
 
@@ -73,10 +183,23 @@ impl<'a> Engine<'a> {
             PhysicalExpr::Semi { left, right, condition, algo, anti, left_schema } => {
                 self.exec_semi(left, right, condition, algo, !*anti, left_schema, ev)
             }
+            // An exchange executed in place (serial engine, or a parent that
+            // does not exploit it) is the identity: materialise the input.
+            PhysicalExpr::Exchange { input, .. } => self.exec(input, ev),
             // Every other operator: execute the children here (so joins below
             // them still run their planned algorithms) and delegate the node
             // itself to the reference evaluator over the materialised inputs.
             PhysicalExpr::Filter { input, condition } => {
+                if let PhysicalExpr::Exchange {
+                    input: inner,
+                    partitioning: Partitioning::RoundRobin { partitions },
+                } = input.as_ref()
+                {
+                    if self.config.threads > 1 {
+                        let child = self.exec(inner, ev)?;
+                        return self.exec_filter_parallel(child, condition, *partitions);
+                    }
+                }
                 let child = self.exec(input, ev)?;
                 ev.eval(&RaExpr::Select {
                     input: Box::new(values_of(child)),
@@ -91,6 +214,16 @@ impl<'a> Engine<'a> {
                 })
             }
             PhysicalExpr::Union { left, right } => {
+                // Arm sizes are unknown before execution, so the runtime
+                // floor is checked against the database size: tiny databases
+                // can never produce arms worth a thread.
+                if self.config.threads > 1
+                    && (matches!(**left, PhysicalExpr::Exchange { .. })
+                        || matches!(**right, PhysicalExpr::Exchange { .. }))
+                    && self.db.total_tuples() >= self.config.parallel_floor
+                {
+                    return self.exec_union_parallel(plan);
+                }
                 let l = self.exec(left, ev)?;
                 let r = self.exec(right, ev)?;
                 ev.eval(&values_of(l).union(values_of(r)))
@@ -147,6 +280,42 @@ impl<'a> Engine<'a> {
         algo: &JoinAlgo,
         ev: &Evaluator<'_>,
     ) -> Result<Relation> {
+        // The planner marked the build side for hash partitioning (run build
+        // and probe of every partition on its own worker thread) or the
+        // outer side of a nested loop for morsel parallelism.
+        if self.config.threads > 1 {
+            if let (
+                JoinAlgo::Hash { left_keys, right_keys, residual },
+                PhysicalExpr::Exchange {
+                    input,
+                    partitioning: Partitioning::Hash { partitions, .. },
+                },
+            ) = (algo, right)
+            {
+                let l = self.exec(left, ev)?;
+                let r = self.exec(input, ev)?;
+                return self.hash_join_partitioned(
+                    &l,
+                    &r,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    *partitions,
+                );
+            }
+            if let (
+                JoinAlgo::NestedLoop,
+                PhysicalExpr::Exchange {
+                    input,
+                    partitioning: Partitioning::RoundRobin { partitions },
+                },
+            ) = (algo, left)
+            {
+                let l = self.exec(input, ev)?;
+                let r = self.exec(right, ev)?;
+                return self.nl_join_morsels(&l, &r, condition, *partitions);
+            }
+        }
         let l = self.exec(left, ev)?;
         let r = self.exec(right, ev)?;
         let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
@@ -215,6 +384,41 @@ impl<'a> Engine<'a> {
             };
         }
 
+        // Partitioned parallel hash (anti-)semijoin, mirroring the join case.
+        if self.config.threads > 1 {
+            if let (
+                SemiAlgo::Hash { left_keys, right_keys, residual },
+                PhysicalExpr::Exchange {
+                    input,
+                    partitioning: Partitioning::Hash { partitions, .. },
+                },
+            ) = (algo, right)
+            {
+                let l = self.exec(left, ev)?;
+                let r = self.exec(input, ev)?;
+                return self.hash_semi_partitioned(
+                    &l,
+                    &r,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    keep_matching,
+                    *partitions,
+                );
+            }
+            if let (
+                SemiAlgo::NestedLoop,
+                PhysicalExpr::Exchange {
+                    input,
+                    partitioning: Partitioning::RoundRobin { partitions },
+                },
+            ) = (algo, left)
+            {
+                let l = self.exec(input, ev)?;
+                let r = self.exec(right, ev)?;
+                return self.nl_semi_morsels(&l, &r, condition, keep_matching, *partitions);
+            }
+        }
         let l = self.exec(left, ev)?;
         let r = self.exec(right, ev)?;
         let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
@@ -266,6 +470,369 @@ impl<'a> Engine<'a> {
             }
         }
         Ok(Relation::from_parts(l.schema().clone(), out))
+    }
+
+    /// Number of workers an operator with the given plan-side partition
+    /// count and input work (rows or pairs touched) actually fans out to:
+    /// never more than the engine's configured threads, and 1 (inline, no
+    /// thread spawned) below the configured floor — tiny inputs are not
+    /// worth a scope.
+    fn workers(&self, partitions: usize, work: usize) -> usize {
+        if work < self.config.parallel_floor {
+            1
+        } else {
+            // Deliberately *not* a function of the transient in-flight count:
+            // this value is the routing modulus / morsel count, and output
+            // order depends on it, so it must be deterministic for a fixed
+            // plan and config. Oversubscription is bounded separately, by
+            // grouping in parallel_tuples.
+            partitions.clamp(1, self.config.threads.max(1))
+        }
+    }
+
+    /// Threads still available to a new parallel region: the configured
+    /// count minus workers already spawned by enclosing regions (union arms
+    /// containing partitioned joins would otherwise multiply fan-out to
+    /// roughly `threads^2`). Only ever used to decide *scheduling* (how many
+    /// threads to spawn), never how work is split — the value is racy across
+    /// sibling regions.
+    fn thread_budget(&self) -> usize {
+        self.config.threads.saturating_sub(self.in_flight.load(Ordering::Relaxed)).max(1)
+    }
+
+    /// Partitioned parallel hash join: route both sides to partitions by a
+    /// deterministic key hash, then build + probe every partition on its own
+    /// worker. Output is the concatenation of the partition outputs in
+    /// partition order (and probe order within a partition), so results are
+    /// deterministic for a fixed plan.
+    fn hash_join_partitioned(
+        &self,
+        l: &Relation,
+        r: &Relation,
+        left_keys: &[String],
+        right_keys: &[String],
+        residual: &Condition,
+        partitions: usize,
+    ) -> Result<Relation> {
+        let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
+        let l_pos = positions(l.schema(), left_keys)?;
+        let r_pos = positions(r.schema(), right_keys)?;
+        let allow_nulls = self.semantics == NullSemantics::Naive;
+        let n = self.workers(partitions, l.len() + r.len());
+        let build = route(r, &r_pos, allow_nulls, n).0;
+        let probe = route(l, &l_pos, allow_nulls, n).0;
+        let parts: Vec<_> = build.into_iter().zip(probe).collect();
+        let out = self.parallel_tuples(&parts, |(b, p)| {
+            let ev = Evaluator::new(self.db, self.semantics);
+            let table = table_of(b);
+            let mut out = Vec::new();
+            for (key, lt) in p {
+                if let Some(candidates) = table.get(key.as_slice()) {
+                    for &rt in candidates {
+                        let tuple = lt.concat(rt);
+                        if ev.eval_condition(residual, &combined, &tuple)?.is_true() {
+                            out.push(tuple);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        })?;
+        Ok(Relation::from_parts(combined, out))
+    }
+
+    /// Partitioned parallel hash (anti-)semijoin. Left tuples whose key
+    /// contains a null (which can never match under SQL semantics) bypass the
+    /// partitions and are appended after them, preserving determinism.
+    #[allow(clippy::too_many_arguments)]
+    fn hash_semi_partitioned(
+        &self,
+        l: &Relation,
+        r: &Relation,
+        left_keys: &[String],
+        right_keys: &[String],
+        residual: &Condition,
+        keep_matching: bool,
+        partitions: usize,
+    ) -> Result<Relation> {
+        let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
+        let l_pos = positions(l.schema(), left_keys)?;
+        let r_pos = positions(r.schema(), right_keys)?;
+        let allow_nulls = self.semantics == NullSemantics::Naive;
+        let n = self.workers(partitions, l.len() + r.len());
+        let build = route(r, &r_pos, allow_nulls, n).0;
+        let (probe, null_keyed) = route(l, &l_pos, allow_nulls, n);
+        let parts: Vec<_> = build.into_iter().zip(probe).collect();
+        let mut out = self.parallel_tuples(&parts, |(b, p)| {
+            let ev = Evaluator::new(self.db, self.semantics);
+            let table = table_of(b);
+            let mut out = Vec::new();
+            for (key, lt) in p {
+                let mut matched = false;
+                if let Some(candidates) = table.get(key.as_slice()) {
+                    for &rt in candidates {
+                        let tuple = lt.concat(rt);
+                        if ev.eval_condition(residual, &combined, &tuple)?.is_true() {
+                            matched = true;
+                            break;
+                        }
+                    }
+                }
+                if matched == keep_matching {
+                    out.push((*lt).clone());
+                }
+            }
+            Ok(out)
+        })?;
+        if !keep_matching {
+            // A null key never matches: those tuples survive an anti-join.
+            out.extend(null_keyed.into_iter().cloned());
+        }
+        Ok(Relation::from_parts(l.schema().clone(), out))
+    }
+
+    /// Morsel-parallel nested-loop join: the outer side is split into
+    /// contiguous morsels, each worker loops its morsel over the full inner
+    /// side. Morsel outputs concatenate to exactly the serial output order.
+    fn nl_join_morsels(
+        &self,
+        l: &Relation,
+        r: &Relation,
+        condition: &Condition,
+        partitions: usize,
+    ) -> Result<Relation> {
+        let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
+        let n = self.workers(partitions, l.len().saturating_mul(r.len()));
+        let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
+        let out = self.parallel_tuples(&morsels, |chunk| {
+            let ev = Evaluator::new(self.db, self.semantics);
+            let mut out = Vec::new();
+            for lt in *chunk {
+                for rt in r.iter() {
+                    let tuple = lt.concat(rt);
+                    if ev.eval_condition(condition, &combined, &tuple)?.is_true() {
+                        out.push(tuple);
+                    }
+                }
+            }
+            Ok(out)
+        })?;
+        Ok(Relation::from_parts(combined, out))
+    }
+
+    /// Morsel-parallel nested-loop (anti-)semijoin over the preserved side.
+    fn nl_semi_morsels(
+        &self,
+        l: &Relation,
+        r: &Relation,
+        condition: &Condition,
+        keep_matching: bool,
+        partitions: usize,
+    ) -> Result<Relation> {
+        let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
+        let n = self.workers(partitions, l.len().saturating_mul(r.len()));
+        let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
+        let out = self.parallel_tuples(&morsels, |chunk| {
+            let ev = Evaluator::new(self.db, self.semantics);
+            let mut out = Vec::new();
+            for lt in *chunk {
+                let mut matched = false;
+                for rt in r.iter() {
+                    let tuple = lt.concat(rt);
+                    if ev.eval_condition(condition, &combined, &tuple)?.is_true() {
+                        matched = true;
+                        break;
+                    }
+                }
+                if matched == keep_matching {
+                    out.push(lt.clone());
+                }
+            }
+            Ok(out)
+        })?;
+        Ok(Relation::from_parts(l.schema().clone(), out))
+    }
+
+    /// Evaluate the arms of a (possibly nested) union concurrently — at most
+    /// `threads` workers, each taking a contiguous group of arms in order —
+    /// then fold the results in arm order *through the evaluator*, which
+    /// aligns every arm onto the accumulated schema exactly like the serial
+    /// union path does.
+    fn exec_union_parallel(&self, plan: &PhysicalExpr) -> Result<Relation> {
+        let mut arms = Vec::new();
+        union_arms(plan, &mut arms);
+        let groups: Vec<&[&PhysicalExpr]> = chunks_of(&arms, self.thread_budget());
+        let results: Vec<Result<Vec<Relation>>> = if groups.len() <= 1 {
+            let ev = Evaluator::new(self.db, self.semantics);
+            groups
+                .iter()
+                .map(|group| group.iter().map(|arm| self.exec(arm, &ev)).collect())
+                .collect()
+        } else {
+            let extra = groups.len() - 1;
+            self.in_flight.fetch_add(extra, Ordering::Relaxed);
+            let results = std::thread::scope(|s| {
+                let handles: Vec<_> = groups
+                    .iter()
+                    .map(|group| {
+                        s.spawn(move || {
+                            let ev = Evaluator::new(self.db, self.semantics);
+                            group.iter().map(|arm| self.exec(arm, &ev)).collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("union worker panicked")).collect()
+            });
+            self.in_flight.fetch_sub(extra, Ordering::Relaxed);
+            results
+        };
+        let ev = Evaluator::new(self.db, self.semantics);
+        let mut acc: Option<Relation> = None;
+        for group in results {
+            for rel in group? {
+                acc = Some(match acc {
+                    None => rel,
+                    Some(a) => ev.eval(&values_of(a).union(values_of(rel)))?,
+                });
+            }
+        }
+        acc.ok_or_else(|| AlgebraError::Malformed("union with no arms".into()))
+    }
+
+    /// Run `worker` over every item. A single item (or none) runs inline on
+    /// the current thread; more fan out to one scoped worker thread each,
+    /// accounted against the engine's thread budget. Outputs are
+    /// concatenated in item order, so callers are deterministic.
+    fn parallel_tuples<T, W>(&self, items: &[T], worker: W) -> Result<Vec<Tuple>>
+    where
+        T: Sync,
+        W: Fn(&T) -> Result<Vec<Tuple>> + Sync,
+    {
+        // Items are grouped contiguously onto at most `thread_budget()`
+        // worker threads; each worker processes its group in item order and
+        // group outputs concatenate in group order, so the result is the
+        // same regardless of how many threads happened to be available.
+        let groups: Vec<&[T]> = chunks_of(items, self.thread_budget());
+        let mut out = Vec::new();
+        if groups.len() <= 1 {
+            for item in items {
+                out.extend(worker(item)?);
+            }
+            return Ok(out);
+        }
+        let extra = groups.len() - 1;
+        self.in_flight.fetch_add(extra, Ordering::Relaxed);
+        let chunks: Vec<Result<Vec<Tuple>>> = std::thread::scope(|s| {
+            let worker = &worker;
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|group| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for item in *group {
+                            out.extend(worker(item)?);
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+        });
+        self.in_flight.fetch_sub(extra, Ordering::Relaxed);
+        for c in chunks {
+            out.extend(c?);
+        }
+        Ok(out)
+    }
+
+    /// Filter a materialised input by splitting it into contiguous morsels,
+    /// one per partition, evaluated concurrently. Morsel outputs are
+    /// concatenated in order, matching the serial filter's output order.
+    fn exec_filter_parallel(
+        &self,
+        input: Relation,
+        condition: &Condition,
+        partitions: usize,
+    ) -> Result<Relation> {
+        let schema = input.schema().clone();
+        let tuples = input.into_tuples();
+        let n = self.workers(partitions, tuples.len());
+        let morsels: Vec<&[Tuple]> = chunks_of(&tuples, n);
+        let out = self.parallel_tuples(&morsels, |chunk| {
+            let ev = Evaluator::new(self.db, self.semantics);
+            let mut out = Vec::new();
+            for t in *chunk {
+                if ev.eval_condition(condition, &schema, t)?.is_true() {
+                    out.push(t.clone());
+                }
+            }
+            Ok(out)
+        })?;
+        Ok(Relation::from_parts(schema, out))
+    }
+}
+
+/// Split a slice into at most `n` contiguous chunks (fewer when the slice is
+/// shorter), preserving order.
+fn chunks_of<T>(items: &[T], n: usize) -> Vec<&[T]> {
+    let size = items.len().div_ceil(n.max(1)).max(1);
+    items.chunks(size).collect()
+}
+
+/// Deterministic partition index of a key: a fixed-seed hash, so plans
+/// execute identically run to run and across thread counts.
+fn partition_index(key: &[Value], partitions: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions.max(1) as u64) as usize
+}
+
+/// Route a relation's tuples to partitions by key hash. Returns the
+/// partitions (key + tuple, in input order) and the tuples whose key
+/// contained a null (excluded from hashing under SQL semantics).
+#[allow(clippy::type_complexity)]
+fn route<'r>(
+    rel: &'r Relation,
+    pos: &[usize],
+    allow_nulls: bool,
+    partitions: usize,
+) -> (Vec<Vec<(Vec<Value>, &'r Tuple)>>, Vec<&'r Tuple>) {
+    let p = partitions.max(1);
+    let mut parts: Vec<Vec<(Vec<Value>, &Tuple)>> = vec![Vec::new(); p];
+    let mut null_keyed = Vec::new();
+    for t in rel.iter() {
+        match key_of(t, pos, allow_nulls) {
+            Some(key) => {
+                let i = partition_index(&key, p);
+                parts[i].push((key, t));
+            }
+            None => null_keyed.push(t),
+        }
+    }
+    (parts, null_keyed)
+}
+
+/// Build a hash table over one routed partition (keys were computed during
+/// routing; the table borrows them).
+fn table_of<'p, 'r>(part: &'p [(Vec<Value>, &'r Tuple)]) -> HashMap<&'p [Value], Vec<&'r Tuple>> {
+    let mut table: HashMap<&[Value], Vec<&Tuple>> = HashMap::with_capacity(part.len());
+    for (key, t) in part {
+        table.entry(key.as_slice()).or_default().push(t);
+    }
+    table
+}
+
+/// Collect the leaf arms of a (possibly nested) union, looking through the
+/// exchange operators that mark the arms for concurrent evaluation.
+fn union_arms<'p>(plan: &'p PhysicalExpr, out: &mut Vec<&'p PhysicalExpr>) {
+    match plan {
+        PhysicalExpr::Union { left, right } => {
+            union_arms(left, out);
+            union_arms(right, out);
+        }
+        PhysicalExpr::Exchange { input, .. } => union_arms(input, out),
+        other => out.push(other),
     }
 }
 
@@ -469,6 +1036,115 @@ mod tests {
         let reference = eval(&q, &db, NullSemantics::Naive).unwrap();
         assert_eq!(engine.sorted().tuples(), reference.sorted().tuples());
         assert_eq!(engine.len(), 1);
+    }
+
+    #[test]
+    fn partitioned_hash_join_matches_serial_under_both_semantics() {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(
+                &["a", "b"],
+                (0..60)
+                    .map(|i| {
+                        let b = if i % 7 == 0 { null(i as u64) } else { Value::Int(i * 2) };
+                        vec![Value::Int(i % 13), b]
+                    })
+                    .collect(),
+            ),
+        );
+        db.insert_relation(
+            "s",
+            rel(
+                &["c", "d"],
+                (0..45)
+                    .map(|i| {
+                        let c = if i % 5 == 0 { null(100 + i as u64) } else { Value::Int(i % 13) };
+                        vec![c, Value::Int(i)]
+                    })
+                    .collect(),
+            ),
+        );
+        let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c").and(neq("b", "d")));
+        for semantics in [NullSemantics::Sql, NullSemantics::Naive] {
+            let serial = Engine::configured(&db, semantics, EngineConfig::serial());
+            let parallel = Engine::configured(
+                &db,
+                semantics,
+                EngineConfig::with_threads(4).with_parallel_floor(0),
+            );
+            assert!(parallel.plan(&q).unwrap().has_exchange());
+            assert_eq!(
+                parallel.execute(&q).unwrap().sorted().distinct().tuples(),
+                serial.execute(&q).unwrap().sorted().distinct().tuples(),
+                "{} semantics",
+                semantics.label()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_anti_join_keeps_null_keyed_tuples() {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(&["a"], vec![vec![Value::Int(1)], vec![null(9)], vec![Value::Int(3)]]),
+        );
+        db.insert_relation("s", rel(&["b"], vec![vec![Value::Int(1)], vec![null(8)]]));
+        let q = RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"));
+        let parallel =
+            Engine::with_config(&db, EngineConfig::with_threads(4).with_parallel_floor(0));
+        let out = parallel.execute(&q).unwrap().sorted();
+        // 1 matches; 3 and the null-keyed tuple survive (a null key never
+        // matches a pure equality under SQL semantics).
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::new(vec![Value::Int(3)])));
+        assert!(out.contains(&Tuple::new(vec![null(9)])));
+        assert_same_as_reference(&q, &db);
+    }
+
+    #[test]
+    fn parallel_union_arms_and_filters_match_reference() {
+        let complete = DbGen::new(0.0002, 21).generate();
+        let db = certus_data::inject::NullInjector::new(0.05, 13).inject(&complete);
+        let params = QueryParams::random(&db, 6);
+        let rewriter = CertainRewriter::new();
+        let serial = Engine::with_config(&db, EngineConfig::serial());
+        let parallel =
+            Engine::with_config(&db, EngineConfig::with_threads(3).with_parallel_floor(0));
+        // The optimized Q4+ carries split-union arms; Q3+ carries the
+        // hash anti-joins. Both must agree with the serial engine.
+        for q in [q3(&params), q4(&params)] {
+            let plus = rewriter.rewrite_plus(&q, &db).unwrap();
+            assert_eq!(
+                parallel.execute(&plus).unwrap().sorted().distinct().tuples(),
+                serial.execute(&plus).unwrap().sorted().distinct().tuples(),
+                "query {q}"
+            );
+        }
+        // A morsel-parallel filter via an explicitly planned exchange.
+        let stats = StatisticsCatalog::analyze(&db);
+        let mut par = certus_plan::Parallelism::new(3);
+        par.row_threshold = 0.0;
+        let planner = PhysicalPlanner::with_parallelism(&db, &stats, par);
+        let q = RaExpr::relation("lineitem").select(is_null("l_commitdate"));
+        let plan = planner.plan(&q).unwrap();
+        assert!(plan.has_exchange());
+        assert_eq!(
+            parallel.execute_physical(&plan).unwrap().sorted().tuples(),
+            serial.execute(&q).unwrap().sorted().tuples()
+        );
+    }
+
+    #[test]
+    fn engine_config_thread_counts_are_clamped() {
+        assert_eq!(EngineConfig::serial().threads, 1);
+        assert_eq!(EngineConfig::with_threads(0).threads, 1);
+        assert_eq!(EngineConfig::with_threads(6).threads, 6);
+        assert_eq!(EngineConfig::serial().parallel_floor, EngineConfig::DEFAULT_PARALLEL_FLOOR);
+        assert_eq!(EngineConfig::with_threads(2).with_parallel_floor(0).parallel_floor, 0);
+        assert!(!EngineConfig::serial().parallelism().enabled());
+        assert!(EngineConfig::with_threads(2).parallelism().enabled());
     }
 
     #[test]

@@ -15,15 +15,21 @@
 //! * `NOT EXISTS` subqueries that are **uncorrelated** (the decorrelated
 //!   null-check that the translation adds to query Q2) are evaluated once and
 //!   short-circuit the whole query when they trip;
+//! * plans carrying **exchange operators** (inserted by the planners when
+//!   configured with a [`Parallelism`]) execute multi-threaded: partitioned
+//!   hash build/probe, concurrent union arms and morsel-parallel filters,
+//!   governed by [`EngineConfig`] (`CERTUS_THREADS` overrides the default of
+//!   the machine's available parallelism);
 //! * the cost model and equi-key analysis live in `certus-plan` and are
 //!   re-exported here ([`cost`], [`equi`]) for compatibility.
 
-pub mod cost;
 pub mod engine;
-pub mod equi;
+
+pub use certus_plan::{cost, equi};
 
 pub use certus_plan::physical::{
-    heuristic_plan, ExplainPlan, JoinAlgo, PhysicalExpr, PhysicalPlanner, SemiAlgo,
+    heuristic_plan, heuristic_plan_with, ExplainPlan, JoinAlgo, Parallelism, Partitioning,
+    PhysicalExpr, PhysicalPlanner, SemiAlgo,
 };
 pub use cost::{estimate, CostEstimate};
-pub use engine::Engine;
+pub use engine::{Engine, EngineConfig};

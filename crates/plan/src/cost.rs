@@ -140,6 +140,18 @@ pub(crate) fn aggregate_rows(input_rows: f64, grouped: bool) -> f64 {
     }
 }
 
+/// Fixed per-partition setup charge of an exchange operator (allocating the
+/// partition buffers and handing work to a thread).
+const EXCHANGE_PARTITION_SETUP: f64 = 8.0;
+
+/// Cost of an exchange (repartition) operator over `rows` input rows split
+/// into `partitions` partitions: one routing pass over the input plus the
+/// per-partition setup. Rows pass through unchanged. Shared with the
+/// physical planner's per-node annotations, like the row formulas above.
+pub fn exchange_cost(rows: f64, partitions: usize) -> f64 {
+    rows + EXCHANGE_PARTITION_SETUP * partitions.max(1) as f64
+}
+
 /// Estimate rows and cost for an expression, with base cardinalities taken
 /// from the statistics catalog when analyzed (falling back to the catalog's
 /// live row counts) and selectivities from column statistics.
@@ -343,6 +355,70 @@ mod tests {
         assert!((selectivity_with(&is_null("b"), &stats) - 0.5).abs() < 1e-12);
         // The statistics-free estimate keeps the old magic numbers.
         assert!((selectivity(&eq("a", "a")) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_row_formula_keeps_products_and_scales_equi_joins() {
+        let stats = StatisticsCatalog::empty();
+        // Products (condition TRUE) keep the full cross-product cardinality.
+        assert_eq!(join_rows(10.0, 20.0, &Condition::True, &stats), 200.0);
+        // Statistics-free equi-join: l*r*0.1 / max(l, r) = min-side * 0.1.
+        assert!((join_rows(100.0, 50.0, &eq("a", "b"), &stats) - 5.0).abs() < 1e-9);
+        // Never below one row.
+        assert!(join_rows(0.0, 0.0, &eq("a", "b"), &stats) >= 1.0);
+    }
+
+    #[test]
+    fn join_row_formula_uses_distinct_counts_when_analyzed() {
+        let db = db();
+        let stats = StatisticsCatalog::analyze(&db);
+        // r.a has 1000 distinct values: selectivity 1/1000, so
+        // 1000*1000*(1/1000)/1000 = 1 row.
+        assert!((join_rows(1000.0, 1000.0, &eq("a", "b"), &stats) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semi_setop_and_aggregate_row_formulas() {
+        assert_eq!(semi_rows(10.0), 5.0);
+        assert_eq!(semi_rows(0.0), 1.0);
+        assert_eq!(setop_rows(3.0, 9.0), 9.0);
+        assert_eq!(setop_rows(9.0, 3.0), 9.0);
+        assert_eq!(aggregate_rows(100.0, true), 10.0);
+        assert_eq!(aggregate_rows(100.0, false), 1.0);
+        assert_eq!(aggregate_rows(0.0, true), 1.0);
+    }
+
+    #[test]
+    fn exchange_cost_is_one_routing_pass_plus_partition_setup() {
+        // Linear in rows…
+        assert!((exchange_cost(1000.0, 2) - exchange_cost(0.0, 2) - 1000.0).abs() < 1e-9);
+        // …monotone in partitions…
+        assert!(exchange_cost(1000.0, 8) > exchange_cost(1000.0, 2));
+        // …and degenerate partition counts are clamped to one.
+        assert_eq!(exchange_cost(10.0, 0), exchange_cost(10.0, 1));
+    }
+
+    #[test]
+    fn per_operator_estimates_follow_the_row_formulas() {
+        let db = db();
+        let stats = StatisticsCatalog::analyze(&db);
+        let r = RaExpr::relation("r");
+        let s = RaExpr::relation("s");
+        // Selection: input rows times measured selectivity (1/distinct).
+        let sel = estimate_with(&r.clone().select(eq("a", "a")), &db, &stats).unwrap();
+        assert!((sel.rows - 1.0).abs() < 1e-9);
+        // Semijoin halves the outer side.
+        let semi =
+            estimate_with(&r.clone().semi_join(s.clone(), eq("a", "b")), &db, &stats).unwrap();
+        assert_eq!(semi.rows, 500.0);
+        // Union keeps the larger side.
+        let uni = estimate_with(&r.clone().union(s.clone()), &db, &stats).unwrap();
+        assert_eq!(uni.rows, 1000.0);
+        // Ungrouped aggregation collapses to one row; grouped keeps 1/10th.
+        let agg = estimate_with(&r.clone().aggregate(&[], vec![]), &db, &stats).unwrap();
+        assert_eq!(agg.rows, 1.0);
+        let grouped = estimate_with(&r.aggregate(&["a"], vec![]), &db, &stats).unwrap();
+        assert_eq!(grouped.rows, 100.0);
     }
 
     #[test]

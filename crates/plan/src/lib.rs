@@ -35,12 +35,15 @@ pub mod passes;
 pub mod physical;
 pub mod stats;
 
-pub use cost::{estimate, estimate_with, selectivity, selectivity_with, CostEstimate};
+pub use cost::{
+    estimate, estimate_with, exchange_cost, selectivity, selectivity_with, CostEstimate,
+};
 pub use equi::{references_schema, split_equi, EquiSplit};
 pub use error::PlanError;
 pub use pass::{FnPass, Pass, PassContext, PassManager, PassTrace, PlanOptions};
 pub use physical::{
-    heuristic_plan, ExplainPlan, JoinAlgo, PhysicalExpr, PhysicalPlanner, SemiAlgo,
+    heuristic_plan, heuristic_plan_with, ExplainPlan, JoinAlgo, Parallelism, Partitioning,
+    PhysicalExpr, PhysicalPlanner, SemiAlgo,
 };
 pub use stats::{ColumnStats, StatisticsCatalog, TableStats};
 

@@ -22,6 +22,89 @@ use certus_algebra::schema_infer::{output_schema, Catalog};
 use certus_data::Schema;
 use std::fmt;
 
+/// How an [`PhysicalExpr::Exchange`] operator redistributes its input
+/// across workers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitioning {
+    /// Partition by a deterministic hash of the given key columns: every
+    /// tuple with the same key lands in the same partition, so a hash join
+    /// can build and probe each partition independently.
+    Hash {
+        /// Key columns (resolved in the input schema).
+        keys: Vec<String>,
+        /// Number of partitions.
+        partitions: usize,
+    },
+    /// Split the input into contiguous morsels, one per worker — used for
+    /// data-parallel scans/filters and to mark union branches that may be
+    /// evaluated concurrently.
+    RoundRobin {
+        /// Number of partitions.
+        partitions: usize,
+    },
+}
+
+impl Partitioning {
+    /// Number of partitions this exchange produces.
+    pub fn partitions(&self) -> usize {
+        match self {
+            Partitioning::Hash { partitions, .. } | Partitioning::RoundRobin { partitions } => {
+                *partitions
+            }
+        }
+    }
+}
+
+/// Parallelism configuration for the planners: how many worker threads the
+/// executing engine has, and how many estimated rows an input must clear
+/// before an exchange is worth its repartitioning cost.
+///
+/// With `threads == 1` (the [`Parallelism::serial`] default) the planners
+/// insert no exchange operators at all, so plans — and therefore the engine's
+/// execution path — degenerate to the serial ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parallelism {
+    /// Worker threads available to the executor (1 = serial).
+    pub threads: usize,
+    /// Minimum estimated input rows before an exchange is inserted. Only
+    /// consulted when statistics are available; the statistics-free heuristic
+    /// planner has no row estimates and gates on `threads` alone.
+    pub row_threshold: f64,
+}
+
+impl Parallelism {
+    /// Default row threshold: repartitioning costs one pass over the input,
+    /// so tiny inputs are not worth exchanging.
+    pub const DEFAULT_ROW_THRESHOLD: f64 = 1024.0;
+
+    /// Parallelism over the given number of worker threads.
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads: threads.max(1), row_threshold: Self::DEFAULT_ROW_THRESHOLD }
+    }
+
+    /// Serial planning: no exchange operators.
+    pub fn serial() -> Self {
+        Parallelism::new(1)
+    }
+
+    /// Whether exchanges may be inserted at all.
+    pub fn enabled(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Whether an input with the given estimated rows should be exchanged.
+    /// `estimated` is `None` when planning without statistics.
+    fn worthwhile(&self, estimated: Option<f64>) -> bool {
+        self.enabled() && estimated.map(|r| r >= self.row_threshold).unwrap_or(true)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::serial()
+    }
+}
+
 /// Algorithm choice for a theta-join (or cartesian product).
 #[derive(Debug, Clone, PartialEq)]
 pub enum JoinAlgo {
@@ -165,6 +248,15 @@ pub enum PhysicalExpr {
         /// Aggregates to compute.
         aggregates: Vec<AggExpr>,
     },
+    /// Exchange (repartition) operator: marks where the executor may split
+    /// its input across worker threads. Semantically the identity — a serial
+    /// executor (or one with a single thread) just passes the input through.
+    Exchange {
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+        /// How the input is redistributed.
+        partitioning: Partitioning,
+    },
 }
 
 impl PhysicalExpr {
@@ -181,7 +273,8 @@ impl PhysicalExpr {
             | PhysicalExpr::Project { input, .. }
             | PhysicalExpr::Rename { input, .. }
             | PhysicalExpr::Distinct { input }
-            | PhysicalExpr::Aggregate { input, .. } => vec![input],
+            | PhysicalExpr::Aggregate { input, .. }
+            | PhysicalExpr::Exchange { input, .. } => vec![input],
             PhysicalExpr::Join { left, right, .. }
             | PhysicalExpr::Semi { left, right, .. }
             | PhysicalExpr::Union { left, right }
@@ -229,7 +322,22 @@ impl PhysicalExpr {
             PhysicalExpr::Rename { .. } => "Rename".to_string(),
             PhysicalExpr::Distinct { .. } => "Distinct".to_string(),
             PhysicalExpr::Aggregate { .. } => "Aggregate".to_string(),
+            PhysicalExpr::Exchange { partitioning, .. } => match partitioning {
+                Partitioning::Hash { keys, partitions } => {
+                    format!("Exchange hash({}) x{partitions}", keys.join(", "))
+                }
+                Partitioning::RoundRobin { partitions } => {
+                    format!("Exchange round-robin x{partitions}")
+                }
+            },
         }
+    }
+
+    /// Whether the plan contains any exchange operator (i.e. whether the
+    /// executor is allowed to parallelise anything).
+    pub fn has_exchange(&self) -> bool {
+        matches!(self, PhysicalExpr::Exchange { .. })
+            || self.children().iter().any(|c| c.has_exchange())
     }
 }
 
@@ -279,34 +387,59 @@ impl fmt::Display for ExplainPlan {
 /// nested loops otherwise. These are exactly the choices the engine used to
 /// re-derive inline on every execution.
 pub fn heuristic_plan(expr: &RaExpr, catalog: &dyn Catalog) -> Result<PhysicalExpr> {
-    plan_rec(expr, catalog, None).map(|p| p.phys)
+    heuristic_plan_with(expr, catalog, &Parallelism::serial())
+}
+
+/// The heuristic planner with a parallelism configuration: same algorithm
+/// choices as [`heuristic_plan`], plus exchange operators above hash-join
+/// builds and union branches when more than one worker thread is available.
+/// (There are no statistics here, so the row threshold cannot be consulted —
+/// every eligible site is exchanged.)
+pub fn heuristic_plan_with(
+    expr: &RaExpr,
+    catalog: &dyn Catalog,
+    parallelism: &Parallelism,
+) -> Result<PhysicalExpr> {
+    plan_rec(expr, catalog, None, parallelism).map(|p| p.phys)
 }
 
 /// A cost-based physical planner over a statistics catalog.
 pub struct PhysicalPlanner<'a> {
     catalog: &'a dyn Catalog,
     stats: &'a StatisticsCatalog,
+    parallelism: Parallelism,
 }
 
 impl<'a> PhysicalPlanner<'a> {
-    /// A planner over the given catalog and statistics.
+    /// A serial planner over the given catalog and statistics.
     pub fn new(catalog: &'a dyn Catalog, stats: &'a StatisticsCatalog) -> Self {
-        PhysicalPlanner { catalog, stats }
+        PhysicalPlanner::with_parallelism(catalog, stats, Parallelism::serial())
+    }
+
+    /// A planner that inserts exchange operators wherever the estimated rows
+    /// clear the parallelism configuration's threshold.
+    pub fn with_parallelism(
+        catalog: &'a dyn Catalog,
+        stats: &'a StatisticsCatalog,
+        parallelism: Parallelism,
+    ) -> Self {
+        PhysicalPlanner { catalog, stats, parallelism }
     }
 
     /// Produce the physical plan for an expression.
     pub fn plan(&self, expr: &RaExpr) -> Result<PhysicalExpr> {
-        plan_rec(expr, self.catalog, Some(self.stats)).map(|p| p.phys)
+        plan_rec(expr, self.catalog, Some(self.stats), &self.parallelism).map(|p| p.phys)
     }
 
     /// Produce the physical plan together with its explain tree.
     pub fn plan_explained(&self, expr: &RaExpr) -> Result<(PhysicalExpr, ExplainPlan)> {
-        plan_rec(expr, self.catalog, Some(self.stats)).map(|p| (p.phys, p.explain))
+        plan_rec(expr, self.catalog, Some(self.stats), &self.parallelism)
+            .map(|p| (p.phys, p.explain))
     }
 
     /// Produce only the explain tree.
     pub fn explain(&self, expr: &RaExpr) -> Result<ExplainPlan> {
-        plan_rec(expr, self.catalog, Some(self.stats)).map(|p| p.explain)
+        plan_rec(expr, self.catalog, Some(self.stats), &self.parallelism).map(|p| p.explain)
     }
 }
 
@@ -320,10 +453,24 @@ fn explained(phys: PhysicalExpr, rows: f64, cost: f64, children: Vec<ExplainPlan
     Planned { phys, explain }
 }
 
+/// Wrap a planned subtree in an exchange operator. Rows pass through
+/// unchanged; the repartitioning cost comes from the shared cost model.
+fn exchange(child: Planned, partitioning: Partitioning) -> Planned {
+    let rows = child.explain.rows;
+    let cost = child.explain.cost + crate::cost::exchange_cost(rows, partitioning.partitions());
+    explained(
+        PhysicalExpr::Exchange { input: Box::new(child.phys), partitioning },
+        rows,
+        cost,
+        vec![child.explain],
+    )
+}
+
 fn plan_rec(
     expr: &RaExpr,
     catalog: &dyn Catalog,
     stats: Option<&StatisticsCatalog>,
+    par: &Parallelism,
 ) -> Result<Planned> {
     let empty_stats = StatisticsCatalog::empty();
     let st = stats.unwrap_or(&empty_stats);
@@ -337,9 +484,17 @@ fn plan_rec(
             explained(PhysicalExpr::Source(expr.clone()), n, n, vec![])
         }
         RaExpr::Select { input, condition } => {
-            let c = plan_rec(input, catalog, stats)?;
+            let mut c = plan_rec(input, catalog, stats, par)?;
             let rows = c.explain.rows * crate::cost::selectivity_with(condition, st);
-            let cost = c.explain.cost + c.explain.rows;
+            let mut cost = c.explain.cost + c.explain.rows;
+            // A filter over a large input is data-parallel: split it into
+            // contiguous morsels, one per worker. Only worthwhile when
+            // statistics prove the input large — the heuristic planner
+            // (stats-free) never knows, so it never exchanges filters.
+            if stats.is_some() && par.worthwhile(Some(c.explain.rows)) {
+                c = exchange(c, Partitioning::RoundRobin { partitions: par.threads });
+                cost = c.explain.cost + c.explain.rows;
+            }
             explained(
                 PhysicalExpr::Filter { input: Box::new(c.phys), condition: condition.clone() },
                 rows,
@@ -348,7 +503,7 @@ fn plan_rec(
             )
         }
         RaExpr::Project { input, columns } => {
-            let c = plan_rec(input, catalog, stats)?;
+            let c = plan_rec(input, catalog, stats, par)?;
             let (rows, cost) = (c.explain.rows, c.explain.cost + c.explain.rows);
             explained(
                 PhysicalExpr::Project { input: Box::new(c.phys), columns: columns.clone() },
@@ -358,23 +513,23 @@ fn plan_rec(
             )
         }
         RaExpr::Product { left, right } => {
-            plan_join(left, right, &Condition::True, catalog, stats)?
+            plan_join(left, right, &Condition::True, catalog, stats, par)?
         }
         RaExpr::Join { left, right, condition } => {
-            plan_join(left, right, condition, catalog, stats)?
+            plan_join(left, right, condition, catalog, stats, par)?
         }
         RaExpr::SemiJoin { left, right, condition } => {
-            plan_semi(left, right, condition, false, catalog, stats)?
+            plan_semi(left, right, condition, false, catalog, stats, par)?
         }
         RaExpr::AntiJoin { left, right, condition } => {
-            plan_semi(left, right, condition, true, catalog, stats)?
+            plan_semi(left, right, condition, true, catalog, stats, par)?
         }
-        RaExpr::Union { left, right } => plan_setop(expr, left, right, catalog, stats)?,
-        RaExpr::Intersect { left, right } => plan_setop(expr, left, right, catalog, stats)?,
-        RaExpr::Difference { left, right } => plan_setop(expr, left, right, catalog, stats)?,
+        RaExpr::Union { left, right } => plan_setop(expr, left, right, catalog, stats, par)?,
+        RaExpr::Intersect { left, right } => plan_setop(expr, left, right, catalog, stats, par)?,
+        RaExpr::Difference { left, right } => plan_setop(expr, left, right, catalog, stats, par)?,
         RaExpr::UnifySemiJoin { left, right } => {
-            let l = plan_rec(left, catalog, stats)?;
-            let r = plan_rec(right, catalog, stats)?;
+            let l = plan_rec(left, catalog, stats, par)?;
+            let r = plan_rec(right, catalog, stats, par)?;
             let rows = l.explain.rows;
             let cost = l.explain.cost + r.explain.cost + l.explain.rows * r.explain.rows;
             explained(
@@ -389,8 +544,8 @@ fn plan_rec(
             )
         }
         RaExpr::UnifyAntiSemiJoin { left, right } => {
-            let l = plan_rec(left, catalog, stats)?;
-            let r = plan_rec(right, catalog, stats)?;
+            let l = plan_rec(left, catalog, stats, par)?;
+            let r = plan_rec(right, catalog, stats, par)?;
             let rows = l.explain.rows;
             let cost = l.explain.cost + r.explain.cost + l.explain.rows * r.explain.rows;
             explained(
@@ -405,8 +560,8 @@ fn plan_rec(
             )
         }
         RaExpr::Division { left, right } => {
-            let l = plan_rec(left, catalog, stats)?;
-            let r = plan_rec(right, catalog, stats)?;
+            let l = plan_rec(left, catalog, stats, par)?;
+            let r = plan_rec(right, catalog, stats, par)?;
             let rows = l.explain.rows;
             let cost = l.explain.cost + r.explain.cost + l.explain.rows * r.explain.rows;
             explained(
@@ -417,7 +572,7 @@ fn plan_rec(
             )
         }
         RaExpr::Rename { input, columns } => {
-            let c = plan_rec(input, catalog, stats)?;
+            let c = plan_rec(input, catalog, stats, par)?;
             let (rows, cost) = (c.explain.rows, c.explain.cost + c.explain.rows);
             explained(
                 PhysicalExpr::Rename { input: Box::new(c.phys), columns: columns.clone() },
@@ -427,7 +582,7 @@ fn plan_rec(
             )
         }
         RaExpr::Distinct { input } => {
-            let c = plan_rec(input, catalog, stats)?;
+            let c = plan_rec(input, catalog, stats, par)?;
             let (rows, cost) = (c.explain.rows, c.explain.cost + c.explain.rows);
             explained(
                 PhysicalExpr::Distinct { input: Box::new(c.phys) },
@@ -437,7 +592,7 @@ fn plan_rec(
             )
         }
         RaExpr::Aggregate { input, group_by, aggregates } => {
-            let c = plan_rec(input, catalog, stats)?;
+            let c = plan_rec(input, catalog, stats, par)?;
             let rows = crate::cost::aggregate_rows(c.explain.rows, !group_by.is_empty());
             let cost = c.explain.cost + c.explain.rows;
             explained(
@@ -460,11 +615,25 @@ fn plan_setop(
     right: &RaExpr,
     catalog: &dyn Catalog,
     stats: Option<&StatisticsCatalog>,
+    par: &Parallelism,
 ) -> Result<Planned> {
-    let l = plan_rec(left, catalog, stats)?;
-    let r = plan_rec(right, catalog, stats)?;
+    let mut l = plan_rec(left, catalog, stats, par)?;
+    let mut r = plan_rec(right, catalog, stats, par)?;
     let rows = crate::cost::setop_rows(l.explain.rows, r.explain.rows);
-    let cost = l.explain.cost + r.explain.cost + l.explain.rows + r.explain.rows;
+    let mut cost = l.explain.cost + r.explain.cost + l.explain.rows + r.explain.rows;
+    // Union branches are independent: mark both for concurrent evaluation
+    // when the combined input clears the threshold (the translation's split
+    // unions — the Q⁺ arms — are the target here).
+    if matches!(expr, RaExpr::Union { .. })
+        && par.worthwhile(stats.map(|_| l.explain.rows + r.explain.rows))
+    {
+        let p = Partitioning::RoundRobin { partitions: par.threads };
+        l = exchange(l, p.clone());
+        r = exchange(r, p);
+        // Same merge charge as the serial branch (exchanges pass rows
+        // through), so serial and parallel plans stay cost-comparable.
+        cost = l.explain.cost + r.explain.cost + l.explain.rows + r.explain.rows;
+    }
     let phys = match expr {
         RaExpr::Union { .. } => {
             PhysicalExpr::Union { left: Box::new(l.phys), right: Box::new(r.phys) }
@@ -497,9 +666,10 @@ fn plan_join(
     condition: &Condition,
     catalog: &dyn Catalog,
     stats: Option<&StatisticsCatalog>,
+    par: &Parallelism,
 ) -> Result<Planned> {
-    let l = plan_rec(left, catalog, stats)?;
-    let r = plan_rec(right, catalog, stats)?;
+    let l = plan_rec(left, catalog, stats, par)?;
+    let mut r = plan_rec(right, catalog, stats, par)?;
     let l_schema = output_schema(left, catalog).map_err(PlanError::Algebra)?;
     let r_schema = output_schema(right, catalog).map_err(PlanError::Algebra)?;
     let split = split_equi(condition, &l_schema, &r_schema);
@@ -526,6 +696,28 @@ fn plan_join(
         JoinAlgo::Hash { .. } => lr + rr,
         JoinAlgo::NestedLoop => lr * rr,
     };
+    // Partition the build side by key hash so the executor can build and
+    // probe each partition on its own worker. The executor splits *both*
+    // sides, so the threshold is on the total work, not the build alone.
+    // Nested loops (the fate of the translation's OR'd conditions when the
+    // OR-split declines) are morsel-parallel instead: the outer side is
+    // split round-robin and every worker loops over the full inner side.
+    let mut l = l;
+    match &algo {
+        JoinAlgo::Hash { right_keys, .. } => {
+            if par.worthwhile(stats.map(|_| lr + rr)) {
+                r = exchange(
+                    r,
+                    Partitioning::Hash { keys: right_keys.clone(), partitions: par.threads },
+                );
+            }
+        }
+        JoinAlgo::NestedLoop => {
+            if par.worthwhile(stats.map(|_| lr * rr)) {
+                l = exchange(l, Partitioning::RoundRobin { partitions: par.threads });
+            }
+        }
+    }
     let cost = l.explain.cost + r.explain.cost + op_cost;
     explained_ok(
         PhysicalExpr::Join {
@@ -547,9 +739,10 @@ fn plan_semi(
     anti: bool,
     catalog: &dyn Catalog,
     stats: Option<&StatisticsCatalog>,
+    par: &Parallelism,
 ) -> Result<Planned> {
-    let l = plan_rec(left, catalog, stats)?;
-    let r = plan_rec(right, catalog, stats)?;
+    let l = plan_rec(left, catalog, stats, par)?;
+    let mut r = plan_rec(right, catalog, stats, par)?;
     let left_schema = output_schema(left, catalog).map_err(PlanError::Algebra)?;
     let r_schema = output_schema(right, catalog).map_err(PlanError::Algebra)?;
     let (lr, rr) = (l.explain.rows, r.explain.rows);
@@ -572,6 +765,26 @@ fn plan_semi(
         SemiAlgo::Hash { .. } => lr + rr,
         SemiAlgo::NestedLoop => lr * rr,
     };
+    // Same build-side partitioning as hash joins: the (anti-)semijoin of
+    // each partition only needs that partition's build table. Nested-loop
+    // (anti-)semijoins go morsel-parallel over the preserved side.
+    let mut l = l;
+    match &algo {
+        SemiAlgo::Hash { right_keys, .. } => {
+            if par.worthwhile(stats.map(|_| lr + rr)) {
+                r = exchange(
+                    r,
+                    Partitioning::Hash { keys: right_keys.clone(), partitions: par.threads },
+                );
+            }
+        }
+        SemiAlgo::NestedLoop => {
+            if par.worthwhile(stats.map(|_| lr * rr)) {
+                l = exchange(l, Partitioning::RoundRobin { partitions: par.threads });
+            }
+        }
+        SemiAlgo::Decorrelated => {}
+    }
     let rows = crate::cost::semi_rows(lr);
     let cost = l.explain.cost + r.explain.cost + op_cost;
     explained_ok(
@@ -688,6 +901,113 @@ mod tests {
         assert_eq!(explain.rows, 2000.0, "{explain}");
         let logical = crate::cost::estimate_with(&q, &db, &stats).unwrap();
         assert_eq!(explain.rows, logical.rows);
+    }
+
+    #[test]
+    fn heuristic_parallel_plan_partitions_hash_builds() {
+        let db = db();
+        let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c"));
+        // Serial: no exchange. Parallel: the build side is hash-partitioned.
+        assert!(!heuristic_plan(&q, &db).unwrap().has_exchange());
+        let plan = heuristic_plan_with(&q, &db, &Parallelism::new(4)).unwrap();
+        match plan {
+            PhysicalExpr::Join { right, algo: JoinAlgo::Hash { .. }, .. } => match *right {
+                PhysicalExpr::Exchange {
+                    partitioning: Partitioning::Hash { keys, partitions },
+                    ..
+                } => {
+                    assert_eq!(keys, vec!["c"]);
+                    assert_eq!(partitions, 4);
+                }
+                other => panic!("expected exchange on build side, got {other:?}"),
+            },
+            other => panic!("expected hash join, got {other:?}"),
+        }
+        // Nested-loop joins have no keys to partition on: the outer side is
+        // split into round-robin morsels instead.
+        let nl = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c").or(is_null("d")));
+        match heuristic_plan_with(&nl, &db, &Parallelism::new(4)).unwrap() {
+            PhysicalExpr::Join { left, algo: JoinAlgo::NestedLoop, .. } => {
+                assert!(matches!(
+                    *left,
+                    PhysicalExpr::Exchange {
+                        partitioning: Partitioning::RoundRobin { partitions: 4 },
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected nested-loop join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heuristic_parallel_plan_marks_union_arms() {
+        let db = db();
+        let q = RaExpr::relation("r").union(RaExpr::relation("r").select(is_null("b")));
+        let plan = heuristic_plan_with(&q, &db, &Parallelism::new(2)).unwrap();
+        match plan {
+            PhysicalExpr::Union { left, right } => {
+                assert!(matches!(
+                    *left,
+                    PhysicalExpr::Exchange {
+                        partitioning: Partitioning::RoundRobin { partitions: 2 },
+                        ..
+                    }
+                ));
+                assert!(matches!(*right, PhysicalExpr::Exchange { .. }));
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_based_planner_gates_exchanges_on_the_row_threshold() {
+        let db = db();
+        let stats = StatisticsCatalog::analyze(&db);
+        let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c"));
+        // 40 build rows < the default 1024-row threshold: not worth it.
+        let thresholded = PhysicalPlanner::with_parallelism(&db, &stats, Parallelism::new(4));
+        assert!(!thresholded.plan(&q).unwrap().has_exchange());
+        // Zero threshold: the exchange appears, and the explain renders it
+        // with pass-through rows and a repartition cost.
+        let mut par = Parallelism::new(4);
+        par.row_threshold = 0.0;
+        let eager = PhysicalPlanner::with_parallelism(&db, &stats, par);
+        let (plan, explain) = eager.plan_explained(&q).unwrap();
+        assert!(plan.has_exchange());
+        let text = explain.to_string();
+        assert!(text.contains("Exchange hash(c) x4"), "{text}");
+        let exchange = &explain.children[1];
+        assert_eq!(exchange.rows, 40.0);
+        assert_eq!(
+            exchange.cost,
+            exchange.children[0].cost + crate::cost::exchange_cost(40.0, 4),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn exchange_labels_and_partition_counts() {
+        let hash = Partitioning::Hash { keys: vec!["a".into(), "b".into()], partitions: 8 };
+        let rr = Partitioning::RoundRobin { partitions: 2 };
+        assert_eq!(hash.partitions(), 8);
+        assert_eq!(rr.partitions(), 2);
+        let node = PhysicalExpr::Exchange {
+            input: Box::new(PhysicalExpr::Source(RaExpr::relation("r"))),
+            partitioning: hash,
+        };
+        assert_eq!(node.label(), "Exchange hash(a, b) x8");
+        assert!(node.has_exchange());
+        assert_eq!(node.size(), 2);
+    }
+
+    #[test]
+    fn parallelism_defaults_are_serial() {
+        assert_eq!(Parallelism::default(), Parallelism::serial());
+        assert!(!Parallelism::serial().enabled());
+        assert!(Parallelism::new(2).enabled());
+        // Degenerate thread counts clamp to one.
+        assert_eq!(Parallelism::new(0).threads, 1);
     }
 
     #[test]

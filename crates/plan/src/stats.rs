@@ -177,6 +177,43 @@ mod tests {
     }
 
     #[test]
+    fn distinct_counts_are_value_based_and_ignore_nulls() {
+        let mut db = Database::new();
+        // Three rows share the value 7, one is a string, two are marked
+        // nulls with distinct ids: distinct = {7, "x"}, null fraction = 2/6.
+        db.insert_relation(
+            "t",
+            rel(
+                &["v"],
+                vec![
+                    vec![Value::Int(7)],
+                    vec![Value::Int(7)],
+                    vec![Value::Int(7)],
+                    vec![Value::str("x")],
+                    vec![Value::Null(NullId(1))],
+                    vec![Value::Null(NullId(2))],
+                ],
+            ),
+        );
+        let stats = StatisticsCatalog::analyze(&db);
+        let c = stats.table("t").unwrap().column("v").unwrap();
+        assert_eq!(c.distinct, 2);
+        assert!((c.null_fraction - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_cardinalities_cover_every_analyzed_relation() {
+        let stats = StatisticsCatalog::analyze(&db());
+        assert_eq!(stats.len(), 2);
+        assert!(!stats.is_empty());
+        assert_eq!(stats.row_count("r"), Some(4));
+        assert_eq!(stats.row_count("empty"), Some(0));
+        // TableStats::analyze agrees with the catalog route.
+        let direct = TableStats::analyze(db().relation("r").unwrap());
+        assert_eq!(Some(&direct), stats.table("r"));
+    }
+
+    #[test]
     fn empty_catalog_misses_everything() {
         let stats = StatisticsCatalog::empty();
         assert!(stats.is_empty());

@@ -7,7 +7,7 @@
 //! Run with `cargo run --release --example explain_plans`.
 
 use certus::core::rewriter::CertainRewriter;
-use certus::plan::{PhysicalPlanner, StatisticsCatalog};
+use certus::plan::{Parallelism, PhysicalPlanner, StatisticsCatalog};
 use certus::tpch::{q4, Workload};
 
 fn main() {
@@ -30,4 +30,14 @@ fn main() {
     let split = CertainRewriter::new().rewrite_plus(&query, &db).expect("translation succeeds");
     println!("=== Optimized translation Q4+ (the pass pipeline restores hash joins) ===");
     println!("{}", planner.explain(&split).expect("plans"));
+
+    // The same queries, prepared for a 4-thread engine: exchange operators
+    // mark where hash-join builds are partitioned and union arms run
+    // concurrently (only inputs clearing the planner's row threshold are
+    // exchanged — Q4's lineitem build qualifies, tiny builds stay serial).
+    let parallel = PhysicalPlanner::with_parallelism(&db, &stats, Parallelism::new(4));
+    println!("=== Original Q4, planned for 4 worker threads ===");
+    println!("{}", parallel.explain(&query).expect("plans"));
+    println!("=== Optimized translation Q4+, planned for 4 worker threads ===");
+    println!("{}", parallel.explain(&split).expect("plans"));
 }

@@ -6,7 +6,9 @@
 
 use certus::tpch::{query_by_number, Workload};
 use certus::{CertainRewriter, Engine};
-use certus_bench::experiments::{planner_on_off, print_planner_on_off};
+use certus_bench::experiments::{
+    parallel_scaling, planner_on_off, print_parallel_scaling, print_planner_on_off,
+};
 use std::time::Instant;
 
 fn time_it(mut f: impl FnMut()) -> f64 {
@@ -56,4 +58,11 @@ fn main() {
     println!("force nested-loop anti-joins); 'on' runs it through certus-plan's");
     println!("rewrite-pass pipeline (null pruning + guarded OR-split restore hash");
     println!("anti-joins — the Section 7 rescue, clearest on Q3+).");
+
+    println!();
+    print_parallel_scaling(&parallel_scaling(0.001, 0.02, 7, 1, &[1, 2, 4, 8]));
+    println!("\nEach row runs the optimized Q3+/Q4+ with the engine's exchange operators");
+    println!("fanned out to that many worker threads (CERTUS_THREADS overrides the");
+    println!("default); speedups are relative to the single-thread row and depend on");
+    println!("the machine's core count.");
 }

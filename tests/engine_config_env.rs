@@ -1,0 +1,20 @@
+//! The `CERTUS_THREADS` environment override of [`EngineConfig::from_env`].
+//!
+//! This lives in its own test binary with a single test: mutating the
+//! process environment races `getenv` calls from concurrently running
+//! threads (which is why `set_var` became unsafe in edition 2024), so no
+//! other test may share this process.
+
+use certus::engine::EngineConfig;
+
+#[test]
+fn certus_threads_env_overrides_the_default_config() {
+    std::env::set_var("CERTUS_THREADS", "3");
+    assert_eq!(EngineConfig::from_env().threads, 3);
+    std::env::set_var("CERTUS_THREADS", "0");
+    assert!(EngineConfig::from_env().threads >= 1, "zero must fall back");
+    std::env::set_var("CERTUS_THREADS", "not-a-number");
+    assert!(EngineConfig::from_env().threads >= 1, "garbage must fall back");
+    std::env::remove_var("CERTUS_THREADS");
+    assert!(EngineConfig::from_env().threads >= 1);
+}

@@ -1,0 +1,138 @@
+//! Differential correctness of the parallel execution engine.
+//!
+//! The parallel executor is held to the same bar as the rewrite passes: on
+//! randomized null databases it must return **exactly** the serial engine's
+//! result (as a set) for every pipeline-optimized plan, under both SQL and
+//! naive null semantics, at every thread count. On top of that, execution
+//! must be deterministic (two runs with the same configuration produce
+//! identical relations, order included), and a single-thread configuration
+//! must degenerate to the serial code path — asserted via `ExplainPlan`:
+//! no exchange operators appear in its plans.
+
+use certus::algebra::NullSemantics;
+use certus::data::inject::NullInjector;
+use certus::engine::{Engine, EngineConfig};
+use certus::plan::{heuristic_plan, Parallelism, PhysicalPlanner, Planner, StatisticsCatalog};
+use certus::tpch::{q1, q2, q3, q4, DbGen, QueryParams};
+use certus::{CertainRewriter, Database, RaExpr};
+
+fn workload_db(seed: u64) -> Database {
+    let complete = DbGen::new(0.00025, seed).generate();
+    NullInjector::new(0.05, seed.wrapping_mul(31).wrapping_add(7)).inject(&complete)
+}
+
+/// The paper's queries plus their pipeline-optimized certain-answer
+/// translations — the workload every engine configuration must agree on.
+fn pipeline_optimized_queries(db: &Database, seed: u64) -> Vec<RaExpr> {
+    let params = QueryParams::random(db, seed);
+    let raw_rewriter = CertainRewriter::unoptimized();
+    let planner = Planner::new();
+    let mut queries = vec![q1(&params), q2(&params), q3(&params), q4(&params)];
+    for q in [q1(&params), q2(&params), q3(&params), q4(&params)] {
+        let raw = raw_rewriter.rewrite_plus(&q, db).expect("translates");
+        queries.push(planner.optimize(&raw, db).expect("pipeline runs"));
+    }
+    queries
+}
+
+#[test]
+fn parallel_engine_matches_serial_on_randomized_null_databases() {
+    for seed in [3u64, 11] {
+        let db = workload_db(seed);
+        let queries = pipeline_optimized_queries(&db, seed);
+        for semantics in [NullSemantics::Sql, NullSemantics::Naive] {
+            let serial = Engine::configured(&db, semantics, EngineConfig::serial());
+            for q in &queries {
+                let expected = serial.execute(q).expect("serial runs").sorted().distinct();
+                for threads in [2usize, 8] {
+                    // Floor 0: every exchange actually fans out, so the
+                    // parallel code paths are exercised even on this small
+                    // instance (the default floor would run most of them
+                    // inline).
+                    let parallel = Engine::configured(
+                        &db,
+                        semantics,
+                        EngineConfig::with_threads(threads).with_parallel_floor(0),
+                    );
+                    let got = parallel.execute(q).expect("parallel runs").sorted().distinct();
+                    assert_eq!(
+                        got.tuples(),
+                        expected.tuples(),
+                        "seed {seed}, {threads} threads, {} semantics, query {q}",
+                        semantics.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cost_based_parallel_plans_match_serial_execution() {
+    let db = workload_db(7);
+    let params = QueryParams::random(&db, 7);
+    let stats = StatisticsCatalog::analyze(&db);
+    let serial_planner = PhysicalPlanner::new(&db, &stats);
+    // Zero threshold: exchange every eligible site, maximising the parallel
+    // paths exercised regardless of instance size.
+    let mut par = Parallelism::new(4);
+    par.row_threshold = 0.0;
+    let parallel_planner = PhysicalPlanner::with_parallelism(&db, &stats, par);
+    let serial_engine = Engine::with_config(&db, EngineConfig::serial());
+    let parallel_engine =
+        Engine::with_config(&db, EngineConfig::with_threads(4).with_parallel_floor(0));
+    for q in [q1(&params), q3(&params), q4(&params)] {
+        let sp = serial_planner.plan(&q).expect("plans");
+        let pp = parallel_planner.plan(&q).expect("plans");
+        assert!(!sp.has_exchange());
+        assert!(pp.has_exchange(), "parallel planner should exchange {q}");
+        let a = serial_engine.execute_physical(&sp).expect("runs").sorted().distinct();
+        let b = parallel_engine.execute_physical(&pp).expect("runs").sorted().distinct();
+        assert_eq!(a.tuples(), b.tuples(), "query {q}");
+    }
+}
+
+#[test]
+fn parallel_execution_is_deterministic() {
+    let db = workload_db(5);
+    let params = QueryParams::random(&db, 5);
+    let rewriter = CertainRewriter::new();
+    let engine = Engine::with_config(&db, EngineConfig::with_threads(4).with_parallel_floor(0));
+    for q in [q3(&params), q4(&params)] {
+        let plus = rewriter.rewrite_plus(&q, &db).expect("translates");
+        let first = engine.execute(&plus).expect("runs");
+        let second = engine.execute(&plus).expect("runs");
+        // Identical relations, tuple order included — partition routing is a
+        // fixed hash and partition outputs are concatenated in order.
+        assert_eq!(first.tuples(), second.tuples(), "query {q}");
+    }
+}
+
+#[test]
+fn single_thread_config_degenerates_to_serial_plans() {
+    let db = workload_db(9);
+    let params = QueryParams::random(&db, 9);
+    let q = q3(&params);
+    let stats = StatisticsCatalog::analyze(&db);
+
+    // threads = 1: the explain tree shows no exchange operators.
+    let serial = PhysicalPlanner::with_parallelism(&db, &stats, Parallelism::serial());
+    let text = serial.explain(&q).expect("plans").to_string();
+    assert!(!text.contains("Exchange"), "serial explain must not exchange:\n{text}");
+
+    // threads = 4 (zero threshold): exchanges appear in the rendering.
+    let mut par = Parallelism::new(4);
+    par.row_threshold = 0.0;
+    let parallel = PhysicalPlanner::with_parallelism(&db, &stats, par);
+    let text = parallel.explain(&q).expect("plans").to_string();
+    assert!(text.contains("Exchange hash("), "parallel explain should exchange:\n{text}");
+
+    // The engine's own heuristic plan at one thread is *identical* to the
+    // plain serial heuristic plan, and free of exchanges.
+    let engine1 = Engine::with_config(&db, EngineConfig::with_threads(1));
+    let plan1 = engine1.plan(&q).expect("plans");
+    assert_eq!(plan1, heuristic_plan(&q, &db).expect("plans"));
+    assert!(!plan1.has_exchange());
+    let engine4 = Engine::with_config(&db, EngineConfig::with_threads(4));
+    assert!(engine4.plan(&q).expect("plans").has_exchange());
+}
