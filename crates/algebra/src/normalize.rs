@@ -1,7 +1,7 @@
 //! Normalization and desugaring of algebra expressions.
 //!
 //! The certain-answer translation of Figure 2 (the original translation of
-//! [22], implemented in `certus-core::translate_naive`) is defined only on the
+//! \[22\], implemented in `certus-core::translate_naive`) is defined only on the
 //! *core* operators: base relations, selection, projection, product, union,
 //! intersection and difference. [`desugar_core`] rewrites the derived
 //! operators (joins, semijoins, unification semijoins, division, distinct)

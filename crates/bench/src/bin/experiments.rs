@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|all] [--quick]
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks instance counts and scale factors so the full suite runs
@@ -58,6 +58,12 @@ fn main() {
         // is cost-guarded), so the scale is kept moderate.
         let (scale, reps) = if quick { (0.001, 1) } else { (0.002, 2) };
         print_parallel_scaling(&parallel_scaling(scale, 0.02, 905, reps, &[1, 2, 4, 8]));
+        println!();
+    }
+    if what == "prepared" || what == "all" {
+        let (scale, reps) = if quick { (0.001, 2) } else { (0.002, 5) };
+        let (rows, cache) = prepared_execution(scale, 0.02, 906, reps);
+        print_prepared(&rows, &cache);
         println!();
     }
 }

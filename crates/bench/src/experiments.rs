@@ -224,7 +224,7 @@ fn sec5_database(n: usize) -> Database {
     db
 }
 
-/// Section 5: the original translation of [22] is infeasible even on tiny
+/// Section 5: the original translation of \[22\] is infeasible even on tiny
 /// instances, while `Q⁺` scales. The test query is the paper's Section 6
 /// example `Q = R − (π_α(T) − σ_θ(S))`.
 pub fn section5(sizes: &[usize]) -> Vec<Sec5Row> {
@@ -564,6 +564,102 @@ pub fn print_parallel_scaling(rows: &[ParallelScalingRow]) {
     println!("(results identical at every thread count, asserted before timing)");
 }
 
+/// One row of the prepared-execution experiment: per-call planning vs.
+/// re-executing a [`certus::PreparedQuery`].
+#[derive(Debug, Clone)]
+pub struct PreparedRow {
+    /// Query number (translated, so `Q⁺3` / `Q⁺4`).
+    pub query: usize,
+    /// Mean latency when every call re-runs translation + rewrite passes +
+    /// physical planning (the pre-`Session` workflow), seconds.
+    pub t_per_call: f64,
+    /// Mean latency of `Session::execute_prepared` on a prepared query
+    /// (zero planning work per call), seconds.
+    pub t_prepared: f64,
+    /// Number of answers (identical in both arms, asserted).
+    pub answers: usize,
+}
+
+/// The prepared-execution experiment: how much of a repeated workload query's
+/// latency is planning? The per-call arm rewrites and plans `Q⁺` on every
+/// execution (exactly what four disconnected entry points forced callers
+/// into); the prepared arm plans once through [`certus::Session::prepare`]
+/// and then only executes. Also returns the session's plan-cache counters:
+/// the repeated `Session::execute` calls of the warm-up loop hit the cache,
+/// so the printed hit rate shows the cache working.
+pub fn prepared_execution(
+    scale_factor: f64,
+    null_rate: f64,
+    seed: u64,
+    reps: usize,
+) -> (Vec<PreparedRow>, certus::plan::CacheStats) {
+    use certus::{Certainty, Session};
+    let w = Workload::new(scale_factor, null_rate, seed);
+    let db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let session = Session::builder(db).config(EngineConfig::serial()).build();
+    let rewriter = CertainRewriter::new();
+    let mut rows = Vec::new();
+    for q in [3usize, 4] {
+        let expr = query_by_number(q, &params).expect("query exists");
+        // Per-call arm: rewrite + plan + execute, every time.
+        let t_per_call = time_mean(reps, || {
+            let plus = rewriter.rewrite_plus(&expr, session.database()).expect("translates");
+            Engine::with_config(session.database(), EngineConfig::serial())
+                .execute(&plus)
+                .expect("runs")
+        });
+        // Prepared arm: plan once, execute many times.
+        let prepared = session.prepare(&expr, Certainty::CertainPlus).expect("prepares");
+        let t_prepared = time_mean(reps, || session.execute_prepared(&prepared).expect("runs"));
+        // Both arms must agree before their timings mean anything.
+        let direct = {
+            let plus = rewriter.rewrite_plus(&expr, session.database()).expect("translates");
+            Engine::with_config(session.database(), EngineConfig::serial())
+                .execute(&plus)
+                .expect("runs")
+        };
+        let via_session = session.execute_prepared(&prepared).expect("runs");
+        assert_eq!(
+            via_session.relation().sorted().tuples(),
+            direct.sorted().tuples(),
+            "prepared Q{q}+ differs from per-call Q{q}+"
+        );
+        // Warm-path calls that go through the cache (each is a hit now).
+        for _ in 0..reps {
+            session.execute(&expr, Certainty::CertainPlus).expect("runs");
+        }
+        rows.push(PreparedRow { query: q, t_per_call, t_prepared, answers: via_session.len() });
+    }
+    (rows, session.cache_stats())
+}
+
+/// Print prepared-execution rows and the session's cache counters.
+pub fn print_prepared(rows: &[PreparedRow], cache: &certus::plan::CacheStats) {
+    println!("== Prepared re-execution vs per-call planning (Q3+/Q4+) ==");
+    println!(
+        "{:>5} {:>15} {:>14} {:>14} {:>8}",
+        "query", "t(per-call) s", "t(prepared) s", "plan overhead", "answers"
+    );
+    for r in rows {
+        println!(
+            "{:>5} {:>15.5} {:>14.5} {:>13}% {:>8}",
+            format!("Q{}+", r.query),
+            r.t_per_call,
+            r.t_prepared,
+            format!("{:.0}", 100.0 * (r.t_per_call - r.t_prepared) / r.t_per_call.max(1e-9)),
+            r.answers
+        );
+    }
+    println!(
+        "plan cache: {} hits / {} misses (hit rate {:.0}%), {} entries",
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hit_rate(),
+        cache.entries
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +761,21 @@ mod tests {
             assert_eq!(r.answers, rows[0].answers);
         }
         print_parallel_scaling(&rows);
+    }
+
+    #[test]
+    fn prepared_execution_agrees_and_hits_the_cache() {
+        let (rows, cache) = prepared_execution(0.0005, 0.02, 906, 2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.t_per_call > 0.0 && r.t_prepared > 0.0);
+        }
+        // The warm `Session::execute` calls must have been served from the
+        // plan cache: one miss per query, everything else hits.
+        assert_eq!(cache.misses, 2);
+        assert!(cache.hits >= 2, "{cache:?}");
+        assert!(cache.hit_rate() > 0.0);
+        print_prepared(&rows, &cache);
     }
 
     #[test]

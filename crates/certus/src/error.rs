@@ -1,0 +1,125 @@
+//! The unified error type of the facade.
+//!
+//! Every layer of the workspace has its own error enum — [`DataError`],
+//! [`AlgebraError`] (which is also what the engine's execution paths
+//! return), [`CoreError`], [`PlanError`] — and they already lower into each
+//! other in ad-hoc ways. [`CertusError`] is the single type the
+//! [`Session`](crate::Session) facade surfaces: every layer error converts
+//! into it with `?`, so application code matches on one enum (or just
+//! prints it) instead of knowing which crate a failure came from.
+
+use certus_algebra::AlgebraError;
+use certus_core::CoreError;
+use certus_data::DataError;
+use certus_plan::PlanError;
+use std::fmt;
+
+/// Any error the certus facade can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertusError {
+    /// An error from the data layer (schemas, tuples, relations).
+    Data(DataError),
+    /// An error from the algebra layer — schema inference, the reference
+    /// evaluator, and the engine's execution paths all report this type.
+    Algebra(AlgebraError),
+    /// An error from the translation layer (certain-answer rewritings,
+    /// oracle).
+    Core(CoreError),
+    /// An error from the planning layer (rewrite passes, physical planning).
+    Plan(PlanError),
+    /// A [`PreparedQuery`](crate::PreparedQuery) was executed against a
+    /// database whose schema epoch moved past the one it was planned at;
+    /// re-prepare the query to get a fresh plan.
+    StalePlan {
+        /// The schema epoch the query was prepared at.
+        prepared_epoch: u64,
+        /// The database's current schema epoch.
+        current_epoch: u64,
+    },
+}
+
+impl fmt::Display for CertusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertusError::Data(e) => write!(f, "{e}"),
+            CertusError::Algebra(e) => write!(f, "{e}"),
+            CertusError::Core(e) => write!(f, "{e}"),
+            CertusError::Plan(e) => write!(f, "{e}"),
+            CertusError::StalePlan { prepared_epoch, current_epoch } => write!(
+                f,
+                "prepared query is stale: planned at schema epoch {prepared_epoch}, \
+                 database is now at {current_epoch} (re-prepare it)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CertusError::Data(e) => Some(e),
+            CertusError::Algebra(e) => Some(e),
+            CertusError::Core(e) => Some(e),
+            CertusError::Plan(e) => Some(e),
+            CertusError::StalePlan { .. } => None,
+        }
+    }
+}
+
+impl From<DataError> for CertusError {
+    fn from(e: DataError) -> Self {
+        CertusError::Data(e)
+    }
+}
+
+impl From<AlgebraError> for CertusError {
+    fn from(e: AlgebraError) -> Self {
+        CertusError::Algebra(e)
+    }
+}
+
+impl From<CoreError> for CertusError {
+    fn from(e: CoreError) -> Self {
+        CertusError::Core(e)
+    }
+}
+
+impl From<PlanError> for CertusError {
+    fn from(e: PlanError) -> Self {
+        CertusError::Plan(e)
+    }
+}
+
+/// Result alias every [`Session`](crate::Session) method returns.
+pub type Result<T> = std::result::Result<T, CertusError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_error_converts() {
+        let e: CertusError = DataError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        let e: CertusError = AlgebraError::Malformed("x".into()).into();
+        assert!(e.to_string().contains("malformed"));
+        let e: CertusError = CoreError::OutsideFragment("agg".into()).into();
+        assert!(e.to_string().contains("fragment"));
+        let e: CertusError = PlanError::Invalid("p".into()).into();
+        assert!(e.to_string().contains("invalid plan"));
+    }
+
+    #[test]
+    fn stale_plan_reports_both_epochs() {
+        let e = CertusError::StalePlan { prepared_epoch: 3, current_epoch: 5 };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('5'), "{msg}");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn wrapped_errors_expose_sources() {
+        let e: CertusError = DataError::UnknownTable("t".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

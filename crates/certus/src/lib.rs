@@ -17,10 +17,13 @@
 //! * [`tpch`] — the TPC-H substrate, the paper's queries Q1–Q4 and the
 //!   false-positive detectors.
 //!
-//! The most common entry points are re-exported at the top level:
+//! The recommended entry point is the [`Session`] facade: it owns the
+//! database, wires translation → rewrite-pass pipeline → physical planning →
+//! execution behind one object, caches prepared plans, and returns one error
+//! type ([`CertusError`]) for all layers:
 //!
 //! ```
-//! use certus::{CertainRewriter, Engine, RaExpr};
+//! use certus::{Certainty, RaExpr, Session};
 //! use certus::algebra::builder::eq;
 //! use certus::data::{builder::rel, Database, Value};
 //! use certus::data::null::NullId;
@@ -30,13 +33,22 @@
 //! db.insert_relation("s", rel(&["b"], vec![vec![Value::Null(NullId(1))]]));
 //! let q = RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"));
 //!
+//! let session = Session::new(db);
 //! // Plain SQL evaluation returns the false positive {1}…
-//! assert_eq!(Engine::new(&db).execute(&q).unwrap().len(), 1);
-//! // …while the certainty-preserving rewriting returns only correct answers.
-//! let rewriter = CertainRewriter::new();
-//! let plus = rewriter.rewrite_plus(&q, &db).unwrap();
-//! assert!(Engine::new(&db).execute(&plus).unwrap().is_empty());
+//! assert_eq!(session.execute(&q, Certainty::Plain).unwrap().len(), 1);
+//! // …while the certainty-preserving rewriting returns only correct
+//! // answers. `prepare` plans once; re-execution does no planning work.
+//! let prepared = session.prepare(&q, Certainty::CertainPlus).unwrap();
+//! assert!(session.execute_prepared(&prepared).unwrap().is_empty());
+//! assert_eq!(session.cache_stats().misses, 2); // one per certainty
 //! ```
+//!
+//! The lower-level pieces (`CertainRewriter`, `PassManager`,
+//! `PhysicalPlanner`, `Engine`) remain available for ablation experiments
+//! and fine-grained control.
+
+pub mod error;
+pub mod session;
 
 pub use certus_algebra as algebra;
 pub use certus_core as core;
@@ -50,6 +62,8 @@ pub use certus_core::{CertainOracle, CertainRewriter, ConditionDialect};
 pub use certus_data::{Database, Relation, Tuple, Value};
 pub use certus_engine::{Engine, EngineConfig};
 pub use certus_plan::{Parallelism, PassManager, PhysicalPlanner, Planner, StatisticsCatalog};
+pub use error::{CertusError, Result};
+pub use session::{AnswerSet, Certainty, PlannerKind, PreparedQuery, Session, SessionBuilder};
 
 /// The semantic version of the certus workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

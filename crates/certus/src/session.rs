@@ -1,0 +1,561 @@
+//! The `Session` / `PreparedQuery` facade: one object that owns the
+//! database and the whole pipeline.
+//!
+//! The paper's pipeline — translate `Q ↦ (Q⁺, Q★)`, run the Section 7
+//! rewrite passes, plan, execute — used to be four disconnected entry points
+//! (`CertainRewriter`, `PassManager`, `PhysicalPlanner`, `Engine`), each
+//! re-wired by every caller and re-run on every execution. A [`Session`]
+//! wires them once:
+//!
+//! * [`Session::prepare`] runs rewrite → pass pipeline → physical planning
+//!   **once** and returns a [`PreparedQuery`] that can be executed many
+//!   times; prepared plans live in an LRU [plan cache](certus_plan::cache)
+//!   keyed on `(expression fingerprint, certainty, schema epoch, thread
+//!   count)` with hit/miss counters ([`Session::cache_stats`]);
+//! * [`Certainty`] selects which translation(s) run: the plain SQL query,
+//!   the certain-answer rewriting `Q⁺`, the possible-answer rewriting `Q★`,
+//!   or all of them ([`Certainty::Both`]), in which case the [`AnswerSet`]
+//!   carries the certain/possible breakdown of the SQL answer;
+//! * mutating the database (via [`Session::database_mut`]) bumps its schema
+//!   epoch, which invalidates cached plans and the session's lazily computed
+//!   [`StatisticsCatalog`]; executing a stale [`PreparedQuery`] fails with
+//!   [`CertusError::StalePlan`] instead of returning answers from a plan
+//!   built for a different database;
+//! * every method returns [`certus::Result`](crate::Result), so callers
+//!   handle one error type for all five layers.
+
+use crate::error::{CertusError, Result};
+use certus_algebra::{NullSemantics, RaExpr};
+use certus_core::metrics::AnswerBreakdown;
+use certus_core::{CertainRewriter, ConditionDialect};
+use certus_data::{Database, Relation};
+use certus_engine::{Engine, EngineConfig};
+use certus_plan::cache::{CacheStats, PlanCache, PlanKey};
+use certus_plan::physical::{heuristic_plan_with, ExplainPlan, PhysicalExpr, PhysicalPlanner};
+use certus_plan::StatisticsCatalog;
+use std::sync::{Arc, Mutex};
+
+/// Which answers a query should be prepared to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Certainty {
+    /// Evaluate the query as written, with plain SQL semantics — may return
+    /// false positives on incomplete databases.
+    Plain,
+    /// Evaluate the certain-answer rewriting `Q⁺` (Theorem 1: every returned
+    /// tuple is a certain answer).
+    CertainPlus,
+    /// Evaluate the possible-answer rewriting `Q★` (every tuple that could
+    /// be an answer under some interpretation of the nulls).
+    PossibleStar,
+    /// Evaluate all three and break the SQL answer down into certain answers
+    /// and mere possibilities ([`AnswerSet::breakdown`]).
+    Both,
+}
+
+impl Certainty {
+    /// Stable tag used in plan-cache keys.
+    fn variant(self) -> u8 {
+        match self {
+            Certainty::Plain => 0,
+            Certainty::CertainPlus => 1,
+            Certainty::PossibleStar => 2,
+            Certainty::Both => 3,
+        }
+    }
+
+    fn wants_plain(self) -> bool {
+        matches!(self, Certainty::Plain | Certainty::Both)
+    }
+
+    fn wants_certain(self) -> bool {
+        matches!(self, Certainty::CertainPlus | Certainty::Both)
+    }
+
+    fn wants_possible(self) -> bool {
+        matches!(self, Certainty::PossibleStar | Certainty::Both)
+    }
+}
+
+/// Which physical planner a session uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerKind {
+    /// The statistics-free heuristic planner — the same choices
+    /// `Engine::execute` makes, no statistics scan needed. The default.
+    #[default]
+    Heuristic,
+    /// The cost-based [`PhysicalPlanner`] over the session's lazily computed
+    /// (and epoch-invalidated) [`StatisticsCatalog`].
+    CostBased,
+}
+
+/// Builder for a [`Session`]; obtained from [`Session::builder`].
+#[derive(Debug)]
+pub struct SessionBuilder {
+    db: Database,
+    semantics: NullSemantics,
+    config: EngineConfig,
+    planner: PlannerKind,
+    cache_capacity: usize,
+}
+
+impl SessionBuilder {
+    /// The null semantics conditions are evaluated under. This also selects
+    /// the matching condition-translation dialect: SQL three-valued
+    /// semantics pair with the SQL-adjusted dialect (the paper's Section 7
+    /// pairing), naive semantics with the theoretical dialect.
+    pub fn semantics(mut self, semantics: NullSemantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Worker threads the engine may fan out to (1 = serial; plans carry no
+    /// exchange operators). Leaves the rest of the engine configuration
+    /// untouched.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Replace the whole engine configuration (thread count and parallel
+    /// floor).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Which physical planner prepared queries go through.
+    pub fn planner(mut self, planner: PlannerKind) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Capacity of the LRU plan cache (clamped to ≥ 1).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> Session {
+        let dialect = match self.semantics {
+            NullSemantics::Sql => ConditionDialect::Sql,
+            NullSemantics::Naive => ConditionDialect::Theoretical,
+        };
+        Session {
+            db: self.db,
+            semantics: self.semantics,
+            config: self.config,
+            planner: self.planner,
+            rewriter: CertainRewriter { dialect, ..CertainRewriter::default() },
+            cache: Mutex::new(PlanCache::new(self.cache_capacity)),
+            stats: Mutex::new(None),
+        }
+    }
+}
+
+/// Internal: which answer a prepared physical plan produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AnswerRole {
+    Plain,
+    Certain,
+    Possible,
+}
+
+/// Internal: the cached product of one `prepare` call — every physical plan
+/// the chosen [`Certainty`] needs, fully planned.
+#[derive(Debug)]
+struct PreparedPlans {
+    parts: Vec<(AnswerRole, PhysicalExpr)>,
+}
+
+/// A query prepared by [`Session::prepare`]: translation, rewrite-pass
+/// pipeline and physical planning already done. Executing it
+/// ([`Session::execute_prepared`]) performs zero planning work — the engine
+/// just runs the stored physical plans. Cloning is cheap (the plans are
+/// shared), and a prepared query outlives cache eviction.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    certainty: Certainty,
+    epoch: u64,
+    plans: Arc<PreparedPlans>,
+}
+
+impl PreparedQuery {
+    /// The certainty variant this query was prepared for.
+    pub fn certainty(&self) -> Certainty {
+        self.certainty
+    }
+
+    /// The schema epoch the plans were built against. Executing against a
+    /// database at a different epoch fails with [`CertusError::StalePlan`].
+    pub fn schema_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of physical plans behind this query (1, or 3 for
+    /// [`Certainty::Both`]).
+    pub fn plan_count(&self) -> usize {
+        self.plans.parts.len()
+    }
+}
+
+/// The answers produced by executing a query under a [`Certainty`]. Only the
+/// relations the certainty asked for are present; [`AnswerSet::relation`]
+/// returns the primary one.
+#[derive(Debug, Clone)]
+pub struct AnswerSet {
+    /// The certainty the query ran under.
+    pub certainty: Certainty,
+    /// The plain SQL answer ([`Certainty::Plain`] / [`Certainty::Both`]).
+    pub plain: Option<Relation>,
+    /// The certain answers from `Q⁺` ([`Certainty::CertainPlus`] /
+    /// [`Certainty::Both`]).
+    pub certain: Option<Relation>,
+    /// The possible answers from `Q★` ([`Certainty::PossibleStar`] /
+    /// [`Certainty::Both`]).
+    pub possible: Option<Relation>,
+    /// For [`Certainty::Both`]: the SQL answer broken down into certain
+    /// answers and false positives (tuples that are merely possible).
+    pub breakdown: Option<AnswerBreakdown>,
+}
+
+impl AnswerSet {
+    /// The primary relation of this answer set: the plain answer for
+    /// [`Certainty::Plain`], the certain answers for
+    /// [`Certainty::CertainPlus`] and [`Certainty::Both`], the possible
+    /// answers for [`Certainty::PossibleStar`].
+    pub fn relation(&self) -> &Relation {
+        let primary = match self.certainty {
+            Certainty::Plain => self.plain.as_ref(),
+            Certainty::CertainPlus | Certainty::Both => self.certain.as_ref(),
+            Certainty::PossibleStar => self.possible.as_ref(),
+        };
+        primary.expect("answer set always carries its primary relation")
+    }
+
+    /// Number of tuples in the primary relation.
+    pub fn len(&self) -> usize {
+        self.relation().len()
+    }
+
+    /// Whether the primary relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relation().is_empty()
+    }
+}
+
+/// A session over an incomplete database: owns the [`Database`], the null
+/// semantics, the engine configuration, the planner choice, a lazily
+/// computed statistics catalog and an LRU plan cache.
+///
+/// ```
+/// use certus::{Certainty, RaExpr, Session};
+/// use certus::algebra::builder::eq;
+/// use certus::data::{builder::rel, Database, Value};
+/// use certus::data::null::NullId;
+///
+/// let mut db = Database::new();
+/// db.insert_relation("r", rel(&["a"], vec![vec![Value::Int(1)]]));
+/// db.insert_relation("s", rel(&["b"], vec![vec![Value::Null(NullId(1))]]));
+/// let q = RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"));
+///
+/// let session = Session::new(db);
+/// // Plain SQL evaluation returns the false positive {1}…
+/// assert_eq!(session.execute(&q, Certainty::Plain).unwrap().len(), 1);
+/// // …the certainty-preserving rewriting returns only correct answers, and
+/// // the prepared query re-executes without any planning work.
+/// let prepared = session.prepare(&q, Certainty::CertainPlus).unwrap();
+/// assert!(session.execute_prepared(&prepared).unwrap().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    db: Database,
+    semantics: NullSemantics,
+    config: EngineConfig,
+    planner: PlannerKind,
+    rewriter: CertainRewriter,
+    cache: Mutex<PlanCache<Arc<PreparedPlans>>>,
+    stats: Mutex<Option<(u64, Arc<StatisticsCatalog>)>>,
+}
+
+impl Session {
+    /// A session with the default configuration: SQL semantics, the
+    /// environment-driven engine configuration ([`EngineConfig::from_env`]),
+    /// the heuristic planner, and a plan cache of
+    /// [`PlanCache::<()>::DEFAULT_CAPACITY`] entries.
+    pub fn new(db: Database) -> Self {
+        Session::builder(db).build()
+    }
+
+    /// Start building a session over a database.
+    pub fn builder(db: Database) -> SessionBuilder {
+        SessionBuilder {
+            db,
+            semantics: NullSemantics::Sql,
+            config: EngineConfig::from_env(),
+            planner: PlannerKind::default(),
+            cache_capacity: PlanCache::<()>::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// The session's database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the database. Any mutation done through this bumps
+    /// the database's schema epoch, invalidating cached plans, statistics,
+    /// and outstanding [`PreparedQuery`]s.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Consume the session, returning the database.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// The null semantics conditions are evaluated under.
+    pub fn semantics(&self) -> NullSemantics {
+        self.semantics
+    }
+
+    /// The engine configuration executions run with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The database's current schema epoch.
+    pub fn schema_epoch(&self) -> u64 {
+        self.db.schema_epoch()
+    }
+
+    /// Snapshot of the plan cache's counters (hits, misses, evictions,
+    /// epoch invalidations, current entries).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("plan cache lock poisoned").stats()
+    }
+
+    /// The statistics catalog for the database's current state, computed on
+    /// first use and recomputed when the schema epoch moves.
+    pub fn statistics(&self) -> Arc<StatisticsCatalog> {
+        let epoch = self.db.schema_epoch();
+        let mut guard = self.stats.lock().expect("statistics lock poisoned");
+        match guard.as_ref() {
+            Some((cached_epoch, stats)) if *cached_epoch == epoch => stats.clone(),
+            _ => {
+                let stats = Arc::new(StatisticsCatalog::analyze(&self.db));
+                *guard = Some((epoch, stats.clone()));
+                stats
+            }
+        }
+    }
+
+    /// Prepare a query: run the translation selected by `certainty`, the
+    /// rewrite-pass pipeline, and physical planning — once. The result is
+    /// cached (keyed on the expression, the certainty, the schema epoch and
+    /// the thread count), so preparing the same query again is a cache hit
+    /// that does no planning work at all.
+    pub fn prepare(&self, query: &RaExpr, certainty: Certainty) -> Result<PreparedQuery> {
+        let epoch = self.db.schema_epoch();
+        let key = PlanKey::new(query.clone(), certainty.variant(), epoch, self.config.threads);
+        {
+            let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+            cache.retain_epoch(epoch);
+            if let Some(plans) = cache.get(&key) {
+                return Ok(PreparedQuery { certainty, epoch, plans });
+            }
+        }
+        // Plan outside the lock: concurrent sessions-sharers keep preparing
+        // other queries in parallel, and a panicking pass cannot poison the
+        // cache. Two threads racing on the same key plan twice and the later
+        // insert wins — wasted work, never a wrong plan.
+        let plans = Arc::new(self.build_plans(query, certainty)?);
+        self.cache.lock().expect("plan cache lock poisoned").insert(key, plans.clone());
+        Ok(PreparedQuery { certainty, epoch, plans })
+    }
+
+    /// Execute a prepared query. Performs **zero** rewrite or planning work:
+    /// the engine runs the stored physical plans directly. Fails with
+    /// [`CertusError::StalePlan`] if the database's schema epoch moved since
+    /// the query was prepared.
+    pub fn execute_prepared(&self, prepared: &PreparedQuery) -> Result<AnswerSet> {
+        let current = self.db.schema_epoch();
+        if prepared.epoch != current {
+            return Err(CertusError::StalePlan {
+                prepared_epoch: prepared.epoch,
+                current_epoch: current,
+            });
+        }
+        let engine = Engine::configured(&self.db, self.semantics, self.config.clone());
+        let (mut plain, mut certain, mut possible) = (None, None, None);
+        for (role, plan) in &prepared.plans.parts {
+            let rel = engine.execute_physical(plan)?;
+            match role {
+                AnswerRole::Plain => plain = Some(rel),
+                AnswerRole::Certain => certain = Some(rel),
+                AnswerRole::Possible => possible = Some(rel),
+            }
+        }
+        let breakdown = match (&plain, &certain) {
+            (Some(p), Some(c)) => Some(AnswerBreakdown::new(p, c)),
+            _ => None,
+        };
+        Ok(AnswerSet { certainty: prepared.certainty, plain, certain, possible, breakdown })
+    }
+
+    /// Prepare (or fetch from the cache) and execute in one call.
+    pub fn execute(&self, query: &RaExpr, certainty: Certainty) -> Result<AnswerSet> {
+        let prepared = self.prepare(query, certainty)?;
+        self.execute_prepared(&prepared)
+    }
+
+    /// The statistics-backed `EXPLAIN` tree for the translation `certainty`
+    /// selects, with per-node row/cost estimates (the session's statistics
+    /// catalog is computed on first use, which scans every table once). The
+    /// tree always comes from the cost-based planner: for
+    /// [`PlannerKind::CostBased`] sessions it is exactly the plan
+    /// [`Session::execute`] runs, while [`PlannerKind::Heuristic`] sessions
+    /// execute the statistics-free heuristic plan, whose algorithm choices
+    /// can differ where statistics disagree with the heuristics. For
+    /// [`Certainty::Both`] this explains the certain-answer plan `Q⁺` — the
+    /// arm the breakdown is about.
+    pub fn explain(&self, query: &RaExpr, certainty: Certainty) -> Result<ExplainPlan> {
+        let expr = match certainty {
+            Certainty::Plain => query.clone(),
+            Certainty::CertainPlus | Certainty::Both => {
+                self.rewriter.rewrite_plus(query, &self.db)?
+            }
+            Certainty::PossibleStar => self.rewriter.rewrite_star(query, &self.db)?,
+        };
+        let stats = self.statistics();
+        let planner =
+            PhysicalPlanner::with_parallelism(&self.db, &stats, self.config.parallelism());
+        Ok(planner.explain(&expr)?)
+    }
+
+    /// Translate (as required by `certainty`) and physically plan every part
+    /// of a prepared query.
+    fn build_plans(&self, query: &RaExpr, certainty: Certainty) -> Result<PreparedPlans> {
+        let mut parts = Vec::new();
+        if certainty.wants_plain() {
+            parts.push((AnswerRole::Plain, self.plan_physical(query)?));
+        }
+        if certainty.wants_certain() {
+            let plus = self.rewriter.rewrite_plus(query, &self.db)?;
+            parts.push((AnswerRole::Certain, self.plan_physical(&plus)?));
+        }
+        if certainty.wants_possible() {
+            let star = self.rewriter.rewrite_star(query, &self.db)?;
+            parts.push((AnswerRole::Possible, self.plan_physical(&star)?));
+        }
+        Ok(PreparedPlans { parts })
+    }
+
+    /// Physically plan one (already translated) expression with the
+    /// session's planner choice.
+    fn plan_physical(&self, expr: &RaExpr) -> Result<PhysicalExpr> {
+        match self.planner {
+            PlannerKind::Heuristic => {
+                Ok(heuristic_plan_with(expr, &self.db, &self.config.parallelism())?)
+            }
+            PlannerKind::CostBased => {
+                let stats = self.statistics();
+                let planner =
+                    PhysicalPlanner::with_parallelism(&self.db, &stats, self.config.parallelism());
+                Ok(planner.plan(expr)?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certus_algebra::builder::eq;
+    use certus_data::builder::rel;
+    use certus_data::null::NullId;
+    use certus_data::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]),
+        );
+        db.insert_relation(
+            "s",
+            rel(&["b"], vec![vec![Value::Int(2)], vec![Value::Null(NullId(1))]]),
+        );
+        db
+    }
+
+    fn query() -> RaExpr {
+        RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"))
+    }
+
+    #[test]
+    fn plain_and_certain_answers_differ_as_in_the_paper() {
+        let session = Session::new(db());
+        let plain = session.execute(&query(), Certainty::Plain).unwrap();
+        assert_eq!(plain.len(), 2, "SQL returns the two false positives");
+        let certain = session.execute(&query(), Certainty::CertainPlus).unwrap();
+        assert!(certain.is_empty(), "no answer is certain with ⊥ in s");
+    }
+
+    #[test]
+    fn both_reports_the_breakdown() {
+        let session = Session::new(db());
+        let both = session.execute(&query(), Certainty::Both).unwrap();
+        let breakdown = both.breakdown.expect("Both carries a breakdown");
+        assert_eq!(breakdown.total, 2);
+        assert_eq!(breakdown.certain, 0);
+        assert_eq!(breakdown.false_positives, 2);
+        assert!(both.plain.is_some() && both.certain.is_some() && both.possible.is_some());
+        // The possible answers cover everything SQL returned.
+        let possible = both.possible.as_ref().unwrap();
+        for t in both.plain.as_ref().unwrap().iter() {
+            assert!(possible.contains(t), "SQL answer {t} must be possible");
+        }
+    }
+
+    #[test]
+    fn prepared_queries_hit_the_cache() {
+        let session = Session::new(db());
+        let first = session.prepare(&query(), Certainty::CertainPlus).unwrap();
+        let second = session.prepare(&query(), Certainty::CertainPlus).unwrap();
+        assert_eq!(first.plan_count(), 1);
+        assert_eq!(second.plan_count(), 1);
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A different certainty is a different key.
+        session.prepare(&query(), Certainty::Both).unwrap();
+        assert_eq!(session.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn builder_settings_are_exposed() {
+        let session = Session::builder(db())
+            .semantics(NullSemantics::Naive)
+            .threads(3)
+            .planner(PlannerKind::CostBased)
+            .cache_capacity(2)
+            .build();
+        assert_eq!(session.semantics(), NullSemantics::Naive);
+        assert_eq!(session.config().threads, 3);
+        assert_eq!(session.cache_stats().capacity, 2);
+        assert_eq!(session.schema_epoch(), session.database().schema_epoch());
+        let out = session.execute(&query(), Certainty::Plain).unwrap();
+        // Under naive semantics ⊥ matches nothing but itself: 1 and 3 survive
+        // the anti-join, and 2 is matched outright.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn explain_produces_a_tree() {
+        let session = Session::new(db());
+        let plan = session.explain(&query(), Certainty::CertainPlus).unwrap();
+        assert!(plan.size() >= 1);
+        assert!(!plan.to_string().is_empty());
+    }
+}

@@ -16,7 +16,7 @@
 //!   extended to the derived operators (joins, semijoins, anti-joins) in the
 //!   way sanctioned by Corollary 1.
 //! * [`naive_translation::translate_t`] / [`naive_translation::translate_f`] —
-//!   the original translation `Q ↦ (Qᵗ, Qᶠ)` of [22] (Figure 2), kept as the
+//!   the original translation `Q ↦ (Qᵗ, Qᶠ)` of \[22\] (Figure 2), kept as the
 //!   baseline whose impracticality Section 5 demonstrates.
 //! * [`optimize`] — compatibility facade for the syntactic manipulations of
 //!   Section 7 (OR-splitting of `NOT EXISTS` conditions, nullability-aware

@@ -1,4 +1,4 @@
-//! The original translation `Q ↦ (Qᵗ, Qᶠ)` of [22] (Figure 2 of the paper).
+//! The original translation `Q ↦ (Qᵗ, Qᶠ)` of \[22\] (Figure 2 of the paper).
 //!
 //! `Qᵗ` underapproximates certain answers and `Qᶠ` underapproximates certain
 //! answers to the complement of `Q`. The translation is theoretically elegant

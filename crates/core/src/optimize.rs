@@ -2,7 +2,7 @@
 //! compatibility facade.
 //!
 //! The rewrites themselves now live in the `certus-plan` crate as individual
-//! passes behind a [`PassManager`](certus_plan::PassManager) pipeline; this
+//! passes behind a [`certus_plan::PassManager`] pipeline; this
 //! module keeps the historical `certus-core` entry points
 //! ([`optimize`], [`prune_null_checks`], [`split_or_antijoin`],
 //! [`split_or_join`], [`simplify_key_antijoin`], [`contained_in`]) and routes

@@ -206,7 +206,7 @@ mod tests {
     }
 
     /// On complete databases Q and Q⁺ coincide (third bullet of the paper's
-    /// summary of [22], preserved by the improved translation).
+    /// summary of \[22\], preserved by the improved translation).
     #[test]
     fn complete_database_unchanged_semantics() {
         let mut db = Database::new();

@@ -75,12 +75,22 @@ impl ActiveDomain {
 pub struct Database {
     tables: BTreeMap<String, Relation>,
     defs: BTreeMap<String, TableDef>,
+    epoch: u64,
 }
 
 impl Database {
     /// Create an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// The database's *schema epoch*: a monotonic counter bumped by every
+    /// mutating accessor ([`Database::create_table`],
+    /// [`Database::insert_relation`], [`Database::relation_mut`]). Plan
+    /// caches and statistics catalogs key on it so anything derived from a
+    /// past state of the database invalidates when the database changes.
+    pub fn schema_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Register a table definition with an empty instance.
@@ -90,6 +100,7 @@ impl Database {
         }
         self.tables.insert(def.name.clone(), Relation::empty(def.schema.clone()));
         self.defs.insert(def.name.clone(), def);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -103,6 +114,7 @@ impl Database {
             primary_key: Vec::new(),
         });
         self.tables.insert(name, relation);
+        self.epoch += 1;
     }
 
     /// Look up a relation by name.
@@ -110,9 +122,16 @@ impl Database {
         self.tables.get(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable access to a relation by name.
+    /// Mutable access to a relation by name. Conservatively bumps the schema
+    /// epoch — the caller receives the power to change the relation, so
+    /// anything cached against the previous epoch must be considered stale.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
-        self.tables.get_mut(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
+        let rel =
+            self.tables.get_mut(name).ok_or_else(|| DataError::UnknownTable(name.to_string()));
+        if rel.is_ok() {
+            self.epoch += 1;
+        }
+        rel
     }
 
     /// Look up a table definition by name.
@@ -304,6 +323,27 @@ mod tests {
         r.insert_values(vec![Value::Int(1), Value::Int(10)]).unwrap();
         r.insert_values(vec![Value::Int(1), Value::Int(20)]).unwrap();
         assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn schema_epoch_tracks_mutations() {
+        let mut db = Database::new();
+        assert_eq!(db.schema_epoch(), 0);
+        db.create_table(TableDef::new("t", Schema::of_names(&["x"]))).unwrap();
+        assert_eq!(db.schema_epoch(), 1);
+        db.insert_relation("r", rel(&["a"], vec![vec![Value::Int(1)]]));
+        assert_eq!(db.schema_epoch(), 2);
+        // Failed mutations leave the epoch alone…
+        assert!(db.create_table(TableDef::new("t", Schema::of_names(&["x"]))).is_err());
+        assert!(db.relation_mut("missing").is_err());
+        assert_eq!(db.schema_epoch(), 2);
+        // …while handing out mutable access bumps it conservatively.
+        db.relation_mut("r").unwrap().insert_values(vec![Value::Int(2)]).unwrap();
+        assert_eq!(db.schema_epoch(), 3);
+        // Read-only accessors never bump.
+        let _ = db.relation("r").unwrap();
+        let _ = db.active_domain();
+        assert_eq!(db.schema_epoch(), 3);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   with the semantics defined in `certus-algebra`.
 //!
 //! [`Engine::execute`] is the convenience entry point for logical plans: it
-//! runs the statistics-free [`heuristic_plan`] (the same choices the
+//! runs the statistics-free [`heuristic_plan`](certus_plan::physical::heuristic_plan) (the same choices the
 //! pre-planner engine hard-coded) and executes the result.
 //!
 //! # Parallel execution
@@ -127,26 +127,34 @@ pub struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    /// An engine over a database using SQL three-valued semantics and the
+    /// An engine with explicit semantics and configuration — the one real
+    /// constructor; everything else defaults into it.
+    ///
+    /// For new code, prefer the `certus::Session` facade: it owns the
+    /// database, prepares (translates + plans) queries once, caches the
+    /// plans, and constructs engines like this one internally per execution.
+    pub fn configured(db: &'a Database, semantics: NullSemantics, config: EngineConfig) -> Self {
+        Engine { db, semantics, config, in_flight: AtomicUsize::new(0) }
+    }
+
+    /// Shim over [`Engine::configured`]: SQL three-valued semantics and the
     /// environment-driven default configuration ([`EngineConfig::from_env`]).
+    /// Superseded by `certus::Session` for new code.
     pub fn new(db: &'a Database) -> Self {
         Engine::configured(db, NullSemantics::Sql, EngineConfig::default())
     }
 
-    /// An engine using the given null semantics (naive evaluation is used
-    /// when executing translations in the theoretical dialect).
+    /// Shim over [`Engine::configured`]: explicit null semantics (naive
+    /// evaluation pairs with translations in the theoretical dialect), the
+    /// default configuration. Superseded by `certus::Session` for new code.
     pub fn with_semantics(db: &'a Database, semantics: NullSemantics) -> Self {
         Engine::configured(db, semantics, EngineConfig::default())
     }
 
-    /// An engine with an explicit configuration, using SQL semantics.
+    /// Shim over [`Engine::configured`]: explicit configuration, SQL
+    /// semantics. Superseded by `certus::Session` for new code.
     pub fn with_config(db: &'a Database, config: EngineConfig) -> Self {
         Engine::configured(db, NullSemantics::Sql, config)
-    }
-
-    /// An engine with explicit semantics and configuration.
-    pub fn configured(db: &'a Database, semantics: NullSemantics, config: EngineConfig) -> Self {
-        Engine { db, semantics, config, in_flight: AtomicUsize::new(0) }
     }
 
     /// The engine's runtime configuration.

@@ -2,7 +2,7 @@
 //!
 //! Physical execution for *certus*. The reference evaluator in
 //! `certus-algebra` defines the semantics; this crate executes
-//! [`PhysicalExpr`](certus_plan::PhysicalExpr) plans produced by the
+//! [`certus_plan::PhysicalExpr`] plans produced by the
 //! `certus-plan` planner the way a real DBMS would, which is what makes the
 //! paper's *price of correctness* experiments meaningful:
 //!
@@ -22,6 +22,13 @@
 //!   the machine's available parallelism);
 //! * the cost model and equi-key analysis live in `certus-plan` and are
 //!   re-exported here ([`cost`], [`equi`]) for compatibility.
+//!
+//! The engine is deliberately low-level: it borrows a database and executes
+//! one plan. The `certus::Session` facade is the recommended front door — it
+//! owns the database, prepares queries once (translation + pass pipeline +
+//! physical planning, behind an LRU plan cache), and drives this engine
+//! internally. The four `Engine` constructors all funnel into
+//! [`Engine::configured`] and remain as thin shims.
 
 pub mod engine;
 

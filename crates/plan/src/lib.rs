@@ -1,7 +1,7 @@
 //! # certus-plan
 //!
 //! The query-planning subsystem of *certus*: everything between the logical
-//! [`RaExpr`](certus_algebra::RaExpr) a translation produces and the physical
+//! [`RaExpr`] a translation produces and the physical
 //! plan the engine executes.
 //!
 //! * [`pass`] — a [`PassManager`] running an ordered, re-runnable pipeline of
@@ -23,10 +23,14 @@
 //! * [`physical`] — the [`PhysicalExpr`] plan representation, the
 //!   statistics-free [`heuristic_plan`] and the cost-based
 //!   [`PhysicalPlanner`] emitting [`ExplainPlan`] trees.
+//! * [`cache`] — hashable plan keys ([`PlanKey`]) and the LRU [`PlanCache`]
+//!   (hit/miss counters, schema-epoch invalidation) behind
+//!   `certus::Session`'s prepared queries.
 //!
 //! [`Planner`] ties the two halves together: logical pipeline, then physical
 //! planning.
 
+pub mod cache;
 pub mod cost;
 pub mod equi;
 pub mod error;
@@ -35,6 +39,7 @@ pub mod passes;
 pub mod physical;
 pub mod stats;
 
+pub use cache::{expr_fingerprint, CacheStats, PlanCache, PlanKey};
 pub use cost::{
     estimate, estimate_with, exchange_cost, selectivity, selectivity_with, CostEstimate,
 };

@@ -1,14 +1,15 @@
 //! Why the naive rewriting confuses the optimizer — and how the planner's
-//! OR-splitting pipeline fixes it. Prints the cost-based physical planner's
-//! `EXPLAIN` trees (with statistics-backed row/cost estimates and the chosen
-//! join algorithm per node) for query Q4, its direct translation, and the
-//! pipeline-rewritten translation (Section 7 discussion).
+//! OR-splitting pipeline fixes it. Prints `EXPLAIN` trees (with
+//! statistics-backed row/cost estimates and the chosen join algorithm per
+//! node) for query Q4 and its translation through `Session::explain`, plus
+//! the raw (pipeline-off) translation via the low-level planner API.
 //!
 //! Run with `cargo run --release --example explain_plans`.
 
 use certus::core::rewriter::CertainRewriter;
-use certus::plan::{Parallelism, PhysicalPlanner, StatisticsCatalog};
+use certus::plan::PhysicalPlanner;
 use certus::tpch::{q4, Workload};
+use certus::{Certainty, Session};
 
 fn main() {
     let workload = Workload::new(0.001, 0.02, 99);
@@ -16,28 +17,34 @@ fn main() {
     let params = workload.params(&db, 0);
     let query = q4(&params);
 
-    let stats = StatisticsCatalog::analyze(&db);
-    let planner = PhysicalPlanner::new(&db, &stats);
-
-    println!("=== Original Q4 ===");
-    println!("{}", planner.explain(&query).expect("plans"));
-
+    // The raw translation needs the low-level API: `Session` always runs the
+    // rewrite-pass pipeline, which is exactly what this example ablates.
     let unsplit =
         CertainRewriter::unoptimized().rewrite_plus(&query, &db).expect("translation succeeds");
+
+    // Explicitly serial, so the first three trees carry no exchange
+    // operators whatever CERTUS_THREADS / the core count says — the contrast
+    // with the 4-thread session below is the point of this example.
+    let session = Session::builder(db).threads(1).build();
+
+    println!("=== Original Q4 ===");
+    println!("{}", session.explain(&query, Certainty::Plain).expect("plans"));
+
     println!("=== Direct translation Q4+ (OR .. IS NULL conditions block hash joins) ===");
+    let stats = session.statistics();
+    let planner = PhysicalPlanner::new(session.database(), &stats);
     println!("{}", planner.explain(&unsplit).expect("plans"));
 
-    let split = CertainRewriter::new().rewrite_plus(&query, &db).expect("translation succeeds");
     println!("=== Optimized translation Q4+ (the pass pipeline restores hash joins) ===");
-    println!("{}", planner.explain(&split).expect("plans"));
+    println!("{}", session.explain(&query, Certainty::CertainPlus).expect("plans"));
 
-    // The same queries, prepared for a 4-thread engine: exchange operators
+    // The same queries, explained by a 4-thread session: exchange operators
     // mark where hash-join builds are partitioned and union arms run
     // concurrently (only inputs clearing the planner's row threshold are
     // exchanged — Q4's lineitem build qualifies, tiny builds stay serial).
-    let parallel = PhysicalPlanner::with_parallelism(&db, &stats, Parallelism::new(4));
+    let parallel = Session::builder(session.into_database()).threads(4).build();
     println!("=== Original Q4, planned for 4 worker threads ===");
-    println!("{}", parallel.explain(&query).expect("plans"));
+    println!("{}", parallel.explain(&query, Certainty::Plain).expect("plans"));
     println!("=== Optimized translation Q4+, planned for 4 worker threads ===");
-    println!("{}", parallel.explain(&split).expect("plans"));
+    println!("{}", parallel.explain(&query, Certainty::CertainPlus).expect("plans"));
 }

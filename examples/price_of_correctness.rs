@@ -7,7 +7,8 @@
 use certus::tpch::{query_by_number, Workload};
 use certus::{CertainRewriter, Engine};
 use certus_bench::experiments::{
-    parallel_scaling, planner_on_off, print_parallel_scaling, print_planner_on_off,
+    parallel_scaling, planner_on_off, prepared_execution, print_parallel_scaling,
+    print_planner_on_off, print_prepared,
 };
 use std::time::Instant;
 
@@ -65,4 +66,12 @@ fn main() {
     println!("fanned out to that many worker threads (CERTUS_THREADS overrides the");
     println!("default); speedups are relative to the single-thread row and depend on");
     println!("the machine's core count.");
+
+    println!();
+    let (rows, cache) = prepared_execution(0.001, 0.02, 7, 3);
+    print_prepared(&rows, &cache);
+    println!("\nThe per-call arm re-runs translation + rewrite passes + planning on every");
+    println!("execution; the prepared arm plans once via Session::prepare and then only");
+    println!("executes — the overhead column is the planning share a plan cache saves");
+    println!("on repeated workload queries.");
 }

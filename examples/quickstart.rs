@@ -1,4 +1,4 @@
-//! Quickstart: the introduction's example.
+//! Quickstart: the introduction's example, through the `Session` facade.
 //!
 //! `R = {1}`, `S = {NULL}`. SQL evaluates `R − S` (written with `NOT EXISTS`)
 //! to `{1}`, but that tuple is not a certain answer — if the null stands for
@@ -10,7 +10,7 @@
 use certus::algebra::builder::eq;
 use certus::data::builder::rel;
 use certus::data::null::NullId;
-use certus::{CertainRewriter, Database, Engine, RaExpr, Value};
+use certus::{Certainty, Database, RaExpr, Session, Value};
 
 fn main() {
     let mut db = Database::new();
@@ -20,20 +20,38 @@ fn main() {
     // SELECT r.a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE r.a = s.b)
     let query = RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"));
 
-    let engine = Engine::new(&db);
-    let sql_answers = engine.execute(&query).expect("query runs");
+    // One session owns the database, the translation pipeline, the planner
+    // and the engine; `Certainty` picks which evaluation runs.
+    let session = Session::new(db);
+
+    let sql_answers = session.execute(&query, Certainty::Plain).expect("query runs");
     println!("SQL evaluation returns      : {} tuple(s)", sql_answers.len());
-    for t in sql_answers.iter() {
+    for t in sql_answers.relation().iter() {
         println!("  {t}   <-- false positive: not a certain answer");
     }
 
-    let rewriter = CertainRewriter::new();
-    let rewritten = rewriter.rewrite_plus(&query, &db).expect("query is in the supported fragment");
-    println!("\nRewritten query Q+          : {rewritten}");
-    let certain = engine.execute(&rewritten).expect("rewritten query runs");
+    // `prepare` runs translation + rewrite passes + physical planning once;
+    // the prepared query can then be executed any number of times with zero
+    // planning work.
+    let prepared = session.prepare(&query, Certainty::CertainPlus).expect("query translates");
+    let certain = session.execute_prepared(&prepared).expect("prepared query runs");
     println!(
-        "Certain-answer evaluation   : {} tuple(s) (correct: the answer is uncertain)",
+        "\nCertain-answer evaluation   : {} tuple(s) (correct: the answer is uncertain)",
         certain.len()
     );
     assert!(certain.is_empty());
+
+    // Asking for both evaluations returns the answer breakdown of the paper.
+    let both = session.execute(&query, Certainty::Both).expect("query runs");
+    let breakdown = both.breakdown.expect("Both carries a breakdown");
+    println!(
+        "\nBreakdown of the SQL answer : {} total = {} certain + {} false positive(s)",
+        breakdown.total, breakdown.certain, breakdown.false_positives
+    );
+
+    let stats = session.cache_stats();
+    println!(
+        "Plan cache                  : {} hits / {} misses over {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
 }

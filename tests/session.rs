@@ -1,0 +1,193 @@
+//! Integration tests for the `Session`/`PreparedQuery` facade: plan-cache
+//! hit/miss accounting, schema-epoch invalidation, stale-plan detection, and
+//! the differential property that session answers are identical to the
+//! direct `CertainRewriter` + `Engine` path under both null semantics on
+//! randomized null databases.
+
+use certus::algebra::builder::eq;
+use certus::data::builder::rel;
+use certus::data::inject::NullInjector;
+use certus::data::null::NullId;
+use certus::tpch::{q1, q2, q3, q4, DbGen, QueryParams};
+use certus::{
+    CertainRewriter, Certainty, CertusError, Database, Engine, EngineConfig, NullSemantics,
+    PlannerKind, RaExpr, Session, Value,
+};
+
+fn small_db() -> Database {
+    let mut db = Database::new();
+    db.insert_relation(
+        "r",
+        rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]),
+    );
+    db.insert_relation("s", rel(&["b"], vec![vec![Value::Int(2)], vec![Value::Null(NullId(1))]]));
+    db
+}
+
+fn diff_query() -> RaExpr {
+    RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"))
+}
+
+#[test]
+fn reexecuting_a_prepared_query_does_no_planning_work() {
+    let session = Session::new(small_db());
+    let prepared = session.prepare(&diff_query(), Certainty::CertainPlus).unwrap();
+    let after_prepare = session.cache_stats();
+    assert_eq!((after_prepare.hits, after_prepare.misses), (0, 1));
+
+    // Execute the prepared query many times: the cache counters must not
+    // move at all — execution touches neither the rewriter nor a planner.
+    for _ in 0..5 {
+        assert!(session.execute_prepared(&prepared).unwrap().is_empty());
+    }
+    let after_runs = session.cache_stats();
+    assert_eq!((after_runs.hits, after_runs.misses), (0, 1));
+    assert_eq!(after_runs.insertions, 1);
+
+    // Preparing the same query again is a pure cache hit.
+    let again = session.prepare(&diff_query(), Certainty::CertainPlus).unwrap();
+    assert_eq!(again.schema_epoch(), prepared.schema_epoch());
+    let after_rehit = session.cache_stats();
+    assert_eq!((after_rehit.hits, after_rehit.misses), (1, 1));
+    assert_eq!(after_rehit.insertions, 1, "a hit must not re-plan");
+
+    // The convenience path `execute` goes through the same cache.
+    session.execute(&diff_query(), Certainty::CertainPlus).unwrap();
+    assert_eq!(session.cache_stats().hits, 2);
+}
+
+#[test]
+fn schema_epoch_bump_invalidates_cached_plans() {
+    let mut session = Session::new(small_db());
+    let epoch0 = session.schema_epoch();
+    let prepared = session.prepare(&diff_query(), Certainty::CertainPlus).unwrap();
+    assert_eq!(prepared.schema_epoch(), epoch0);
+    assert_eq!(session.cache_stats().entries, 1);
+
+    // Mutating the database bumps the epoch…
+    session.database_mut().insert_relation("t", rel(&["x"], vec![vec![Value::Int(9)]]));
+    assert!(session.schema_epoch() > epoch0);
+
+    // …so the old prepared query is refused rather than silently executed…
+    match session.execute_prepared(&prepared) {
+        Err(CertusError::StalePlan { prepared_epoch, current_epoch }) => {
+            assert_eq!(prepared_epoch, epoch0);
+            assert_eq!(current_epoch, session.schema_epoch());
+        }
+        other => panic!("expected StalePlan, got {other:?}"),
+    }
+
+    // …and re-preparing is a miss (the stale entry is dropped, not hit).
+    session.prepare(&diff_query(), Certainty::CertainPlus).unwrap();
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 2));
+    assert_eq!(stats.invalidations, 1, "the stale entry was pruned");
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn certainty_both_breaks_down_the_sql_answer() {
+    let session = Session::new(small_db());
+    let both = session.execute(&diff_query(), Certainty::Both).unwrap();
+    let breakdown = both.breakdown.expect("Both carries a breakdown");
+    assert_eq!(breakdown.total, both.plain.as_ref().unwrap().len());
+    assert_eq!(breakdown.certain + breakdown.false_positives, breakdown.total);
+    // With ⊥ in s nothing is certain: both SQL answers are false positives.
+    assert_eq!(breakdown.false_positives, 2);
+    let possible = both.possible.as_ref().expect("Both carries the possible answers");
+    for t in both.plain.as_ref().unwrap().iter() {
+        assert!(possible.contains(t), "every SQL answer is possible");
+    }
+}
+
+#[test]
+fn prepared_queries_survive_for_each_certainty_and_thread_count() {
+    let session = Session::builder(small_db()).threads(1).build();
+    for certainty in
+        [Certainty::Plain, Certainty::CertainPlus, Certainty::PossibleStar, Certainty::Both]
+    {
+        let prepared = session.prepare(&diff_query(), certainty).unwrap();
+        assert_eq!(prepared.certainty(), certainty);
+        let expected = if certainty == Certainty::Both { 3 } else { 1 };
+        assert_eq!(prepared.plan_count(), expected);
+        session.execute_prepared(&prepared).unwrap();
+    }
+    // Four distinct certainties → four distinct cache keys.
+    assert_eq!(session.cache_stats().entries, 4);
+    assert_eq!(session.cache_stats().misses, 4);
+}
+
+/// The central differential property: for randomized null databases, under
+/// both semantics, the session's answers are exactly what the direct
+/// `CertainRewriter` + `Engine` wiring produces.
+#[test]
+fn session_matches_the_direct_rewriter_plus_engine_path() {
+    for seed in [11u64, 42, 77] {
+        let complete = DbGen::new(0.0002, seed).generate();
+        let db = NullInjector::new(0.05, seed + 1).inject(&complete);
+        let params = QueryParams::random(&db, seed);
+        for semantics in [NullSemantics::Sql, NullSemantics::Naive] {
+            let session = Session::builder(db.clone())
+                .semantics(semantics)
+                .config(EngineConfig::serial())
+                .build();
+            let engine = Engine::configured(&db, semantics, EngineConfig::serial());
+            let rewriter = match semantics {
+                NullSemantics::Sql => CertainRewriter::new(),
+                NullSemantics::Naive => CertainRewriter::theoretical(),
+            };
+            for q in [q1(&params), q2(&params), q3(&params), q4(&params)] {
+                // Plain evaluation.
+                let via_session = session.execute(&q, Certainty::Plain).unwrap().relation().clone();
+                let direct = engine.execute(&q).unwrap();
+                assert_eq!(
+                    via_session.sorted().tuples(),
+                    direct.sorted().tuples(),
+                    "plain answers differ ({} semantics, seed {seed}): {q}",
+                    semantics.label()
+                );
+                // Certain-answer evaluation.
+                let plus = rewriter.rewrite_plus(&q, &db).unwrap();
+                let via_session =
+                    session.execute(&q, Certainty::CertainPlus).unwrap().relation().clone();
+                let direct = engine.execute(&plus).unwrap();
+                assert_eq!(
+                    via_session.sorted().tuples(),
+                    direct.sorted().tuples(),
+                    "certain answers differ ({} semantics, seed {seed}): {q}",
+                    semantics.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cost_based_sessions_agree_with_heuristic_sessions() {
+    let complete = DbGen::new(0.0002, 23).generate();
+    let db = NullInjector::new(0.05, 29).inject(&complete);
+    let params = QueryParams::random(&db, 3);
+    let heuristic = Session::builder(db.clone()).config(EngineConfig::serial()).build();
+    let cost_based =
+        Session::builder(db).planner(PlannerKind::CostBased).config(EngineConfig::serial()).build();
+    for q in [q1(&params), q3(&params), q4(&params)] {
+        for certainty in [Certainty::Plain, Certainty::CertainPlus] {
+            let a = heuristic.execute(&q, certainty).unwrap().relation().sorted().distinct();
+            let b = cost_based.execute(&q, certainty).unwrap().relation().sorted().distinct();
+            assert_eq!(a.tuples(), b.tuples(), "planner kinds disagree on {q}");
+        }
+    }
+}
+
+#[test]
+fn session_explain_matches_planner_output_shape() {
+    let session = Session::new(small_db());
+    let explain = session.explain(&diff_query(), Certainty::CertainPlus).unwrap();
+    assert!(explain.size() >= 2);
+    let rendered = explain.to_string();
+    assert!(rendered.contains("rows≈"), "{rendered}");
+    // Parallel sessions render exchange operators for large enough inputs —
+    // on this tiny database the tree simply stays serial but must still plan.
+    let parallel = Session::builder(small_db()).threads(4).build();
+    parallel.explain(&diff_query(), Certainty::Plain).unwrap();
+}
