@@ -99,17 +99,17 @@ impl<'a> Evaluator<'a> {
             RaExpr::Union { left, right } => {
                 let l = self.eval(left)?;
                 let r = self.align(&l, self.eval(right)?);
-                l.union(&r).map_err(AlgebraError::Data)
+                l.union_owned(&r).map_err(AlgebraError::Data)
             }
             RaExpr::Intersect { left, right } => {
                 let l = self.eval(left)?;
                 let r = self.align(&l, self.eval(right)?);
-                l.intersect(&r).map_err(AlgebraError::Data)
+                l.intersect_owned(&r).map_err(AlgebraError::Data)
             }
             RaExpr::Difference { left, right } => {
                 let l = self.eval(left)?;
                 let r = self.align(&l, self.eval(right)?);
-                l.difference(&r).map_err(AlgebraError::Data)
+                l.difference_owned(&r).map_err(AlgebraError::Data)
             }
             RaExpr::SemiJoin { left, right, condition } => {
                 self.semi_like(left, right, condition, true)
@@ -125,7 +125,7 @@ impl<'a> Evaluator<'a> {
                 let schema = rel.schema().rename(columns).map_err(AlgebraError::Data)?.shared();
                 Ok(Relation::from_parts(schema, rel.tuples().to_vec()))
             }
-            RaExpr::Distinct { input } => Ok(self.eval(input)?.distinct()),
+            RaExpr::Distinct { input } => Ok(self.eval(input)?.into_distinct()),
             RaExpr::Aggregate { input, group_by, aggregates } => {
                 self.aggregate(expr, input, group_by, aggregates)
             }
@@ -415,8 +415,9 @@ impl<'a> Evaluator<'a> {
 
 /// Compute one aggregate over a group of tuples. SQL null handling: nulls are
 /// ignored by all aggregates except `COUNT(*)`; an empty set of non-null
-/// inputs yields `NULL` (0 for counts).
-fn compute_aggregate(func: AggFunc, pos: Option<usize>, rows: &[&Tuple]) -> Value {
+/// inputs yields `NULL` (0 for counts). Shared with the engine's compiled
+/// aggregate operator, so both runtimes agree by construction.
+pub fn compute_aggregate(func: AggFunc, pos: Option<usize>, rows: &[&Tuple]) -> Value {
     match func {
         AggFunc::CountStar => Value::Int(rows.len() as i64),
         AggFunc::Count => {

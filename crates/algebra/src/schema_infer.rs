@@ -36,6 +36,7 @@ impl Catalog for Database {
 /// Compute the output schema of an expression, validating column references,
 /// arities and set-operation compatibility along the way.
 pub fn output_schema(expr: &RaExpr, catalog: &dyn Catalog) -> Result<Schema> {
+    certus_data::profile::record_schema_inference();
     match expr {
         RaExpr::Relation { name, alias } => {
             let schema = catalog.table_schema(name)?;

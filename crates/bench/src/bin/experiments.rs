@@ -1,18 +1,21 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|all] [--quick]
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|all] [--quick|--smoke]
 //! ```
 //!
-//! `--quick` shrinks instance counts and scale factors so the full suite runs
-//! in well under a minute (used by CI and `cargo bench` smoke runs).
+//! `--quick` (alias `--smoke`) shrinks instance counts and scale factors so
+//! the full suite runs in well under a minute (used by CI and `cargo bench`
+//! smoke runs). `pipeline` compares the native compiled operator runtime
+//! against the pre-compilation delegating execution path and writes the
+//! machine-readable perf baseline `BENCH_engine.json`.
 
 use certus_bench::experiments::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
 
     let (fig1_scale, fig1_instances, fig1_runs) =
         if quick { (0.0003, 1, 1) } else { (0.0006, 3, 3) };
@@ -64,6 +67,15 @@ fn main() {
         let (scale, reps) = if quick { (0.001, 2) } else { (0.002, 5) };
         let (rows, cache) = prepared_execution(scale, 0.02, 906, reps);
         print_prepared(&rows, &cache);
+        println!();
+    }
+    if what == "pipeline" || what == "all" {
+        let (scale, reps) = if quick { (0.001, 2) } else { (0.003, 5) };
+        let rows = engine_pipeline(scale, 0.03, 907, reps);
+        print_engine_pipeline(&rows);
+        let path = std::path::Path::new("BENCH_engine.json");
+        write_engine_bench_json(path, &rows).expect("write BENCH_engine.json");
+        println!("wrote {}", path.display());
         println!();
     }
 }

@@ -29,7 +29,7 @@ use certus_algebra::{NullSemantics, RaExpr};
 use certus_core::metrics::AnswerBreakdown;
 use certus_core::{CertainRewriter, ConditionDialect};
 use certus_data::{Database, Relation};
-use certus_engine::{Engine, EngineConfig};
+use certus_engine::{CompiledPlan, Engine, EngineConfig};
 use certus_plan::cache::{CacheStats, PlanCache, PlanKey};
 use certus_plan::physical::{heuristic_plan_with, ExplainPlan, PhysicalExpr, PhysicalPlanner};
 use certus_plan::StatisticsCatalog;
@@ -162,17 +162,21 @@ enum AnswerRole {
 }
 
 /// Internal: the cached product of one `prepare` call — every physical plan
-/// the chosen [`Certainty`] needs, fully planned.
+/// the chosen [`Certainty`] needs, fully planned **and compiled** into the
+/// engine's native operator runtime (schemas inferred, column names
+/// resolved, conditions compiled to positional predicates).
 #[derive(Debug)]
 struct PreparedPlans {
-    parts: Vec<(AnswerRole, PhysicalExpr)>,
+    parts: Vec<(AnswerRole, CompiledPlan)>,
 }
 
 /// A query prepared by [`Session::prepare`]: translation, rewrite-pass
-/// pipeline and physical planning already done. Executing it
-/// ([`Session::execute_prepared`]) performs zero planning work — the engine
-/// just runs the stored physical plans. Cloning is cheap (the plans are
-/// shared), and a prepared query outlives cache eviction.
+/// pipeline, physical planning and operator compilation already done.
+/// Executing it ([`Session::execute_prepared`]) performs zero planning *and
+/// zero compilation* work — the engine runs the stored compiled operator
+/// trees directly, with no schema inference, no column-name resolution and
+/// no logical-expression reconstruction per execution. Cloning is cheap (the
+/// plans are shared), and a prepared query outlives cache eviction.
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     certainty: Certainty,
@@ -390,7 +394,7 @@ impl Session {
         let engine = Engine::configured(&self.db, self.semantics, self.config.clone());
         let (mut plain, mut certain, mut possible) = (None, None, None);
         for (role, plan) in &prepared.plans.parts {
-            let rel = engine.execute_physical(plan)?;
+            let rel = engine.execute_compiled(plan)?;
             match role {
                 AnswerRole::Plain => plain = Some(rel),
                 AnswerRole::Certain => certain = Some(rel),
@@ -434,22 +438,30 @@ impl Session {
         Ok(planner.explain(&expr)?)
     }
 
-    /// Translate (as required by `certainty`) and physically plan every part
-    /// of a prepared query.
+    /// Translate (as required by `certainty`), physically plan and compile
+    /// every part of a prepared query.
     fn build_plans(&self, query: &RaExpr, certainty: Certainty) -> Result<PreparedPlans> {
         let mut parts = Vec::new();
         if certainty.wants_plain() {
-            parts.push((AnswerRole::Plain, self.plan_physical(query)?));
+            parts.push((AnswerRole::Plain, self.compile_physical(query)?));
         }
         if certainty.wants_certain() {
             let plus = self.rewriter.rewrite_plus(query, &self.db)?;
-            parts.push((AnswerRole::Certain, self.plan_physical(&plus)?));
+            parts.push((AnswerRole::Certain, self.compile_physical(&plus)?));
         }
         if certainty.wants_possible() {
             let star = self.rewriter.rewrite_star(query, &self.db)?;
-            parts.push((AnswerRole::Possible, self.plan_physical(&star)?));
+            parts.push((AnswerRole::Possible, self.compile_physical(&star)?));
         }
         Ok(PreparedPlans { parts })
+    }
+
+    /// Plan and compile one (already translated) expression: physical
+    /// planning picks the algorithms, compilation resolves every schema and
+    /// column name once so executions do neither.
+    fn compile_physical(&self, expr: &RaExpr) -> Result<CompiledPlan> {
+        let plan = self.plan_physical(expr)?;
+        Ok(CompiledPlan::compile(&plan, &self.db)?)
     }
 
     /// Physically plan one (already translated) expression with the

@@ -27,6 +27,7 @@ pub mod error;
 pub mod inject;
 pub mod like;
 pub mod null;
+pub mod profile;
 pub mod relation;
 pub mod schema;
 pub mod truth;

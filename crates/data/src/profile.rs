@@ -1,0 +1,96 @@
+//! Process-wide profiling counters for the hot-path work the compiled
+//! operator runtime is supposed to eliminate.
+//!
+//! Three kinds of per-execution overhead used to hide in the engine's
+//! delegating execution path: column-*name resolution* (string lookups in
+//! [`crate::Schema::position_of`]), *schema inference* (re-deriving operator
+//! output schemas per execution), and *plan materialisation* (wrapping an
+//! already materialised relation back into a logical `Values` expression so
+//! the reference evaluator can re-execute it). Each site increments a relaxed
+//! atomic counter; tests snapshot the counters around a prepared re-execution
+//! and assert the deltas are zero.
+//!
+//! The counters are global and monotone — meaningful as *deltas* taken while
+//! no other engine work runs in the process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NAME_RESOLUTIONS: AtomicU64 = AtomicU64::new(0);
+static SCHEMA_INFERENCES: AtomicU64 = AtomicU64::new(0);
+static PLAN_MATERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of all profiling counters, for delta assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Column-name → position resolutions performed so far.
+    pub name_resolutions: u64,
+    /// Operator output-schema inferences performed so far.
+    pub schema_inferences: u64,
+    /// Materialised relations wrapped back into logical expressions so far.
+    pub plan_materializations: u64,
+}
+
+impl ProfileSnapshot {
+    /// Take a snapshot of the current counter values.
+    pub fn now() -> ProfileSnapshot {
+        ProfileSnapshot {
+            name_resolutions: NAME_RESOLUTIONS.load(Ordering::Relaxed),
+            schema_inferences: SCHEMA_INFERENCES.load(Ordering::Relaxed),
+            plan_materializations: PLAN_MATERIALIZATIONS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The counter increments since an earlier snapshot.
+    pub fn delta_since(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
+        ProfileSnapshot {
+            name_resolutions: self.name_resolutions - earlier.name_resolutions,
+            schema_inferences: self.schema_inferences - earlier.schema_inferences,
+            plan_materializations: self.plan_materializations - earlier.plan_materializations,
+        }
+    }
+
+    /// Whether no counted work happened between `earlier` and this snapshot.
+    pub fn is_zero(&self) -> bool {
+        self.name_resolutions == 0 && self.schema_inferences == 0 && self.plan_materializations == 0
+    }
+}
+
+/// Record one column-name resolution (called by [`crate::Schema::position_of`]).
+#[inline]
+pub fn record_name_resolution() {
+    NAME_RESOLUTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one operator output-schema inference (called by the algebra crate's
+/// `output_schema`).
+#[inline]
+pub fn record_schema_inference() {
+    SCHEMA_INFERENCES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one materialised-relation → logical-expression wrap (called by the
+/// engine's delegating execution path).
+#[inline]
+pub fn record_plan_materialization() {
+    PLAN_MATERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_track_recorded_events() {
+        let before = ProfileSnapshot::now();
+        record_name_resolution();
+        record_schema_inference();
+        record_plan_materialization();
+        let delta = ProfileSnapshot::now().delta_since(&before);
+        // Other tests in this process may also record events concurrently,
+        // so only lower bounds are stable here.
+        assert!(delta.name_resolutions >= 1);
+        assert!(delta.schema_inferences >= 1);
+        assert!(delta.plan_materializations >= 1);
+        assert!(!delta.is_zero());
+    }
+}

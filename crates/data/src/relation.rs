@@ -102,46 +102,77 @@ impl Relation {
     }
 
     /// Remove duplicate tuples (set semantics), preserving first occurrences.
+    ///
+    /// Deduplication hashes *borrowed* rows: no tuple is cloned into the
+    /// scratch set, so the only writes are the in-place removals.
     pub fn dedup(&mut self) {
-        let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.tuples.len());
-        self.tuples.retain(|t| seen.insert(t.clone()));
+        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(self.tuples.len());
+        let keep: Vec<bool> = self.tuples.iter().map(|t| seen.insert(t)).collect();
+        drop(seen);
+        let mut flags = keep.into_iter();
+        self.tuples.retain(|_| flags.next().expect("one flag per tuple"));
     }
 
     /// A deduplicated copy of this relation.
     pub fn distinct(&self) -> Relation {
-        let mut r = self.clone();
-        r.dedup();
-        r
+        self.clone().into_distinct()
+    }
+
+    /// Deduplicate in place, consuming the relation (no tuple clones).
+    pub fn into_distinct(mut self) -> Relation {
+        self.dedup();
+        self
     }
 
     /// Set union with another relation (schemas must be union compatible;
     /// the result uses this relation's schema).
     pub fn union(&self, other: &Relation) -> Result<Relation> {
+        self.clone().union_owned(other)
+    }
+
+    /// Set union consuming the left side: the left tuples are never cloned,
+    /// only moved and extended with the right side's.
+    pub fn union_owned(mut self, other: &Relation) -> Result<Relation> {
         self.check_compatible(other, "union")?;
-        let mut out = self.clone();
-        out.tuples.extend(other.tuples.iter().cloned());
-        out.dedup();
-        Ok(out)
+        self.tuples.extend(other.tuples.iter().cloned());
+        self.dedup();
+        Ok(self)
     }
 
     /// Set difference (syntactic tuple equality).
     pub fn difference(&self, other: &Relation) -> Result<Relation> {
+        self.clone().difference_owned(other)
+    }
+
+    /// Set difference consuming the left side (surviving tuples are moved,
+    /// not cloned).
+    pub fn difference_owned(mut self, other: &Relation) -> Result<Relation> {
         self.check_compatible(other, "difference")?;
         let right: HashSet<&Tuple> = other.tuples.iter().collect();
-        let tuples = self.tuples.iter().filter(|t| !right.contains(t)).cloned().collect();
-        let mut out = Relation { schema: self.schema.clone(), tuples };
-        out.dedup();
-        Ok(out)
+        let keep: Vec<bool> = self.tuples.iter().map(|t| !right.contains(t)).collect();
+        drop(right);
+        let mut flags = keep.into_iter();
+        self.tuples.retain(|_| flags.next().expect("one flag per tuple"));
+        self.dedup();
+        Ok(self)
     }
 
     /// Set intersection (syntactic tuple equality).
     pub fn intersect(&self, other: &Relation) -> Result<Relation> {
+        self.clone().intersect_owned(other)
+    }
+
+    /// Set intersection consuming the left side (surviving tuples are moved,
+    /// not cloned).
+    pub fn intersect_owned(mut self, other: &Relation) -> Result<Relation> {
         self.check_compatible(other, "intersection")?;
         let right: HashSet<&Tuple> = other.tuples.iter().collect();
-        let tuples = self.tuples.iter().filter(|t| right.contains(t)).cloned().collect();
-        let mut out = Relation { schema: self.schema.clone(), tuples };
-        out.dedup();
-        Ok(out)
+        let keep: Vec<bool> = self.tuples.iter().map(|t| right.contains(t)).collect();
+        drop(right);
+        let mut flags = keep.into_iter();
+        self.tuples.retain(|_| flags.next().expect("one flag per tuple"));
+        self.dedup();
+        Ok(self)
     }
 
     /// Apply a valuation to every tuple, producing a (possibly complete)

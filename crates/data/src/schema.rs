@@ -100,6 +100,7 @@ impl Schema {
     /// that it matches against the unqualified base names. An ambiguous
     /// unqualified reference is an error, as in SQL.
     pub fn position_of(&self, name: &str) -> Result<usize> {
+        crate::profile::record_name_resolution();
         // Exact match.
         let exact: Vec<usize> =
             self.attrs.iter().enumerate().filter(|(_, a)| a.name == name).map(|(i, _)| i).collect();

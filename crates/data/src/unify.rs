@@ -272,7 +272,7 @@ mod randomized_tests {
                 let len = rng.gen_range(1..=2usize);
                 let s: String =
                     (0..len).map(|_| char::from(b'a' + rng.gen_range(0..3u8))).collect();
-                Value::Str(s)
+                Value::str(s)
             }
         }
     }

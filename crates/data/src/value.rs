@@ -5,6 +5,7 @@ use crate::types::ValueType;
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A database value: either a constant from one of the supported base types,
 /// or a (marked) null `⊥ᵢ`.
@@ -14,6 +15,10 @@ use std::hash::{Hash, Hasher};
 /// pattern with NaN normalised. Syntactic equality is what naive evaluation
 /// and hash-based physical operators need; SQL's three-valued comparisons
 /// live in [`crate::compare`].
+///
+/// Strings are stored as `Arc<str>` so cloning a value — which joins,
+/// projections and set operations do per surviving row — is a pointer bump
+/// regardless of string length.
 #[derive(Debug, Clone)]
 pub enum Value {
     /// A marked null.
@@ -24,8 +29,8 @@ pub enum Value {
     Float(f64),
     /// Fixed-point decimal constant, stored as hundredths (e.g. `12.34` is `1234`).
     Decimal(i64),
-    /// String constant.
-    Str(String),
+    /// String constant (shared, cheap to clone).
+    Str(Arc<str>),
     /// Boolean constant.
     Bool(bool),
     /// Date constant, stored as days since 1970-01-01.
@@ -39,7 +44,7 @@ impl Value {
     }
 
     /// Build a string value.
-    pub fn str(s: impl Into<String>) -> Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
         Value::Str(s.into())
     }
 
@@ -100,7 +105,7 @@ impl Value {
     /// String view of the value, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -231,12 +236,18 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(v.into())
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }
@@ -345,6 +356,17 @@ mod tests {
         assert_eq!(Value::Int(3).as_f64(), Some(3.0));
         assert_eq!(Value::Decimal(150).as_f64(), Some(1.5));
         assert_eq!(Value::str("x").as_f64(), None);
+    }
+
+    #[test]
+    fn string_clones_share_storage() {
+        let a = Value::str("a long string the runtime should never re-copy");
+        let b = a.clone();
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,23 +1,39 @@
 //! The execution engine.
 //!
-//! [`Engine::execute_physical`] evaluates a [`PhysicalExpr`] produced by the
-//! `certus-plan` planner bottom-up. The engine no longer derives any
-//! strategy itself — every per-node choice (hash join vs. nested loop vs.
+//! [`Engine::execute_physical`] compiles a [`PhysicalExpr`] produced by the
+//! `certus-plan` planner into the native operator runtime
+//! ([`CompiledPlan`]) and executes it. Compilation happens **once per
+//! plan**: schema inference runs bottom-up over the plan (not once per
+//! operator per execution), every condition and column list is resolved to
+//! positional accessors, and `Filter`/`Project`/`Rename`/`Distinct` chains
+//! are fused into single-pass pipelines. Execution then performs zero
+//! column-name resolution, zero schema inference and zero logical-expression
+//! reconstruction — per-row work is exactly the comparisons the operator
+//! semantics require. Every per-node choice (hash join vs. nested loop vs.
 //! decorrelated short-circuit) is read off the plan:
 //!
 //! * [`JoinAlgo::Hash`] / [`SemiAlgo::Hash`] run as **hash joins** with a
-//!   residual predicate;
+//!   residual predicate; join keys are resolved to positions at compile
+//!   time and shared by the serial and partitioned paths;
 //! * [`JoinAlgo::NestedLoop`] / [`SemiAlgo::NestedLoop`] compare every pair
 //!   (the fate of conditions like `A = B OR B IS NULL` that hide their
-//!   equality from the key extractor);
+//!   equality from the key extractor) — residuals evaluate over the pair of
+//!   input tuples, so non-matching pairs are never concatenated;
 //! * [`SemiAlgo::Decorrelated`] evaluates the inner side once and
 //!   short-circuits the whole branch — for a `NOT EXISTS` that found a
 //!   witness the outer side is never touched, which is what makes the
 //!   translated query Q⁺2 orders of magnitude faster than Q2, as in the
 //!   paper;
-//! * every other operator is delegated to the reference evaluator on already
-//!   materialised children, so engine results are by construction consistent
-//!   with the semantics defined in `certus-algebra`.
+//! * set operations, unification semijoins, division, renaming and
+//!   aggregation all run natively on owned relations (no schema clones, no
+//!   scratch-set tuple clones).
+//!
+//! The pre-compilation execution path — which delegated most operators back
+//! to the reference evaluator by wrapping materialised children in logical
+//! `Values` expressions — is kept as
+//! [`Engine::execute_physical_delegating`]: it is the differential oracle at
+//! the physical level and the baseline of the `experiments pipeline`
+//! benchmark.
 //!
 //! [`Engine::execute`] is the convenience entry point for logical plans: it
 //! runs the statistics-free [`heuristic_plan`](certus_plan::physical::heuristic_plan) (the same choices the
@@ -26,31 +42,37 @@
 //! # Parallel execution
 //!
 //! Plans may contain [`PhysicalExpr::Exchange`] operators (inserted by the
-//! planners when configured with a [`Parallelism`]); the engine turns them
-//! into multi-threaded execution with `std::thread::scope`:
+//! planners when configured with a [`Parallelism`]); the compiler absorbs
+//! them into the owning operator and the engine turns them into
+//! multi-threaded execution with `std::thread::scope`:
 //!
-//! * an exchange with [`Partitioning::Hash`] under a hash (semi-)join's build
-//!   side splits **both** sides by a deterministic key hash and runs build +
-//!   probe of every partition on its own worker;
+//! * an exchange with [`Partitioning::Hash`](certus_plan::physical::Partitioning::Hash)
+//!   under a hash (semi-)join's build side splits **both** sides by a
+//!   deterministic key hash and runs build + probe of every partition on its
+//!   own worker;
 //! * exchanges under a union mark its branches (the translation's split-union
 //!   `Q⁺` arms) for **concurrent evaluation**;
-//! * an exchange with [`Partitioning::RoundRobin`] under a filter splits the
-//!   input into contiguous morsels filtered in parallel.
+//! * an exchange with [`Partitioning::RoundRobin`](certus_plan::physical::Partitioning::RoundRobin)
+//!   under a filter splits the
+//!   input into contiguous morsels run through the fused step pipeline in
+//!   parallel.
 //!
 //! With [`EngineConfig::threads`] `== 1` (or on plans without exchanges) the
 //! engine takes exactly the serial code paths. All parallel paths are
 //! deterministic: partition routing uses a fixed hash and results are
 //! concatenated in partition order.
 
+use crate::compile::{
+    apply_steps_borrowed, apply_steps_owned, CompiledExpr, CompiledPlan, CompiledPredicate,
+    RowView, ScalarValues, Step,
+};
 use certus_algebra::condition::Condition;
 use certus_algebra::eval::Evaluator;
 use certus_algebra::expr::RaExpr;
 use certus_algebra::{AlgebraError, NullSemantics, Result};
 use certus_data::{Database, Relation, Schema, Tuple, Value};
-use certus_plan::physical::{
-    heuristic_plan_with, JoinAlgo, Parallelism, Partitioning, PhysicalExpr, SemiAlgo,
-};
-use std::collections::HashMap;
+use certus_plan::physical::{heuristic_plan_with, JoinAlgo, Parallelism, PhysicalExpr, SemiAlgo};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -131,8 +153,9 @@ impl<'a> Engine<'a> {
     /// constructor; everything else defaults into it.
     ///
     /// For new code, prefer the `certus::Session` facade: it owns the
-    /// database, prepares (translates + plans) queries once, caches the
-    /// plans, and constructs engines like this one internally per execution.
+    /// database, prepares (translates + plans + compiles) queries once,
+    /// caches the compiled plans, and constructs engines like this one
+    /// internally per execution.
     pub fn configured(db: &'a Database, semantics: NullSemantics, config: EngineConfig) -> Self {
         Engine { db, semantics, config, in_flight: AtomicUsize::new(0) }
     }
@@ -170,85 +193,699 @@ impl<'a> Engine<'a> {
 
     /// Execute a logical query: plan it with the statistics-free heuristic
     /// planner (inserting exchanges when this engine is multi-threaded),
-    /// then execute the physical plan.
+    /// then compile and execute the physical plan.
     pub fn execute(&self, expr: &RaExpr) -> Result<Relation> {
         let plan = self.plan(expr)?;
         self.execute_physical(&plan)
     }
 
-    /// Execute a physical plan and materialise its result.
-    pub fn execute_physical(&self, plan: &PhysicalExpr) -> Result<Relation> {
-        let ev = Evaluator::new(self.db, self.semantics);
-        self.exec(plan, &ev)
+    /// Compile a physical plan into the native operator runtime. All schema
+    /// inference and column-name resolution happens here; the returned
+    /// [`CompiledPlan`] owns everything it needs and can be executed any
+    /// number of times (it stays valid as long as the database's schema
+    /// epoch does).
+    pub fn compile(&self, plan: &PhysicalExpr) -> Result<CompiledPlan> {
+        CompiledPlan::compile(plan, self.db)
     }
 
-    fn exec(&self, plan: &PhysicalExpr, ev: &Evaluator<'_>) -> Result<Relation> {
+    /// Compile and execute a physical plan, materialising its result.
+    pub fn execute_physical(&self, plan: &PhysicalExpr) -> Result<Relation> {
+        let compiled = self.compile(plan)?;
+        self.execute_compiled(&compiled)
+    }
+
+    /// Execute an already compiled plan. Performs zero compilation work: the
+    /// compiled operator tree runs with purely positional per-row work, and
+    /// uncorrelated scalar subqueries are evaluated lazily, at most once per
+    /// execution.
+    pub fn execute_compiled(&self, plan: &CompiledPlan) -> Result<Relation> {
+        let scalars =
+            ScalarCtx { exprs: &plan.scalars, values: ScalarValues::new(plan.scalars.len()) };
+        self.exec(&plan.root, &scalars)
+    }
+
+    /// Execute a physical plan through the **pre-compilation delegating
+    /// path**: joins and semijoins run natively (resolving join keys by name
+    /// on every execution), while every other operator is delegated to the
+    /// reference evaluator by wrapping its materialised children back into
+    /// logical `Values` expressions. Serial, deliberately kept as the
+    /// differential oracle at the physical level and as the baseline of the
+    /// `experiments pipeline` benchmark.
+    pub fn execute_physical_delegating(&self, plan: &PhysicalExpr) -> Result<Relation> {
+        let ev = Evaluator::new(self.db, self.semantics);
+        self.exec_delegating(plan, &ev)
+    }
+
+    /// Ensure the scalar subqueries a predicate reads have been evaluated.
+    /// Called right before an operator's per-row loop, and only when that
+    /// loop will actually run — so a branch the decorrelated short-circuit
+    /// skips never evaluates (or surfaces errors from) its subqueries,
+    /// matching the reference evaluator's lazy behaviour. The subqueries are
+    /// opaque to the planner; the reference evaluator computes them.
+    fn ensure_scalars(&self, scalars: &ScalarCtx<'_>, refs: &[usize]) -> Result<()> {
+        for &i in refs {
+            if scalars.values.is_set(i) {
+                continue;
+            }
+            let rel = Evaluator::new(self.db, self.semantics).eval(&scalars.exprs[i])?;
+            if rel.arity() != 1 {
+                return Err(AlgebraError::ScalarSubquery(format!(
+                    "scalar subquery produced {} columns",
+                    rel.arity()
+                )));
+            }
+            if rel.len() > 1 {
+                return Err(AlgebraError::ScalarSubquery(format!(
+                    "scalar subquery produced {} rows",
+                    rel.len()
+                )));
+            }
+            scalars.values.set(i, rel.tuples().first().map(|t| t[0].clone()));
+        }
+        Ok(())
+    }
+
+    /// [`Engine::ensure_scalars`] for every filter predicate of a fused step
+    /// chain.
+    fn ensure_step_scalars(&self, steps: &[Step], scalars: &ScalarCtx<'_>) -> Result<()> {
+        for step in steps {
+            if let Step::Filter(pred) = step {
+                self.ensure_scalars(scalars, pred.scalar_refs())?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Native compiled execution
+    // ------------------------------------------------------------------
+
+    fn exec(&self, node: &CompiledExpr, scalars: &ScalarCtx<'_>) -> Result<Relation> {
+        match node {
+            CompiledExpr::Scan { name, schema } => {
+                let rel = self.db.relation(name).map_err(AlgebraError::Data)?;
+                Ok(Relation::from_parts(schema.clone(), rel.tuples().to_vec()))
+            }
+            CompiledExpr::Values { rel } => Ok(rel.clone()),
+            CompiledExpr::Opaque { expr, .. } => Evaluator::new(self.db, self.semantics).eval(expr),
+            CompiledExpr::Fused { source, steps, schema, dedup, partitions } => {
+                self.exec_fused(source, steps, schema, *dedup, *partitions, scalars)
+            }
+            CompiledExpr::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                schema,
+                partitions,
+            } => {
+                let l = self.exec(left, scalars)?;
+                let r = self.exec(right, scalars)?;
+                self.hash_join(
+                    &l,
+                    &r,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    schema,
+                    *partitions,
+                    scalars,
+                )
+            }
+            CompiledExpr::NlJoin { left, right, pred, schema, partitions } => {
+                let l = self.exec(left, scalars)?;
+                let r = self.exec(right, scalars)?;
+                self.nl_join(&l, &r, pred, schema, *partitions, scalars)
+            }
+            CompiledExpr::HashSemi {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                keep_matching,
+                partitions,
+            } => {
+                let l = self.exec(left, scalars)?;
+                let r = self.exec(right, scalars)?;
+                self.hash_semi(
+                    l,
+                    &r,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    *keep_matching,
+                    *partitions,
+                    scalars,
+                )
+            }
+            CompiledExpr::NlSemi { left, right, pred, keep_matching, partitions } => {
+                let l = self.exec(left, scalars)?;
+                let r = self.exec(right, scalars)?;
+                self.nl_semi(l, &r, pred, *keep_matching, *partitions, scalars)
+            }
+            CompiledExpr::DecorrelatedSemi { left, right, pred, keep_matching, left_schema } => {
+                // The predicate never looks at the outer side, so the inner
+                // side decides the fate of *all* outer tuples at once.
+                let r = self.exec(right, scalars)?;
+                if !r.is_empty() {
+                    self.ensure_scalars(scalars, pred.scalar_refs())?;
+                }
+                let exists = r.iter().any(|rt| {
+                    pred.eval(RowView::one(rt), &scalars.values, self.semantics).is_true()
+                });
+                if exists == *keep_matching {
+                    self.exec(left, scalars)
+                } else {
+                    // Short-circuit: for a NOT EXISTS that found a witness
+                    // the answer is empty and the outer side never runs.
+                    Ok(Relation::empty(left_schema.clone()))
+                }
+            }
+            CompiledExpr::Union { arms, schema, parallel } => {
+                self.exec_union(arms, schema, *parallel, scalars)
+            }
+            CompiledExpr::Intersect { left, right } => {
+                let l = self.exec(left, scalars)?;
+                let r = self.exec(right, scalars)?;
+                Ok(set_filter(l, &r, true))
+            }
+            CompiledExpr::Difference { left, right } => {
+                let l = self.exec(left, scalars)?;
+                let r = self.exec(right, scalars)?;
+                Ok(set_filter(l, &r, false))
+            }
+            CompiledExpr::UnifySemi { left, right, keep_matching } => {
+                let l = self.exec(left, scalars)?;
+                let r = self.exec(right, scalars)?;
+                let keep: Vec<bool> = l
+                    .iter()
+                    .map(|lt| {
+                        r.iter().any(|rt| certus_data::unify::tuples_unify(lt, rt))
+                            == *keep_matching
+                    })
+                    .collect();
+                Ok(retain_by_flags(l, keep))
+            }
+            CompiledExpr::Division { left, right, key_positions, shared_positions, schema } => {
+                let l = self.exec(left, scalars)?;
+                let r = self.exec(right, scalars)?;
+                let all: HashSet<&Tuple> = l.iter().collect();
+                let mut seen_keys = HashSet::new();
+                let mut tuples = Vec::new();
+                for lt in l.iter() {
+                    let key = lt.project(key_positions);
+                    if !seen_keys.insert(key.clone()) {
+                        continue;
+                    }
+                    let ok = r.iter().all(|rt| {
+                        // Reassemble a dividend tuple with this key and the
+                        // divisor values.
+                        let mut vals: Vec<Value> = lt.values().to_vec();
+                        for (ri, &lp) in shared_positions.iter().enumerate() {
+                            vals[lp] = rt[ri].clone();
+                        }
+                        all.contains(&Tuple::new(vals))
+                    });
+                    if ok {
+                        tuples.push(key);
+                    }
+                }
+                Ok(Relation::from_parts(schema.clone(), tuples))
+            }
+            CompiledExpr::Rename { input, schema } => {
+                let rel = self.exec(input, scalars)?;
+                Ok(Relation::from_parts(schema.clone(), rel.into_tuples()))
+            }
+            CompiledExpr::Distinct { input } => Ok(self.exec(input, scalars)?.into_distinct()),
+            CompiledExpr::Aggregate { input, group_pos, aggs, schema } => {
+                let rel = self.exec(input, scalars)?;
+                let mut groups: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+                let mut order: Vec<Tuple> = Vec::new();
+                for t in rel.iter() {
+                    let key = t.project(group_pos);
+                    if !groups.contains_key(&key) {
+                        order.push(key.clone());
+                    }
+                    groups.entry(key).or_default().push(t);
+                }
+                // A global aggregate over an empty input still yields a row.
+                if group_pos.is_empty() && groups.is_empty() {
+                    let key = Tuple::empty();
+                    order.push(key.clone());
+                    groups.insert(key, Vec::new());
+                }
+                let mut tuples = Vec::with_capacity(order.len());
+                for key in order {
+                    let rows = &groups[&key];
+                    let mut out: Vec<Value> = key.into_values();
+                    for (func, pos) in aggs {
+                        out.push(certus_algebra::eval::compute_aggregate(*func, *pos, rows));
+                    }
+                    tuples.push(Tuple::new(out));
+                }
+                Ok(Relation::from_parts(schema.clone(), tuples))
+            }
+        }
+    }
+
+    /// Execute a fused step pipeline. A scan source streams borrowed base
+    /// tuples (rows dropped by a filter are never cloned); any other source
+    /// is executed and its tuples moved through the steps.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_fused(
+        &self,
+        source: &CompiledExpr,
+        steps: &[Step],
+        schema: &Arc<Schema>,
+        dedup: bool,
+        partitions: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Relation> {
+        let mut out = match source {
+            CompiledExpr::Scan { name, .. } => {
+                let rel = self.db.relation(name).map_err(AlgebraError::Data)?;
+                if !rel.is_empty() {
+                    self.ensure_step_scalars(steps, scalars)?;
+                }
+                let tuples = self.run_steps_borrowed(rel.tuples(), steps, partitions, scalars)?;
+                Relation::from_parts(schema.clone(), tuples)
+            }
+            other => {
+                let input = self.exec(other, scalars)?;
+                if !input.is_empty() {
+                    self.ensure_step_scalars(steps, scalars)?;
+                }
+                let n = self.step_workers(partitions, input.len());
+                let tuples = if n > 1 {
+                    let input_tuples = input.into_tuples();
+                    self.run_steps_parallel(&input_tuples, steps, n, scalars)?
+                } else {
+                    input
+                        .into_tuples()
+                        .into_iter()
+                        .filter_map(|t| {
+                            apply_steps_owned(t, steps, &scalars.values, self.semantics)
+                        })
+                        .collect()
+                };
+                Relation::from_parts(schema.clone(), tuples)
+            }
+        };
+        if dedup {
+            out.dedup();
+        }
+        Ok(out)
+    }
+
+    fn run_steps_borrowed(
+        &self,
+        input: &[Tuple],
+        steps: &[Step],
+        partitions: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Vec<Tuple>> {
+        let n = self.step_workers(partitions, input.len());
+        if n > 1 {
+            self.run_steps_parallel(input, steps, n, scalars)
+        } else {
+            Ok(input
+                .iter()
+                .filter_map(|t| apply_steps_borrowed(t, steps, &scalars.values, self.semantics))
+                .collect())
+        }
+    }
+
+    /// Morsel-parallel step pipeline: contiguous chunks, outputs concatenated
+    /// in order — identical output order to the serial pass.
+    fn run_steps_parallel(
+        &self,
+        input: &[Tuple],
+        steps: &[Step],
+        workers: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Vec<Tuple>> {
+        let morsels: Vec<&[Tuple]> = chunks_of(input, workers);
+        self.parallel_tuples(&morsels, |chunk| {
+            Ok(chunk
+                .iter()
+                .filter_map(|t| apply_steps_borrowed(t, steps, &scalars.values, self.semantics))
+                .collect())
+        })
+    }
+
+    /// Workers for a fused pipeline: only pipelines whose plan carried a
+    /// round-robin exchange may fan out.
+    fn step_workers(&self, partitions: usize, rows: usize) -> usize {
+        if partitions == 0 || self.config.threads <= 1 {
+            1
+        } else {
+            self.workers(partitions, rows)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn hash_join(
+        &self,
+        l: &Relation,
+        r: &Relation,
+        l_pos: &[usize],
+        r_pos: &[usize],
+        residual: &CompiledPredicate,
+        schema: &Arc<Schema>,
+        partitions: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Relation> {
+        let allow_nulls = self.semantics == NullSemantics::Naive;
+        if !l.is_empty() && !r.is_empty() {
+            self.ensure_scalars(scalars, residual.scalar_refs())?;
+        }
+        let n = if partitions > 0 && self.config.threads > 1 {
+            self.workers(partitions, l.len() + r.len())
+        } else {
+            1
+        };
+        if n > 1 {
+            // Partitioned parallel hash join: route both sides by a
+            // deterministic key hash, build + probe every partition on its
+            // own worker; outputs concatenate in partition order.
+            let build = route(r, r_pos, allow_nulls, n).0;
+            let probe = route(l, l_pos, allow_nulls, n).0;
+            let parts: Vec<_> = build.into_iter().zip(probe).collect();
+            let out = self.parallel_tuples(&parts, |(b, p)| {
+                let table = table_of(b);
+                let mut out = Vec::new();
+                for (key, lt) in p {
+                    if let Some(candidates) = table.get(key.as_slice()) {
+                        for &rt in candidates {
+                            if residual
+                                .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                                .is_true()
+                            {
+                                out.push(lt.concat(rt));
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            })?;
+            return Ok(Relation::from_parts(schema.clone(), out));
+        }
+        let table = build_hash(r, r_pos, allow_nulls);
+        let mut out = Vec::new();
+        let mut key: Vec<Value> = Vec::with_capacity(l_pos.len());
+        for lt in l.iter() {
+            if !fill_key(lt, l_pos, allow_nulls, &mut key) {
+                continue;
+            }
+            if let Some(candidates) = table.get(key.as_slice()) {
+                for &rt in candidates {
+                    if residual
+                        .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                        .is_true()
+                    {
+                        out.push(lt.concat(rt));
+                    }
+                }
+            }
+        }
+        Ok(Relation::from_parts(schema.clone(), out))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn hash_semi(
+        &self,
+        l: Relation,
+        r: &Relation,
+        l_pos: &[usize],
+        r_pos: &[usize],
+        residual: &CompiledPredicate,
+        keep_matching: bool,
+        partitions: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Relation> {
+        let allow_nulls = self.semantics == NullSemantics::Naive;
+        if !l.is_empty() && !r.is_empty() {
+            self.ensure_scalars(scalars, residual.scalar_refs())?;
+        }
+        let n = if partitions > 0 && self.config.threads > 1 {
+            self.workers(partitions, l.len() + r.len())
+        } else {
+            1
+        };
+        if n > 1 {
+            // Partitioned parallel hash (anti-)semijoin. Left tuples with a
+            // null key (which can never match under SQL semantics) bypass the
+            // partitions and are appended after them, preserving determinism.
+            let build = route(r, r_pos, allow_nulls, n).0;
+            let (probe, null_keyed) = route(&l, l_pos, allow_nulls, n);
+            let parts: Vec<_> = build.into_iter().zip(probe).collect();
+            let mut out = self.parallel_tuples(&parts, |(b, p)| {
+                let table = table_of(b);
+                let mut out = Vec::new();
+                for (key, lt) in p {
+                    let matched = match table.get(key.as_slice()) {
+                        None => false,
+                        Some(candidates) => candidates.iter().any(|&rt| {
+                            residual
+                                .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                                .is_true()
+                        }),
+                    };
+                    if matched == keep_matching {
+                        out.push((*lt).clone());
+                    }
+                }
+                Ok(out)
+            })?;
+            if !keep_matching {
+                // A null key never matches: those tuples survive an anti-join.
+                out.extend(null_keyed.into_iter().cloned());
+            }
+            return Ok(Relation::from_parts(l.schema().clone(), out));
+        }
+        let table = build_hash(r, r_pos, allow_nulls);
+        let mut key: Vec<Value> = Vec::with_capacity(l_pos.len());
+        let keep: Vec<bool> = l
+            .iter()
+            .map(|lt| {
+                let matched = if !fill_key(lt, l_pos, allow_nulls, &mut key) {
+                    false // a null key never matches under SQL semantics
+                } else {
+                    match table.get(key.as_slice()) {
+                        None => false,
+                        Some(candidates) => candidates.iter().any(|&rt| {
+                            residual
+                                .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                                .is_true()
+                        }),
+                    }
+                };
+                matched == keep_matching
+            })
+            .collect();
+        Ok(retain_by_flags(l, keep))
+    }
+
+    fn nl_join(
+        &self,
+        l: &Relation,
+        r: &Relation,
+        pred: &CompiledPredicate,
+        schema: &Arc<Schema>,
+        partitions: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Relation> {
+        if !l.is_empty() && !r.is_empty() {
+            self.ensure_scalars(scalars, pred.scalar_refs())?;
+        }
+        let n = if partitions > 0 && self.config.threads > 1 {
+            self.workers(partitions, l.len().saturating_mul(r.len()))
+        } else {
+            1
+        };
+        if n > 1 {
+            // Morsel-parallel nested loops over the outer side.
+            let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
+            let out = self.parallel_tuples(&morsels, |chunk| {
+                let mut out = Vec::new();
+                for lt in *chunk {
+                    for rt in r.iter() {
+                        if pred
+                            .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                            .is_true()
+                        {
+                            out.push(lt.concat(rt));
+                        }
+                    }
+                }
+                Ok(out)
+            })?;
+            return Ok(Relation::from_parts(schema.clone(), out));
+        }
+        let mut out = Vec::new();
+        for lt in l.iter() {
+            for rt in r.iter() {
+                if pred.eval(RowView::pair(lt, rt), &scalars.values, self.semantics).is_true() {
+                    out.push(lt.concat(rt));
+                }
+            }
+        }
+        Ok(Relation::from_parts(schema.clone(), out))
+    }
+
+    fn nl_semi(
+        &self,
+        l: Relation,
+        r: &Relation,
+        pred: &CompiledPredicate,
+        keep_matching: bool,
+        partitions: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Relation> {
+        if !l.is_empty() && !r.is_empty() {
+            self.ensure_scalars(scalars, pred.scalar_refs())?;
+        }
+        let n = if partitions > 0 && self.config.threads > 1 {
+            self.workers(partitions, l.len().saturating_mul(r.len()))
+        } else {
+            1
+        };
+        if n > 1 {
+            let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
+            let out = self.parallel_tuples(&morsels, |chunk| {
+                let mut out = Vec::new();
+                for lt in *chunk {
+                    let matched = r.iter().any(|rt| {
+                        pred.eval(RowView::pair(lt, rt), &scalars.values, self.semantics).is_true()
+                    });
+                    if matched == keep_matching {
+                        out.push(lt.clone());
+                    }
+                }
+                Ok(out)
+            })?;
+            return Ok(Relation::from_parts(l.schema().clone(), out));
+        }
+        let keep: Vec<bool> = l
+            .iter()
+            .map(|lt| {
+                r.iter().any(|rt| {
+                    pred.eval(RowView::pair(lt, rt), &scalars.values, self.semantics).is_true()
+                }) == keep_matching
+            })
+            .collect();
+        Ok(retain_by_flags(l, keep))
+    }
+
+    /// Execute a union: evaluate the arms (concurrently when the plan marked
+    /// them and the thread budget allows it), concatenate in arm order and
+    /// deduplicate once.
+    fn exec_union(
+        &self,
+        arms: &[CompiledExpr],
+        schema: &Arc<Schema>,
+        parallel: bool,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Relation> {
+        // Arm sizes are unknown before execution, so the runtime floor is
+        // checked against the database size: tiny databases can never
+        // produce arms worth a thread.
+        let fan_out = parallel
+            && self.config.threads > 1
+            && arms.len() > 1
+            && self.db.total_tuples() >= self.config.parallel_floor;
+        let relations: Vec<Relation> = if fan_out {
+            let groups: Vec<&[CompiledExpr]> = chunks_of(arms, self.thread_budget());
+            if groups.len() <= 1 {
+                arms.iter().map(|a| self.exec(a, scalars)).collect::<Result<_>>()?
+            } else {
+                let extra = groups.len() - 1;
+                self.in_flight.fetch_add(extra, Ordering::Relaxed);
+                let results: Vec<Result<Vec<Relation>>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = groups
+                        .iter()
+                        .map(|group| {
+                            s.spawn(move || {
+                                group.iter().map(|arm| self.exec(arm, scalars)).collect()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("union worker panicked")).collect()
+                });
+                self.in_flight.fetch_sub(extra, Ordering::Relaxed);
+                let mut flat = Vec::new();
+                for group in results {
+                    flat.extend(group?);
+                }
+                flat
+            }
+        } else {
+            arms.iter().map(|a| self.exec(a, scalars)).collect::<Result<_>>()?
+        };
+        let mut iter = relations.into_iter();
+        let first =
+            iter.next().ok_or_else(|| AlgebraError::Malformed("union with no arms".into()))?;
+        let mut tuples = first.into_tuples();
+        for rel in iter {
+            tuples.extend(rel.into_tuples());
+        }
+        let mut out = Relation::from_parts(schema.clone(), tuples);
+        out.dedup();
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Delegating (pre-compilation) execution — the differential oracle
+    // ------------------------------------------------------------------
+
+    fn exec_delegating(&self, plan: &PhysicalExpr, ev: &Evaluator<'_>) -> Result<Relation> {
         match plan {
             PhysicalExpr::Source(expr) => ev.eval(expr),
             PhysicalExpr::Join { left, right, condition, algo } => {
-                self.exec_join(left, right, condition, algo, ev)
+                self.exec_join_delegating(left, right, condition, algo, ev)
             }
             PhysicalExpr::Semi { left, right, condition, algo, anti, left_schema } => {
-                self.exec_semi(left, right, condition, algo, !*anti, left_schema, ev)
+                self.exec_semi_delegating(left, right, condition, algo, !*anti, left_schema, ev)
             }
-            // An exchange executed in place (serial engine, or a parent that
-            // does not exploit it) is the identity: materialise the input.
-            PhysicalExpr::Exchange { input, .. } => self.exec(input, ev),
+            // Exchanges are the identity on this serial path.
+            PhysicalExpr::Exchange { input, .. } => self.exec_delegating(input, ev),
             // Every other operator: execute the children here (so joins below
             // them still run their planned algorithms) and delegate the node
             // itself to the reference evaluator over the materialised inputs.
             PhysicalExpr::Filter { input, condition } => {
-                if let PhysicalExpr::Exchange {
-                    input: inner,
-                    partitioning: Partitioning::RoundRobin { partitions },
-                } = input.as_ref()
-                {
-                    if self.config.threads > 1 {
-                        let child = self.exec(inner, ev)?;
-                        return self.exec_filter_parallel(child, condition, *partitions);
-                    }
-                }
-                let child = self.exec(input, ev)?;
+                let child = self.exec_delegating(input, ev)?;
                 ev.eval(&RaExpr::Select {
                     input: Box::new(values_of(child)),
                     condition: condition.clone(),
                 })
             }
             PhysicalExpr::Project { input, columns } => {
-                let child = self.exec(input, ev)?;
+                let child = self.exec_delegating(input, ev)?;
                 ev.eval(&RaExpr::Project {
                     input: Box::new(values_of(child)),
                     columns: columns.clone(),
                 })
             }
             PhysicalExpr::Union { left, right } => {
-                // Arm sizes are unknown before execution, so the runtime
-                // floor is checked against the database size: tiny databases
-                // can never produce arms worth a thread.
-                if self.config.threads > 1
-                    && (matches!(**left, PhysicalExpr::Exchange { .. })
-                        || matches!(**right, PhysicalExpr::Exchange { .. }))
-                    && self.db.total_tuples() >= self.config.parallel_floor
-                {
-                    return self.exec_union_parallel(plan);
-                }
-                let l = self.exec(left, ev)?;
-                let r = self.exec(right, ev)?;
+                let l = self.exec_delegating(left, ev)?;
+                let r = self.exec_delegating(right, ev)?;
                 ev.eval(&values_of(l).union(values_of(r)))
             }
             PhysicalExpr::Intersect { left, right } => {
-                let l = self.exec(left, ev)?;
-                let r = self.exec(right, ev)?;
+                let l = self.exec_delegating(left, ev)?;
+                let r = self.exec_delegating(right, ev)?;
                 ev.eval(&values_of(l).intersect(values_of(r)))
             }
             PhysicalExpr::Difference { left, right } => {
-                let l = self.exec(left, ev)?;
-                let r = self.exec(right, ev)?;
+                let l = self.exec_delegating(left, ev)?;
+                let r = self.exec_delegating(right, ev)?;
                 ev.eval(&values_of(l).difference(values_of(r)))
             }
             PhysicalExpr::UnifySemi { left, right, anti } => {
-                let l = self.exec(left, ev)?;
-                let r = self.exec(right, ev)?;
+                let l = self.exec_delegating(left, ev)?;
+                let r = self.exec_delegating(right, ev)?;
                 let expr = if *anti {
                     values_of(l).unify_anti_join(values_of(r))
                 } else {
@@ -257,20 +894,20 @@ impl<'a> Engine<'a> {
                 ev.eval(&expr)
             }
             PhysicalExpr::Division { left, right } => {
-                let l = self.exec(left, ev)?;
-                let r = self.exec(right, ev)?;
+                let l = self.exec_delegating(left, ev)?;
+                let r = self.exec_delegating(right, ev)?;
                 ev.eval(&values_of(l).divide(values_of(r)))
             }
             PhysicalExpr::Rename { input, columns } => {
-                let child = self.exec(input, ev)?;
+                let child = self.exec_delegating(input, ev)?;
                 ev.eval(&RaExpr::Rename {
                     input: Box::new(values_of(child)),
                     columns: columns.clone(),
                 })
             }
-            PhysicalExpr::Distinct { input } => Ok(self.exec(input, ev)?.distinct()),
+            PhysicalExpr::Distinct { input } => Ok(self.exec_delegating(input, ev)?.distinct()),
             PhysicalExpr::Aggregate { input, group_by, aggregates } => {
-                let child = self.exec(input, ev)?;
+                let child = self.exec_delegating(input, ev)?;
                 ev.eval(&RaExpr::Aggregate {
                     input: Box::new(values_of(child)),
                     group_by: group_by.clone(),
@@ -280,7 +917,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn exec_join(
+    fn exec_join_delegating(
         &self,
         left: &PhysicalExpr,
         right: &PhysicalExpr,
@@ -288,50 +925,14 @@ impl<'a> Engine<'a> {
         algo: &JoinAlgo,
         ev: &Evaluator<'_>,
     ) -> Result<Relation> {
-        // The planner marked the build side for hash partitioning (run build
-        // and probe of every partition on its own worker thread) or the
-        // outer side of a nested loop for morsel parallelism.
-        if self.config.threads > 1 {
-            if let (
-                JoinAlgo::Hash { left_keys, right_keys, residual },
-                PhysicalExpr::Exchange {
-                    input,
-                    partitioning: Partitioning::Hash { partitions, .. },
-                },
-            ) = (algo, right)
-            {
-                let l = self.exec(left, ev)?;
-                let r = self.exec(input, ev)?;
-                return self.hash_join_partitioned(
-                    &l,
-                    &r,
-                    left_keys,
-                    right_keys,
-                    residual,
-                    *partitions,
-                );
-            }
-            if let (
-                JoinAlgo::NestedLoop,
-                PhysicalExpr::Exchange {
-                    input,
-                    partitioning: Partitioning::RoundRobin { partitions },
-                },
-            ) = (algo, left)
-            {
-                let l = self.exec(input, ev)?;
-                let r = self.exec(right, ev)?;
-                return self.nl_join_morsels(&l, &r, condition, *partitions);
-            }
-        }
-        let l = self.exec(left, ev)?;
-        let r = self.exec(right, ev)?;
+        let l = self.exec_delegating(left, ev)?;
+        let r = self.exec_delegating(right, ev)?;
         let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
         let mut out = Vec::new();
         match algo {
             JoinAlgo::Hash { left_keys, right_keys, residual } => {
-                let l_pos = positions(l.schema(), left_keys)?;
-                let r_pos = positions(r.schema(), right_keys)?;
+                let l_pos = positions_by_name(l.schema(), left_keys)?;
+                let r_pos = positions_by_name(r.schema(), right_keys)?;
                 let allow_nulls = self.semantics == NullSemantics::Naive;
                 let table = build_hash(&r, &r_pos, allow_nulls);
                 for lt in l.iter() {
@@ -361,7 +962,7 @@ impl<'a> Engine<'a> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_semi(
+    fn exec_semi_delegating(
         &self,
         left: &PhysicalExpr,
         right: &PhysicalExpr,
@@ -371,10 +972,8 @@ impl<'a> Engine<'a> {
         left_schema: &Schema,
         ev: &Evaluator<'_>,
     ) -> Result<Relation> {
-        // Decorrelated subquery: the condition never looks at the outer side,
-        // so the inner side decides the fate of *all* outer tuples at once.
         if let SemiAlgo::Decorrelated = algo {
-            let r = self.exec(right, ev)?;
+            let r = self.exec_delegating(right, ev)?;
             let r_schema = r.schema().clone();
             let mut exists = false;
             for rt in r.iter() {
@@ -384,58 +983,20 @@ impl<'a> Engine<'a> {
                 }
             }
             return if exists == keep_matching {
-                self.exec(left, ev)
+                self.exec_delegating(left, ev)
             } else {
-                // Short-circuit: for a NOT EXISTS that found a witness the
-                // answer is empty and the outer side is never evaluated.
                 Ok(Relation::empty(left_schema.clone().shared()))
             };
         }
-
-        // Partitioned parallel hash (anti-)semijoin, mirroring the join case.
-        if self.config.threads > 1 {
-            if let (
-                SemiAlgo::Hash { left_keys, right_keys, residual },
-                PhysicalExpr::Exchange {
-                    input,
-                    partitioning: Partitioning::Hash { partitions, .. },
-                },
-            ) = (algo, right)
-            {
-                let l = self.exec(left, ev)?;
-                let r = self.exec(input, ev)?;
-                return self.hash_semi_partitioned(
-                    &l,
-                    &r,
-                    left_keys,
-                    right_keys,
-                    residual,
-                    keep_matching,
-                    *partitions,
-                );
-            }
-            if let (
-                SemiAlgo::NestedLoop,
-                PhysicalExpr::Exchange {
-                    input,
-                    partitioning: Partitioning::RoundRobin { partitions },
-                },
-            ) = (algo, left)
-            {
-                let l = self.exec(input, ev)?;
-                let r = self.exec(right, ev)?;
-                return self.nl_semi_morsels(&l, &r, condition, keep_matching, *partitions);
-            }
-        }
-        let l = self.exec(left, ev)?;
-        let r = self.exec(right, ev)?;
+        let l = self.exec_delegating(left, ev)?;
+        let r = self.exec_delegating(right, ev)?;
         let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
         let mut out = Vec::new();
         match algo {
             SemiAlgo::Decorrelated => unreachable!("handled above"),
             SemiAlgo::Hash { left_keys, right_keys, residual } => {
-                let l_pos = positions(l.schema(), left_keys)?;
-                let r_pos = positions(r.schema(), right_keys)?;
+                let l_pos = positions_by_name(l.schema(), left_keys)?;
+                let r_pos = positions_by_name(r.schema(), right_keys)?;
                 let allow_nulls = self.semantics == NullSemantics::Naive;
                 let table = build_hash(&r, &r_pos, allow_nulls);
                 for lt in l.iter() {
@@ -480,6 +1041,10 @@ impl<'a> Engine<'a> {
         Ok(Relation::from_parts(l.schema().clone(), out))
     }
 
+    // ------------------------------------------------------------------
+    // Parallel plumbing
+    // ------------------------------------------------------------------
+
     /// Number of workers an operator with the given plan-side partition
     /// count and input work (rows or pairs touched) actually fans out to:
     /// never more than the engine's configured threads, and 1 (inline, no
@@ -506,205 +1071,6 @@ impl<'a> Engine<'a> {
     /// sibling regions.
     fn thread_budget(&self) -> usize {
         self.config.threads.saturating_sub(self.in_flight.load(Ordering::Relaxed)).max(1)
-    }
-
-    /// Partitioned parallel hash join: route both sides to partitions by a
-    /// deterministic key hash, then build + probe every partition on its own
-    /// worker. Output is the concatenation of the partition outputs in
-    /// partition order (and probe order within a partition), so results are
-    /// deterministic for a fixed plan.
-    fn hash_join_partitioned(
-        &self,
-        l: &Relation,
-        r: &Relation,
-        left_keys: &[String],
-        right_keys: &[String],
-        residual: &Condition,
-        partitions: usize,
-    ) -> Result<Relation> {
-        let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
-        let l_pos = positions(l.schema(), left_keys)?;
-        let r_pos = positions(r.schema(), right_keys)?;
-        let allow_nulls = self.semantics == NullSemantics::Naive;
-        let n = self.workers(partitions, l.len() + r.len());
-        let build = route(r, &r_pos, allow_nulls, n).0;
-        let probe = route(l, &l_pos, allow_nulls, n).0;
-        let parts: Vec<_> = build.into_iter().zip(probe).collect();
-        let out = self.parallel_tuples(&parts, |(b, p)| {
-            let ev = Evaluator::new(self.db, self.semantics);
-            let table = table_of(b);
-            let mut out = Vec::new();
-            for (key, lt) in p {
-                if let Some(candidates) = table.get(key.as_slice()) {
-                    for &rt in candidates {
-                        let tuple = lt.concat(rt);
-                        if ev.eval_condition(residual, &combined, &tuple)?.is_true() {
-                            out.push(tuple);
-                        }
-                    }
-                }
-            }
-            Ok(out)
-        })?;
-        Ok(Relation::from_parts(combined, out))
-    }
-
-    /// Partitioned parallel hash (anti-)semijoin. Left tuples whose key
-    /// contains a null (which can never match under SQL semantics) bypass the
-    /// partitions and are appended after them, preserving determinism.
-    #[allow(clippy::too_many_arguments)]
-    fn hash_semi_partitioned(
-        &self,
-        l: &Relation,
-        r: &Relation,
-        left_keys: &[String],
-        right_keys: &[String],
-        residual: &Condition,
-        keep_matching: bool,
-        partitions: usize,
-    ) -> Result<Relation> {
-        let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
-        let l_pos = positions(l.schema(), left_keys)?;
-        let r_pos = positions(r.schema(), right_keys)?;
-        let allow_nulls = self.semantics == NullSemantics::Naive;
-        let n = self.workers(partitions, l.len() + r.len());
-        let build = route(r, &r_pos, allow_nulls, n).0;
-        let (probe, null_keyed) = route(l, &l_pos, allow_nulls, n);
-        let parts: Vec<_> = build.into_iter().zip(probe).collect();
-        let mut out = self.parallel_tuples(&parts, |(b, p)| {
-            let ev = Evaluator::new(self.db, self.semantics);
-            let table = table_of(b);
-            let mut out = Vec::new();
-            for (key, lt) in p {
-                let mut matched = false;
-                if let Some(candidates) = table.get(key.as_slice()) {
-                    for &rt in candidates {
-                        let tuple = lt.concat(rt);
-                        if ev.eval_condition(residual, &combined, &tuple)?.is_true() {
-                            matched = true;
-                            break;
-                        }
-                    }
-                }
-                if matched == keep_matching {
-                    out.push((*lt).clone());
-                }
-            }
-            Ok(out)
-        })?;
-        if !keep_matching {
-            // A null key never matches: those tuples survive an anti-join.
-            out.extend(null_keyed.into_iter().cloned());
-        }
-        Ok(Relation::from_parts(l.schema().clone(), out))
-    }
-
-    /// Morsel-parallel nested-loop join: the outer side is split into
-    /// contiguous morsels, each worker loops its morsel over the full inner
-    /// side. Morsel outputs concatenate to exactly the serial output order.
-    fn nl_join_morsels(
-        &self,
-        l: &Relation,
-        r: &Relation,
-        condition: &Condition,
-        partitions: usize,
-    ) -> Result<Relation> {
-        let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
-        let n = self.workers(partitions, l.len().saturating_mul(r.len()));
-        let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
-        let out = self.parallel_tuples(&morsels, |chunk| {
-            let ev = Evaluator::new(self.db, self.semantics);
-            let mut out = Vec::new();
-            for lt in *chunk {
-                for rt in r.iter() {
-                    let tuple = lt.concat(rt);
-                    if ev.eval_condition(condition, &combined, &tuple)?.is_true() {
-                        out.push(tuple);
-                    }
-                }
-            }
-            Ok(out)
-        })?;
-        Ok(Relation::from_parts(combined, out))
-    }
-
-    /// Morsel-parallel nested-loop (anti-)semijoin over the preserved side.
-    fn nl_semi_morsels(
-        &self,
-        l: &Relation,
-        r: &Relation,
-        condition: &Condition,
-        keep_matching: bool,
-        partitions: usize,
-    ) -> Result<Relation> {
-        let combined: Arc<Schema> = l.schema().concat(r.schema()).shared();
-        let n = self.workers(partitions, l.len().saturating_mul(r.len()));
-        let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
-        let out = self.parallel_tuples(&morsels, |chunk| {
-            let ev = Evaluator::new(self.db, self.semantics);
-            let mut out = Vec::new();
-            for lt in *chunk {
-                let mut matched = false;
-                for rt in r.iter() {
-                    let tuple = lt.concat(rt);
-                    if ev.eval_condition(condition, &combined, &tuple)?.is_true() {
-                        matched = true;
-                        break;
-                    }
-                }
-                if matched == keep_matching {
-                    out.push(lt.clone());
-                }
-            }
-            Ok(out)
-        })?;
-        Ok(Relation::from_parts(l.schema().clone(), out))
-    }
-
-    /// Evaluate the arms of a (possibly nested) union concurrently — at most
-    /// `threads` workers, each taking a contiguous group of arms in order —
-    /// then fold the results in arm order *through the evaluator*, which
-    /// aligns every arm onto the accumulated schema exactly like the serial
-    /// union path does.
-    fn exec_union_parallel(&self, plan: &PhysicalExpr) -> Result<Relation> {
-        let mut arms = Vec::new();
-        union_arms(plan, &mut arms);
-        let groups: Vec<&[&PhysicalExpr]> = chunks_of(&arms, self.thread_budget());
-        let results: Vec<Result<Vec<Relation>>> = if groups.len() <= 1 {
-            let ev = Evaluator::new(self.db, self.semantics);
-            groups
-                .iter()
-                .map(|group| group.iter().map(|arm| self.exec(arm, &ev)).collect())
-                .collect()
-        } else {
-            let extra = groups.len() - 1;
-            self.in_flight.fetch_add(extra, Ordering::Relaxed);
-            let results = std::thread::scope(|s| {
-                let handles: Vec<_> = groups
-                    .iter()
-                    .map(|group| {
-                        s.spawn(move || {
-                            let ev = Evaluator::new(self.db, self.semantics);
-                            group.iter().map(|arm| self.exec(arm, &ev)).collect()
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("union worker panicked")).collect()
-            });
-            self.in_flight.fetch_sub(extra, Ordering::Relaxed);
-            results
-        };
-        let ev = Evaluator::new(self.db, self.semantics);
-        let mut acc: Option<Relation> = None;
-        for group in results {
-            for rel in group? {
-                acc = Some(match acc {
-                    None => rel,
-                    Some(a) => ev.eval(&values_of(a).union(values_of(rel)))?,
-                });
-            }
-        }
-        acc.ok_or_else(|| AlgebraError::Malformed("union with no arms".into()))
     }
 
     /// Run `worker` over every item. A single item (or none) runs inline on
@@ -752,32 +1118,34 @@ impl<'a> Engine<'a> {
         }
         Ok(out)
     }
+}
 
-    /// Filter a materialised input by splitting it into contiguous morsels,
-    /// one per partition, evaluated concurrently. Morsel outputs are
-    /// concatenated in order, matching the serial filter's output order.
-    fn exec_filter_parallel(
-        &self,
-        input: Relation,
-        condition: &Condition,
-        partitions: usize,
-    ) -> Result<Relation> {
-        let schema = input.schema().clone();
-        let tuples = input.into_tuples();
-        let n = self.workers(partitions, tuples.len());
-        let morsels: Vec<&[Tuple]> = chunks_of(&tuples, n);
-        let out = self.parallel_tuples(&morsels, |chunk| {
-            let ev = Evaluator::new(self.db, self.semantics);
-            let mut out = Vec::new();
-            for t in *chunk {
-                if ev.eval_condition(condition, &schema, t)?.is_true() {
-                    out.push(t.clone());
-                }
-            }
-            Ok(out)
-        })?;
-        Ok(Relation::from_parts(schema, out))
-    }
+/// Per-execution scalar-subquery context: the plan's subquery expressions
+/// plus their lazily filled values (see [`ScalarValues`]).
+struct ScalarCtx<'p> {
+    exprs: &'p [RaExpr],
+    values: ScalarValues,
+}
+
+/// Keep exactly the flagged tuples of an owned relation (moves, no clones).
+fn retain_by_flags(rel: Relation, keep: Vec<bool>) -> Relation {
+    let schema = rel.schema().clone();
+    let mut tuples = rel.into_tuples();
+    let mut flags = keep.into_iter();
+    tuples.retain(|_| flags.next().expect("one flag per tuple"));
+    Relation::from_parts(schema, tuples)
+}
+
+/// Intersection (`want_member == true`) or difference (`false`) against the
+/// right side, positionally, keeping the left schema — matching the schema
+/// alignment the reference evaluator applies to set operations.
+fn set_filter(l: Relation, r: &Relation, want_member: bool) -> Relation {
+    let right: HashSet<&Tuple> = r.iter().collect();
+    let keep: Vec<bool> = l.iter().map(|t| right.contains(t) == want_member).collect();
+    drop(right);
+    let mut out = retain_by_flags(l, keep);
+    out.dedup();
+    out
 }
 
 /// Split a slice into at most `n` contiguous chunks (fewer when the slice is
@@ -831,26 +1199,17 @@ fn table_of<'p, 'r>(part: &'p [(Vec<Value>, &'r Tuple)]) -> HashMap<&'p [Value],
     table
 }
 
-/// Collect the leaf arms of a (possibly nested) union, looking through the
-/// exchange operators that mark the arms for concurrent evaluation.
-fn union_arms<'p>(plan: &'p PhysicalExpr, out: &mut Vec<&'p PhysicalExpr>) {
-    match plan {
-        PhysicalExpr::Union { left, right } => {
-            union_arms(left, out);
-            union_arms(right, out);
-        }
-        PhysicalExpr::Exchange { input, .. } => union_arms(input, out),
-        other => out.push(other),
-    }
-}
-
 /// Wrap a materialised relation as a literal-relation expression so single
-/// operators can be delegated to the reference evaluator.
+/// operators can be delegated to the reference evaluator (the delegating
+/// execution path only — the compiled runtime never does this).
 fn values_of(rel: Relation) -> RaExpr {
+    certus_data::profile::record_plan_materialization();
     RaExpr::Values { schema: (**rel.schema()).clone(), rows: rel.into_tuples() }
 }
 
-fn positions(schema: &Schema, names: &[String]) -> Result<Vec<usize>> {
+/// Resolve join-key names against a schema (delegating path only; the
+/// compiled runtime resolves keys once at compile time).
+fn positions_by_name(schema: &Schema, names: &[String]) -> Result<Vec<usize>> {
     names.iter().map(|n| schema.position_of(n).map_err(AlgebraError::Data)).collect()
 }
 
@@ -868,6 +1227,20 @@ fn key_of(tuple: &Tuple, pos: &[usize], allow_nulls: bool) -> Option<Vec<Value>>
         key.push(v.clone());
     }
     Some(key)
+}
+
+/// Fill a reusable scratch key; returns false for a null key (under SQL
+/// semantics) — the probe loop's allocation-free variant of [`key_of`].
+fn fill_key(tuple: &Tuple, pos: &[usize], allow_nulls: bool, key: &mut Vec<Value>) -> bool {
+    key.clear();
+    for &p in pos {
+        let v = &tuple[p];
+        if v.is_null() && !allow_nulls {
+            return false;
+        }
+        key.push(v.clone());
+    }
+    true
 }
 
 fn build_hash<'r>(
@@ -1047,6 +1420,85 @@ mod tests {
     }
 
     #[test]
+    fn compiled_runtime_matches_delegating_path() {
+        // The compiled runtime must agree operator-for-operator with the
+        // pre-compilation delegating path on the full translated workload.
+        let complete = DbGen::new(0.00025, 19).generate();
+        let db = certus_data::inject::NullInjector::new(0.05, 23).inject(&complete);
+        let params = QueryParams::random(&db, 8);
+        let rewriter = CertainRewriter::new();
+        for semantics in [NullSemantics::Sql, NullSemantics::Naive] {
+            let engine = Engine::configured(&db, semantics, EngineConfig::serial());
+            for q in [q1(&params), q2(&params), q3(&params), q4(&params)] {
+                let plus = rewriter.rewrite_plus(&q, &db).unwrap();
+                for query in [&q, &plus] {
+                    let plan = engine.plan(query).unwrap();
+                    let compiled = engine.execute_physical(&plan).unwrap().sorted().distinct();
+                    let delegating =
+                        engine.execute_physical_delegating(&plan).unwrap().sorted().distinct();
+                    assert_eq!(
+                        compiled.tuples(),
+                        delegating.tuples(),
+                        "{} semantics, query {query}",
+                        semantics.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_plans_re_execute_without_recompilation() {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(&["a", "b"], (0..20).map(|i| vec![Value::Int(i % 5), Value::Int(i)]).collect()),
+        );
+        db.insert_relation("s", rel(&["c"], (0..10).map(|i| vec![Value::Int(i % 4)]).collect()));
+        let q = RaExpr::relation("r")
+            .join(RaExpr::relation("s"), eq("a", "c"))
+            .select(neq("b", "c"))
+            .project(&["b"]);
+        let engine = Engine::with_config(&db, EngineConfig::serial());
+        let plan = engine.plan(&q).unwrap();
+        let compiled = engine.compile(&plan).unwrap();
+        let first = engine.execute_compiled(&compiled).unwrap();
+        let second = engine.execute_compiled(&compiled).unwrap();
+        assert_eq!(first.tuples(), second.tuples());
+        assert_eq!(first.sorted().distinct().tuples(), {
+            let r = eval(&q, &db, NullSemantics::Sql).unwrap().sorted().distinct();
+            r.tuples().to_vec()
+        });
+        assert_eq!(compiled.schema().names(), vec!["b"]);
+    }
+
+    #[test]
+    fn fused_scan_filter_project_pipelines_match_reference() {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(
+                &["a", "b"],
+                (0..30)
+                    .map(|i| {
+                        let b = if i % 6 == 0 { null(i as u64) } else { Value::Int(i) };
+                        vec![Value::Int(i % 7), b]
+                    })
+                    .collect(),
+            ),
+        );
+        // Filter → Project → Filter → Rename over a scan: one fused pass.
+        let q = RaExpr::relation("r")
+            .select(eq_const("a", 3i64).or(is_null("b")))
+            .project(&["b"])
+            .rename(&["x"])
+            .select(is_null("x"));
+        assert_same_as_reference(&q, &db);
+        let distinct = RaExpr::relation("r").project(&["a"]).distinct();
+        assert_same_as_reference(&distinct, &db);
+    }
+
+    #[test]
     fn partitioned_hash_join_matches_serial_under_both_semantics() {
         let mut db = Database::new();
         db.insert_relation(
@@ -1162,5 +1614,38 @@ mod tests {
         let out = Engine::new(&db).execute(&q2(&params)).unwrap();
         let reference = eval(&q2(&params), &db, NullSemantics::Sql).unwrap();
         assert_eq!(out.sorted().tuples(), reference.sorted().tuples());
+    }
+
+    #[test]
+    fn scalar_subqueries_evaluate_lazily() {
+        use certus_algebra::condition::Operand;
+        use certus_data::compare::CmpOp;
+        let mut db = Database::new();
+        db.insert_relation("empty", rel(&["x"], vec![]));
+        db.insert_relation("two", rel(&["y"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]));
+        db.insert_relation("witness", rel(&["w"], vec![vec![null(1)]]));
+        // `two` has two rows, so using it as a scalar subquery is invalid —
+        // but only if the subquery is actually evaluated.
+        let invalid_scalar = |col: &str| Condition::Cmp {
+            left: Operand::Col(col.into()),
+            op: CmpOp::Gt,
+            right: Operand::Scalar(Box::new(RaExpr::relation("two"))),
+        };
+        let engine = Engine::new(&db);
+        // A filter over an empty input never evaluates its condition, hence
+        // never the subquery — like the reference evaluator's per-row path.
+        let q = RaExpr::relation("empty").select(invalid_scalar("x"));
+        assert!(engine.execute(&q).unwrap().is_empty());
+        // A branch skipped by the decorrelated NOT-EXISTS short-circuit
+        // never evaluates its subqueries either — like the delegating path.
+        let skipped = RaExpr::relation("empty")
+            .select(invalid_scalar("x"))
+            .anti_join(RaExpr::relation("witness"), is_null("w"));
+        let plan = engine.plan(&skipped).unwrap();
+        assert!(engine.execute_physical(&plan).unwrap().is_empty());
+        assert!(engine.execute_physical_delegating(&plan).unwrap().is_empty());
+        // On a non-empty input the invalid subquery must surface its error.
+        let bad = RaExpr::relation("two").select(invalid_scalar("y"));
+        assert!(engine.execute(&bad).is_err());
     }
 }

@@ -26,10 +26,26 @@
 //! The engine is deliberately low-level: it borrows a database and executes
 //! one plan. The `certus::Session` facade is the recommended front door — it
 //! owns the database, prepares queries once (translation + pass pipeline +
-//! physical planning, behind an LRU plan cache), and drives this engine
-//! internally. The four `Engine` constructors all funnel into
-//! [`Engine::configured`] and remain as thin shims.
+//! physical planning + operator compilation, behind an LRU plan cache), and
+//! drives this engine internally. The four `Engine` constructors all funnel
+//! into [`Engine::configured`] and remain as thin shims.
+//!
+//! # Native operator runtime
+//!
+//! [`Engine::compile`] turns a physical plan into a [`CompiledPlan`]: schema
+//! inference runs once per plan, every condition becomes a
+//! [`CompiledPredicate`] over positional accessors, join keys and
+//! projection/rename/aggregate column lists are resolved to positions, and
+//! filter/project/rename/distinct chains fuse into single-pass pipelines.
+//! [`Engine::execute_compiled`] then runs the plan with zero name lookups,
+//! zero schema inference and zero logical-expression reconstruction per
+//! execution — `certus::Session` caches compiled plans inside its
+//! `PreparedQuery`, so repeated executions skip compilation too. The
+//! pre-compilation delegating path survives as
+//! [`Engine::execute_physical_delegating`] (differential oracle + benchmark
+//! baseline).
 
+pub mod compile;
 pub mod engine;
 
 pub use certus_plan::{cost, equi};
@@ -38,5 +54,6 @@ pub use certus_plan::physical::{
     heuristic_plan, heuristic_plan_with, ExplainPlan, JoinAlgo, Parallelism, Partitioning,
     PhysicalExpr, PhysicalPlanner, SemiAlgo,
 };
+pub use compile::{CompiledPlan, CompiledPredicate, RowView};
 pub use cost::{estimate, CostEstimate};
 pub use engine::{Engine, EngineConfig};

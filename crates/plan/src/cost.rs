@@ -13,6 +13,12 @@
 //!   selectivities (`1 / distinct`) and null-check selectivities (the
 //!   measured null fraction) come from a [`StatisticsCatalog`], which is what
 //!   the physical planner uses.
+//!
+//! Costs are *per-row operation counts*, independent of how the engine
+//! executes a plan. In particular the engine's compiled runtime fuses
+//! `Filter`/`Project`/`Rename`/`Distinct` chains into a single pass, so the
+//! per-operator charges of such a chain over-count the constant factor but
+//! preserve the ordering between plans — which is all the planner compares.
 
 use crate::equi::{references_schema, split_equi};
 use crate::stats::StatisticsCatalog;

@@ -144,6 +144,12 @@ pub enum SemiAlgo {
 
 /// A physical plan: the logical tree annotated with per-node algorithm
 /// choices. The engine executes this without re-deriving any strategy.
+///
+/// Per-node schemas are not stored here: the engine's one-time compiler
+/// (`certus-engine`'s `CompiledPlan`) derives every node's output schema
+/// bottom-up when it resolves conditions and column lists to positions, so
+/// schema inference runs once per plan rather than once per operator per
+/// execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalExpr {
     /// A scan of a base relation or literal relation (kept as the logical

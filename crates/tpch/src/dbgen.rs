@@ -75,7 +75,7 @@ impl DbGen {
                 .expect("table exists")
                 .insert_values(vec![
                     Value::Int(i as i64),
-                    Value::Str(format!("Supplier#{i:09}")),
+                    Value::str(format!("Supplier#{i:09}")),
                     Value::Int(rng.gen_range(0..25)),
                     Value::Decimal(rng.gen_range(-99_999..999_999)),
                 ])
@@ -87,7 +87,7 @@ impl DbGen {
                 .expect("table exists")
                 .insert_values(vec![
                     Value::Int(i as i64),
-                    Value::Str(format!("Customer#{i:09}")),
+                    Value::str(format!("Customer#{i:09}")),
                     Value::Int(rng.gen_range(0..25)),
                     Value::Decimal(rng.gen_range(-99_999..999_999)),
                 ])
@@ -100,7 +100,7 @@ impl DbGen {
                 .expect("table exists")
                 .insert_values(vec![
                     Value::Int(i as i64),
-                    Value::Str(name),
+                    Value::str(name),
                     Value::Decimal(rng.gen_range(90_000..200_000)),
                 ])
                 .expect("arity");

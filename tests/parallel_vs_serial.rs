@@ -92,6 +92,81 @@ fn cost_based_parallel_plans_match_serial_execution() {
     }
 }
 
+/// Every native operator of the compiled runtime, executed through parallel
+/// engine configurations on randomized null databases, must return the
+/// serial result under both semantics (run by CI with `CERTUS_THREADS=1`
+/// and `=4` on top of the explicit thread counts here).
+#[test]
+fn native_operators_match_serial_across_thread_counts() {
+    use certus::algebra::builder::{eq, eq_const, is_null, neq};
+    use certus::algebra::{AggExpr, AggFunc};
+    use certus::data::builder::rel;
+    use certus::data::null::NullId;
+    use certus::data::Value;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0x9A7A);
+    let value = |rng: &mut StdRng| {
+        if rng.gen_bool(0.2) {
+            Value::Null(NullId(rng.gen_range(1..6u64)))
+        } else {
+            Value::Int(rng.gen_range(0..6i64))
+        }
+    };
+    for case in 0..12 {
+        let mut db = Database::new();
+        let rows = |rng: &mut StdRng| {
+            let n = rng.gen_range(4..40usize);
+            (0..n).map(|_| vec![value(rng), value(rng)]).collect::<Vec<_>>()
+        };
+        let r_rows = rows(&mut rng);
+        let s_rows = rows(&mut rng);
+        db.insert_relation("r", rel(&["a", "b"], r_rows));
+        db.insert_relation("s", rel(&["c", "d"], s_rows));
+        let queries = vec![
+            RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c").and(neq("b", "d"))),
+            RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c").or(is_null("d"))),
+            RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "c")),
+            RaExpr::relation("r")
+                .select(eq_const("a", 2i64).or(is_null("b")))
+                .project(&["b"])
+                .union(RaExpr::relation("s").project(&["d"]).rename(&["b"])),
+            RaExpr::relation("r").project(&["a"]).intersect(RaExpr::relation("s").project(&["c"])),
+            RaExpr::relation("r").project(&["a"]).difference(RaExpr::relation("s").project(&["c"])),
+            RaExpr::relation("r").unify_anti_join(RaExpr::relation("s")),
+            RaExpr::relation("r")
+                .divide(RaExpr::relation("s").project(&["c"]).rename(&["b"]).distinct()),
+            // COUNT only: other aggregates emit fresh nulls on all-null
+            // groups, which never compare equal across evaluations.
+            RaExpr::relation("r").aggregate(
+                &["a"],
+                vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Count, "b", "m")],
+            ),
+        ];
+        for semantics in [NullSemantics::Sql, NullSemantics::Naive] {
+            let serial = Engine::configured(&db, semantics, EngineConfig::serial());
+            for q in &queries {
+                let expected = serial.execute(q).expect("serial runs").sorted().distinct();
+                for threads in [2usize, 4] {
+                    let parallel = Engine::configured(
+                        &db,
+                        semantics,
+                        EngineConfig::with_threads(threads).with_parallel_floor(0),
+                    );
+                    let got = parallel.execute(q).expect("parallel runs").sorted().distinct();
+                    assert_eq!(
+                        got.tuples(),
+                        expected.tuples(),
+                        "case {case}, {threads} threads, {} semantics, query {q}",
+                        semantics.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn parallel_execution_is_deterministic() {
     let db = workload_db(5);
