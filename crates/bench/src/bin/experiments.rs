@@ -1,14 +1,18 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|all] [--quick|--smoke]
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|bench-check|all] [--quick|--smoke] [--strict]
 //! ```
 //!
 //! `--quick` (alias `--smoke`) shrinks instance counts and scale factors so
 //! the full suite runs in well under a minute (used by CI and `cargo bench`
-//! smoke runs). `pipeline` compares the native compiled operator runtime
-//! against the pre-compilation delegating execution path and writes the
-//! machine-readable perf baseline `BENCH_engine.json`.
+//! smoke runs). `pipeline` compares the vectorized operator runtime against
+//! the row-at-a-time compiled runtime and the pre-compilation delegating
+//! path, and writes the machine-readable perf baseline `BENCH_engine.json`.
+//! `bench-check` re-reads that file and flags a vectorized-vs-compiled
+//! regression beyond the noise tolerance — warn-only by default (CI runs on
+//! a one-core container whose absolute numbers are unstable), a hard failure
+//! with `--strict` (the mode for local release runs).
 
 use certus_bench::experiments::*;
 
@@ -16,6 +20,43 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
     let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
+    let strict = args.iter().any(|a| a == "--strict");
+
+    if what == "bench-check" {
+        let path = std::path::Path::new("BENCH_engine.json");
+        let tolerance = 1.10;
+        let rows = match bench_check(path, tolerance) {
+            Ok(rows) if !rows.is_empty() => rows,
+            Ok(_) => {
+                eprintln!("bench-check: no query entries in {}", path.display());
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bench-check: cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let mut regressed = false;
+        for r in &rows {
+            let verdict = if r.ok { "ok" } else { "REGRESSED" };
+            println!(
+                "bench-check {:>4}: vectorized {:.6}s vs compiled {:.6}s ({:.0}% tolerance) — {verdict}",
+                r.query,
+                r.vectorized_wall,
+                r.compiled_wall,
+                (tolerance - 1.0) * 100.0,
+            );
+            regressed |= !r.ok;
+        }
+        if regressed {
+            if strict {
+                eprintln!("bench-check: vectorized path regressed vs the compiled baseline");
+                std::process::exit(1);
+            }
+            println!("bench-check: regression detected (warn-only without --strict)");
+        }
+        return;
+    }
 
     let (fig1_scale, fig1_instances, fig1_runs) =
         if quick { (0.0003, 1, 1) } else { (0.0006, 3, 3) };
@@ -70,7 +111,9 @@ fn main() {
         println!();
     }
     if what == "pipeline" || what == "all" {
-        let (scale, reps) = if quick { (0.001, 2) } else { (0.003, 5) };
+        // Q3+ runs in single-digit milliseconds, so the mean needs a real
+        // sample count to be stable against scheduler noise.
+        let (scale, reps) = if quick { (0.001, 2) } else { (0.003, 25) };
         let rows = engine_pipeline(scale, 0.03, 907, reps);
         print_engine_pipeline(&rows);
         let path = std::path::Path::new("BENCH_engine.json");

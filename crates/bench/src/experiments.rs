@@ -2,7 +2,7 @@
 //! integration tests can assert on shapes) and has a matching `print_*`
 //! helper used by the `experiments` binary.
 
-use crate::timing::{fmt_ratio, time_mean};
+use crate::timing::{fmt_ratio, time_mean, time_min};
 use certus_algebra::builder::eq_const;
 use certus_algebra::expr::RaExpr;
 use certus_core::{translate_plus, CertainRewriter, ConditionDialect};
@@ -661,10 +661,10 @@ pub fn print_prepared(rows: &[PreparedRow], cache: &certus::plan::CacheStats) {
 }
 
 /// One row of the engine-pipeline experiment: end-to-end latency of the
-/// native compiled operator runtime vs. the pre-compilation delegating path
-/// (which wrapped every materialised child back into a logical `Values`
-/// expression and resolved column names per row) on the pipeline-optimized
-/// translations Q3+/Q4+.
+/// vectorized operator runtime vs. the row-at-a-time compiled runtime vs.
+/// the pre-compilation delegating path (which wrapped every materialised
+/// child back into a logical `Values` expression and resolved column names
+/// per row) on the pipeline-optimized translations Q3+/Q4+.
 #[derive(Debug, Clone)]
 pub struct EnginePipelineRow {
     /// Query number (translated, so `Q⁺3` / `Q⁺4`).
@@ -673,19 +673,29 @@ pub struct EnginePipelineRow {
     pub plan_ops: usize,
     /// Number of answer rows (identical in all arms, asserted).
     pub rows: usize,
-    /// Mean latency of the delegating path (seconds).
+    /// Minimum latency of the delegating path over the sampled reps
+    /// (seconds; minima, not means — see `engine_pipeline`).
     pub t_delegating: f64,
-    /// Mean latency of compile + native execution per call (seconds).
+    /// Minimum latency of compile + row-at-a-time native execution per
+    /// call (the PR-4 runtime, seconds).
     pub t_compiled: f64,
-    /// Mean latency of native execution of a pre-compiled plan — the
-    /// prepared-query hot path (seconds).
+    /// Minimum latency of compile + vectorized execution per call
+    /// (seconds).
+    pub t_vectorized: f64,
+    /// Minimum latency of vectorized execution of a pre-compiled plan —
+    /// the prepared-query hot path (seconds).
     pub t_prepared: f64,
 }
 
 impl EnginePipelineRow {
-    /// Speedup of per-call compiled execution over the delegating path.
+    /// Speedup of per-call row-path compiled execution over delegating.
     pub fn speedup(&self) -> f64 {
         self.t_delegating / self.t_compiled.max(1e-12)
+    }
+
+    /// Speedup of vectorized execution over the row-path compiled runtime.
+    pub fn vec_speedup(&self) -> f64 {
+        self.t_compiled / self.t_vectorized.max(1e-12)
     }
 
     /// Answer rows per second for a given wall time.
@@ -696,9 +706,10 @@ impl EnginePipelineRow {
 
 /// The engine-pipeline experiment: run the pipeline-optimized certain-answer
 /// translations Q3+ and Q4+ end-to-end through (a) the pre-compilation
-/// delegating execution path, (b) compile + native execution per call, and
-/// (c) native execution of a pre-compiled plan. All three arms are asserted
-/// result-identical before timing.
+/// delegating execution path, (b) compile + row-at-a-time native execution
+/// per call, (c) compile + vectorized execution per call, and (d) vectorized
+/// execution of a pre-compiled plan. All arms are asserted result-identical
+/// before timing.
 pub fn engine_pipeline(
     scale_factor: f64,
     null_rate: f64,
@@ -710,31 +721,41 @@ pub fn engine_pipeline(
     let params = w.params(&db, 0);
     let rewriter = CertainRewriter::new();
     let planner = Planner::new();
-    let engine = Engine::with_config(&db, EngineConfig::serial());
+    // Same compiled plans, two execution configurations.
+    let row_engine = Engine::with_config(&db, EngineConfig::serial().with_vectorized(false));
+    let vec_engine = Engine::with_config(&db, EngineConfig::serial());
     let mut out = Vec::new();
     for q in [3usize, 4] {
         let expr = query_by_number(q, &params).expect("query exists");
         let plus = rewriter.rewrite_plus(&expr, &db).expect("translates");
         let optimized = planner.optimize(&plus, &db).expect("pipeline runs");
-        let plan = engine.plan(&optimized).expect("plans");
-        let compiled = engine.compile(&plan).expect("compiles");
+        let plan = vec_engine.plan(&optimized).expect("plans");
+        let compiled = vec_engine.compile(&plan).expect("compiles");
         // All arms must agree before their timings mean anything.
-        let native = engine.execute_physical(&plan).expect("runs").sorted().distinct();
+        let vectorized = vec_engine.execute_physical(&plan).expect("runs").sorted().distinct();
+        let row = row_engine.execute_physical(&plan).expect("runs").sorted().distinct();
         let delegating =
-            engine.execute_physical_delegating(&plan).expect("runs").sorted().distinct();
-        let prepared = engine.execute_compiled(&compiled).expect("runs").sorted().distinct();
-        assert_eq!(native.tuples(), delegating.tuples(), "runtime changed Q{q}+ results");
-        assert_eq!(native.tuples(), prepared.tuples(), "compiled cache changed Q{q}+ results");
+            row_engine.execute_physical_delegating(&plan).expect("runs").sorted().distinct();
+        let prepared = vec_engine.execute_compiled(&compiled).expect("runs").sorted().distinct();
+        assert_eq!(vectorized.tuples(), row.tuples(), "vectorization changed Q{q}+ results");
+        assert_eq!(vectorized.tuples(), delegating.tuples(), "runtime changed Q{q}+ results");
+        assert_eq!(vectorized.tuples(), prepared.tuples(), "compiled cache changed Q{q}+ results");
+        // Minimum over reps, not mean: the fast arms finish in single-digit
+        // milliseconds, where a mean mostly measures scheduler noise. The
+        // delegating arm is orders of magnitude slower and correspondingly
+        // stable — a couple of samples suffice there.
         let t_delegating =
-            time_mean(reps, || engine.execute_physical_delegating(&plan).expect("runs"));
-        let t_compiled = time_mean(reps, || engine.execute_physical(&plan).expect("runs"));
-        let t_prepared = time_mean(reps, || engine.execute_compiled(&compiled).expect("runs"));
+            time_min(reps.min(2), || row_engine.execute_physical_delegating(&plan).expect("runs"));
+        let t_compiled = time_min(reps, || row_engine.execute_physical(&plan).expect("runs"));
+        let t_vectorized = time_min(reps, || vec_engine.execute_physical(&plan).expect("runs"));
+        let t_prepared = time_min(reps, || vec_engine.execute_compiled(&compiled).expect("runs"));
         out.push(EnginePipelineRow {
             query: q,
             plan_ops: plan.size(),
-            rows: native.len(),
+            rows: vectorized.len(),
             t_delegating,
             t_compiled,
+            t_vectorized,
             t_prepared,
         });
     }
@@ -743,24 +764,32 @@ pub fn engine_pipeline(
 
 /// Print engine-pipeline rows.
 pub fn print_engine_pipeline(rows: &[EnginePipelineRow]) {
-    println!("== Native operator runtime vs delegating execution (Q3+/Q4+) ==");
+    println!("== Vectorized vs row-at-a-time vs delegating execution (Q3+/Q4+) ==");
     println!(
-        "{:>5} {:>5} {:>14} {:>13} {:>13} {:>9} {:>8}",
-        "query", "ops", "t(delegate) s", "t(compile) s", "t(prepared) s", "speedup", "answers"
+        "{:>5} {:>5} {:>14} {:>13} {:>13} {:>13} {:>9} {:>8}",
+        "query",
+        "ops",
+        "t(delegate) s",
+        "t(rows) s",
+        "t(vector) s",
+        "t(prepared) s",
+        "vec gain",
+        "answers"
     );
     for r in rows {
         println!(
-            "{:>5} {:>5} {:>14.5} {:>13.5} {:>13.5} {:>8}x {:>8}",
+            "{:>5} {:>5} {:>14.5} {:>13.5} {:>13.5} {:>13.5} {:>8}x {:>8}",
             format!("Q{}+", r.query),
             r.plan_ops,
             r.t_delegating,
             r.t_compiled,
+            r.t_vectorized,
             r.t_prepared,
-            fmt_ratio(r.speedup()),
+            fmt_ratio(r.vec_speedup()),
             r.rows
         );
     }
-    println!("(results identical across all three arms, asserted before timing)");
+    println!("(results identical across all four arms, asserted before timing)");
 }
 
 /// Write the engine-pipeline rows as machine-readable JSON (the perf
@@ -773,7 +802,9 @@ pub fn write_engine_bench_json(
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"experiment\": \"engine_pipeline\",\n");
-    s.push_str("  \"units\": {\"wall\": \"seconds\", \"throughput\": \"answer rows/sec\"},\n");
+    s.push_str(
+        "  \"units\": {\"wall\": \"seconds (min over reps)\", \"throughput\": \"answer rows/sec\"},\n",
+    );
     s.push_str("  \"queries\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
@@ -781,8 +812,10 @@ pub fn write_engine_bench_json(
                 "    {{\"query\": \"Q{}+\", \"plan_ops\": {}, \"rows\": {},\n",
                 "     \"delegating\": {{\"wall_s\": {:.6}, \"rows_per_sec\": {:.1}}},\n",
                 "     \"compiled\": {{\"wall_s\": {:.6}, \"rows_per_sec\": {:.1}}},\n",
+                "     \"vectorized\": {{\"wall_s\": {:.6}, \"rows_per_sec\": {:.1}}},\n",
                 "     \"prepared\": {{\"wall_s\": {:.6}, \"rows_per_sec\": {:.1}}},\n",
-                "     \"speedup_compiled_vs_delegating\": {:.3}}}{}\n"
+                "     \"speedup_compiled_vs_delegating\": {:.3},\n",
+                "     \"speedup_vectorized_vs_compiled\": {:.3}}}{}\n"
             ),
             r.query,
             r.plan_ops,
@@ -791,14 +824,64 @@ pub fn write_engine_bench_json(
             r.rows_per_sec(r.t_delegating),
             r.t_compiled,
             r.rows_per_sec(r.t_compiled),
+            r.t_vectorized,
+            r.rows_per_sec(r.t_vectorized),
             r.t_prepared,
             r.rows_per_sec(r.t_prepared),
             r.speedup(),
+            r.vec_speedup(),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     s.push_str("  ]\n}\n");
     std::fs::write(path, s)
+}
+
+/// One query's verdict from [`bench_check`].
+#[derive(Debug, Clone)]
+pub struct BenchCheckRow {
+    /// Query label as recorded in the JSON (e.g. `"Q3+"`).
+    pub query: String,
+    /// Recorded wall time of the row-at-a-time compiled arm (seconds).
+    pub compiled_wall: f64,
+    /// Recorded wall time of the vectorized arm (seconds).
+    pub vectorized_wall: f64,
+    /// Whether the vectorized arm is within tolerance of the compiled arm.
+    pub ok: bool,
+}
+
+/// Parse a `BENCH_engine.json` and check that the vectorized wall time has
+/// not regressed past the compiled (row-path) arm beyond `tolerance`
+/// (`vectorized ≤ compiled × tolerance`). The workspace is offline (no
+/// serde), so this is a purpose-built scrape of the emitter's fixed layout.
+pub fn bench_check(path: &std::path::Path, tolerance: f64) -> std::io::Result<Vec<BenchCheckRow>> {
+    let text = std::fs::read_to_string(path)?;
+    let wall_in = |object: &str, section: &str| -> Option<f64> {
+        let s = object.find(&format!("\"{section}\""))?;
+        let w = object[s..].find("\"wall_s\":").map(|i| s + i + "\"wall_s\":".len())?;
+        let rest = &object[w..];
+        let end = rest.find(['}', ','])?;
+        rest[..end].trim().parse::<f64>().ok()
+    };
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(q) = text[from..].find("\"query\":") {
+        let qstart = from + q + "\"query\":".len();
+        // One object runs up to the next "query" key (or the end of file).
+        let qend = text[qstart..].find("\"query\":").map(|i| qstart + i).unwrap_or(text.len());
+        let object = &text[qstart..qend];
+        let label = object.split('"').nth(1).map(str::to_string).unwrap_or_else(|| "?".to_string());
+        if let (Some(c), Some(v)) = (wall_in(object, "compiled"), wall_in(object, "vectorized")) {
+            out.push(BenchCheckRow {
+                query: label,
+                compiled_wall: c,
+                vectorized_wall: v,
+                ok: v <= c * tolerance,
+            });
+        }
+        from = qstart;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -925,6 +1008,7 @@ mod tests {
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.t_delegating > 0.0 && r.t_compiled > 0.0 && r.t_prepared > 0.0);
+            assert!(r.t_vectorized > 0.0);
             assert!(r.plan_ops > 1);
         }
         // The compiled runtime must beat the delegating round-trip on at
@@ -935,13 +1019,29 @@ mod tests {
         // `experiments pipeline` run records the real ≥2x-and-beyond gap.
         let best = rows.iter().map(EnginePipelineRow::speedup).fold(0.0, f64::max);
         assert!(best > 1.05, "expected a compiled-runtime speedup, got {rows:?}");
+        // Likewise, the vectorized runtime must beat the row path on at
+        // least one query even in debug builds (the Q4+ gap is algorithmic:
+        // hoisted loop-invariant predicates + typed loops vs per-pair
+        // dispatch).
+        let best_vec = rows.iter().map(EnginePipelineRow::vec_speedup).fold(0.0, f64::max);
+        assert!(best_vec > 1.05, "expected a vectorization speedup, got {rows:?}");
         print_engine_pipeline(&rows);
-        // The JSON emitter must produce well-formed output.
+        // The JSON emitter must produce well-formed output that bench_check
+        // can read back and judge.
         let path = std::env::temp_dir().join("BENCH_engine_test.json");
         write_engine_bench_json(&path, &rows).expect("writes");
         let text = std::fs::read_to_string(&path).expect("reads back");
         assert!(text.contains("\"experiment\": \"engine_pipeline\""));
         assert!(text.contains("\"speedup_compiled_vs_delegating\""));
+        assert!(text.contains("\"speedup_vectorized_vs_compiled\""));
+        let checks = bench_check(&path, 1.10).expect("parses");
+        assert_eq!(checks.len(), 2);
+        for (c, r) in checks.iter().zip(&rows) {
+            assert_eq!(c.query, format!("Q{}+", r.query));
+            assert!((c.compiled_wall - r.t_compiled).abs() < 1e-5);
+            assert!((c.vectorized_wall - r.t_vectorized).abs() < 1e-5);
+            assert_eq!(c.ok, c.vectorized_wall <= c.compiled_wall * 1.10);
+        }
         let _ = std::fs::remove_file(&path);
     }
 

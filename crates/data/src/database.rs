@@ -76,6 +76,11 @@ pub struct Database {
     tables: BTreeMap<String, Relation>,
     defs: BTreeMap<String, TableDef>,
     epoch: u64,
+    /// The per-database string pool: loaders intern through it so repeated
+    /// strings share one allocation, and the columnar layer resolves string
+    /// column ids against it. Interior-mutable, so interning works through
+    /// the shared references the engine holds during execution.
+    pool: crate::intern::StrPool,
 }
 
 impl Database {
@@ -91,6 +96,17 @@ impl Database {
     /// past state of the database invalidates when the database changes.
     pub fn schema_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The database's string pool (see [`crate::intern::StrPool`]).
+    pub fn str_pool(&self) -> &crate::intern::StrPool {
+        &self.pool
+    }
+
+    /// Intern a string through the database's pool and return it as a
+    /// [`Value`]; repeated calls with equal content share one allocation.
+    pub fn intern_str(&self, s: &str) -> Value {
+        Value::Str(self.pool.intern(s).1)
     }
 
     /// Register a table definition with an empty instance.
@@ -344,6 +360,21 @@ mod tests {
         let _ = db.relation("r").unwrap();
         let _ = db.active_domain();
         assert_eq!(db.schema_epoch(), 3);
+    }
+
+    #[test]
+    fn intern_str_shares_allocations() {
+        let db = Database::new();
+        let a = db.intern_str("FURNITURE");
+        let b = db.intern_str("FURNITURE");
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => assert!(std::sync::Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
+        assert_eq!(db.str_pool().len(), 1);
+        // Cloning the database keeps the pool (and its allocations).
+        let copy = db.clone();
+        assert!(copy.str_pool().lookup("FURNITURE").is_some());
     }
 
     #[test]

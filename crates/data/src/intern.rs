@@ -1,0 +1,203 @@
+//! Per-database string interning.
+//!
+//! The TPC-H workload repeats a small set of strings millions of times
+//! (order statuses, nation and region names, part-name words), and the
+//! translations join and deduplicate over them. [`StrPool`] deduplicates the
+//! *storage*: every distinct string is allocated exactly once as an
+//! `Arc<str>`, and every occurrence shares it. On top of the storage dedup
+//! the pool assigns each distinct string a dense [`StrId`], which is what the
+//! columnar layer ([`crate::column`]) stores in string columns — comparing or
+//! hashing an interned string column element is a `u32` operation, not a
+//! byte-wise string walk.
+//!
+//! The pool is interior-mutable (`RwLock`) so the engine can intern through a
+//! shared `&Database` during execution; bulk operations (column extraction)
+//! take the lock once per column, not once per row.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Dense identifier of an interned string. Ids are assigned in first-intern
+/// order and are only meaningful relative to the pool that issued them; two
+/// strings interned in the same pool are equal iff their ids are equal.
+pub type StrId = u32;
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    map: HashMap<Arc<str>, StrId>,
+    strings: Vec<Arc<str>>,
+}
+
+impl PoolInner {
+    fn intern(&mut self, s: &str) -> (StrId, Arc<str>) {
+        if let Some((arc, &id)) = self.map.get_key_value(s) {
+            return (id, arc.clone());
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let id = self.strings.len() as StrId;
+        self.strings.push(arc.clone());
+        self.map.insert(arc.clone(), id);
+        (id, arc)
+    }
+
+    fn intern_arc(&mut self, s: &Arc<str>) -> StrId {
+        if let Some(&id) = self.map.get(s.as_ref()) {
+            return id;
+        }
+        let id = self.strings.len() as StrId;
+        self.strings.push(s.clone());
+        self.map.insert(s.clone(), id);
+        id
+    }
+}
+
+/// A deduplicating string pool (see the module docs). Cloning a pool clones
+/// its table but shares the underlying string allocations.
+#[derive(Debug, Default)]
+pub struct StrPool {
+    inner: RwLock<PoolInner>,
+}
+
+impl StrPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        StrPool::default()
+    }
+
+    /// Intern a string, returning its id and the shared allocation.
+    pub fn intern(&self, s: &str) -> (StrId, Arc<str>) {
+        // Fast path: already interned, read lock only.
+        if let Some((arc, &id)) =
+            self.inner.read().expect("pool lock").map.get_key_value(s).map(|(a, i)| (a.clone(), i))
+        {
+            return (id, arc);
+        }
+        self.inner.write().expect("pool lock").intern(s)
+    }
+
+    /// Intern an existing `Arc<str>`, reusing its allocation when the string
+    /// is new to the pool.
+    pub fn intern_arc(&self, s: &Arc<str>) -> StrId {
+        if let Some(&id) = self.inner.read().expect("pool lock").map.get(s.as_ref()) {
+            return id;
+        }
+        self.inner.write().expect("pool lock").intern_arc(s)
+    }
+
+    /// The id of an already interned string, if any. Strings absent from the
+    /// pool can never equal an interned column element.
+    pub fn lookup(&self, s: &str) -> Option<StrId> {
+        self.inner.read().expect("pool lock").map.get(s).copied()
+    }
+
+    /// The shared allocation for an id (panics on a foreign id — ids are only
+    /// valid for the pool that issued them).
+    pub fn resolve(&self, id: StrId) -> Arc<str> {
+        self.inner.read().expect("pool lock").strings[id as usize].clone()
+    }
+
+    /// Bulk-intern a batch of `Arc<str>` values under a single lock
+    /// acquisition (used by column extraction: one lock per column, not one
+    /// per row). When every string is already interned — the steady state
+    /// once the loaders have run — a shared read lock suffices, so parallel
+    /// workers extracting string columns never serialize on the pool.
+    pub fn intern_all<'a>(&self, values: impl Iterator<Item = Option<&'a Arc<str>>>) -> Vec<StrId> {
+        let vals: Vec<Option<&Arc<str>>> = values.collect();
+        {
+            let inner = self.inner.read().expect("pool lock");
+            let hits: Option<Vec<StrId>> = vals
+                .iter()
+                .map(|v| match v {
+                    Some(s) => inner.map.get(s.as_ref()).copied(),
+                    None => Some(0),
+                })
+                .collect();
+            if let Some(ids) = hits {
+                return ids;
+            }
+        }
+        let mut inner = self.inner.write().expect("pool lock");
+        vals.into_iter().map(|v| v.map(|s| inner.intern_arc(s)).unwrap_or(0)).collect()
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("pool lock").strings.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Clone for StrPool {
+    fn clone(&self) -> Self {
+        let inner = self.inner.read().expect("pool lock");
+        StrPool {
+            inner: RwLock::new(PoolInner {
+                map: inner.map.clone(),
+                strings: inner.strings.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_storage_and_ids() {
+        let pool = StrPool::new();
+        let (a, arc_a) = pool.intern("FURNITURE");
+        let (b, arc_b) = pool.intern("FURNITURE");
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&arc_a, &arc_b));
+        let (c, _) = pool.intern("BUILDING");
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn intern_arc_reuses_the_allocation() {
+        let pool = StrPool::new();
+        let s: Arc<str> = Arc::from("almond antique");
+        let id = pool.intern_arc(&s);
+        assert!(Arc::ptr_eq(&pool.resolve(id), &s));
+        // A content-equal but distinct allocation maps to the same id…
+        let t: Arc<str> = Arc::from("almond antique");
+        assert_eq!(pool.intern_arc(&t), id);
+        // …and resolution keeps returning the first allocation.
+        assert!(Arc::ptr_eq(&pool.resolve(id), &s));
+    }
+
+    #[test]
+    fn lookup_misses_for_foreign_strings() {
+        let pool = StrPool::new();
+        pool.intern("x");
+        assert!(pool.lookup("x").is_some());
+        assert!(pool.lookup("y").is_none());
+    }
+
+    #[test]
+    fn clone_shares_allocations() {
+        let pool = StrPool::new();
+        let (id, arc) = pool.intern("shared");
+        let copy = pool.clone();
+        assert!(Arc::ptr_eq(&copy.resolve(id), &arc));
+        // The copy is independent: new strings in one don't appear in the other.
+        copy.intern("only in copy");
+        assert!(pool.lookup("only in copy").is_none());
+    }
+
+    #[test]
+    fn intern_all_assigns_ids_in_one_pass() {
+        let pool = StrPool::new();
+        let vals: Vec<Arc<str>> = vec![Arc::from("a"), Arc::from("b"), Arc::from("a")];
+        let ids = pool.intern_all(vals.iter().map(Some));
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(pool.len(), 2);
+    }
+}

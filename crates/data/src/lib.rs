@@ -17,14 +17,21 @@
 //!   database yields one of the complete databases it represents.
 //! * [`Schema`], [`Tuple`], [`Relation`], [`Database`] — incomplete relational
 //!   instances, active domains, key constraints.
+//! * [`mod@column`] — columnar batches: typed column vectors with null bitmaps
+//!   that preserve marked-null ids, plus three-valued [`TruthMask`]s for
+//!   vectorized predicate evaluation.
+//! * [`intern`] — the per-database string pool ([`StrPool`]): deduplicated
+//!   storage and dense ids for cheap hashing/equality on string columns.
 //! * [`inject`] — the null-injection procedure of Section 3 of the paper
 //!   (per-attribute coin flip at a configurable *null rate*).
 
 pub mod builder;
+pub mod column;
 pub mod compare;
 pub mod database;
 pub mod error;
 pub mod inject;
+pub mod intern;
 pub mod like;
 pub mod null;
 pub mod profile;
@@ -37,8 +44,10 @@ pub mod unify;
 pub mod valuation;
 pub mod value;
 
+pub use column::{Batch, Column, ColumnData, NullMask, TruthMask};
 pub use database::{ActiveDomain, Database, TableDef};
 pub use error::DataError;
+pub use intern::{StrId, StrPool};
 pub use null::{NullGen, NullId};
 pub use relation::Relation;
 pub use schema::{Attribute, Schema};

@@ -17,7 +17,7 @@ impl Tuple {
     }
 
     /// The empty (0-ary) tuple.
-    pub fn empty() -> Self {
+    pub const fn empty() -> Self {
         Tuple(Vec::new())
     }
 

@@ -121,13 +121,7 @@ impl Value {
     /// Normalised float bits used for hashing/equality (maps NaN to a single
     /// representation and `-0.0` to `0.0`).
     fn float_bits(f: f64) -> u64 {
-        if f.is_nan() {
-            u64::MAX
-        } else if f == 0.0 {
-            0u64
-        } else {
-            f.to_bits()
-        }
+        normalized_float_bits(f)
     }
 
     /// Rank of the variant used for the cross-type total order.
@@ -151,7 +145,9 @@ impl PartialEq for Value {
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => Self::float_bits(*a) == Self::float_bits(*b),
             (Value::Decimal(a), Value::Decimal(b)) => a == b,
-            (Value::Str(a), Value::Str(b)) => a == b,
+            // Interned strings share one allocation, so the pointer check
+            // settles most comparisons without walking the bytes.
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Date(a), Value::Date(b)) => a == b,
             // Cross numeric-type syntactic equality: Int(1) == Decimal(100) would be
@@ -255,6 +251,20 @@ impl From<Arc<str>> for Value {
 impl From<bool> for Value {
     fn from(v: bool) -> Self {
         Value::Bool(v)
+    }
+}
+
+/// The float-bit normalisation behind [`Value`]'s syntactic equality and
+/// hashing: every NaN maps to one representation and `-0.0` to `0.0`.
+/// Columnar float columns hash and compare through the same function so the
+/// vectorized operators agree with the row operators bit for bit.
+pub fn normalized_float_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        u64::MAX
+    } else if f == 0.0 {
+        0u64
+    } else {
+        f.to_bits()
     }
 }
 

@@ -101,14 +101,14 @@ impl ScalarValues {
     }
 
     #[inline]
-    fn get(&self, i: usize) -> Option<&Value> {
+    pub(crate) fn get(&self, i: usize) -> Option<&Value> {
         self.cells[i].get().expect("scalar subquery ensured before predicate evaluation").as_ref()
     }
 }
 
 /// A condition operand with its column reference resolved to a position.
 #[derive(Debug, Clone)]
-enum CompiledOperand {
+pub(crate) enum CompiledOperand {
     /// Column at a position in the (combined) input row.
     Col(usize),
     /// A constant.
@@ -119,7 +119,11 @@ enum CompiledOperand {
 
 impl CompiledOperand {
     #[inline]
-    fn value<'v>(&'v self, row: RowView<'v>, scalars: &'v ScalarValues) -> Option<&'v Value> {
+    pub(crate) fn value<'v>(
+        &'v self,
+        row: RowView<'v>,
+        scalars: &'v ScalarValues,
+    ) -> Option<&'v Value> {
         match self {
             CompiledOperand::Col(i) => Some(row.get(*i)),
             CompiledOperand::Const(v) => Some(v),
@@ -139,7 +143,7 @@ pub struct CompiledPredicate {
 }
 
 #[derive(Debug, Clone)]
-enum Pred {
+pub(crate) enum Pred {
     Const(Truth),
     Cmp { left: CompiledOperand, op: CmpOp, right: CompiledOperand },
     IsNull(CompiledOperand),
@@ -166,9 +170,68 @@ impl CompiledPredicate {
     pub(crate) fn scalar_refs(&self) -> &[usize] {
         &self.scalar_refs
     }
+
+    /// The compiled predicate tree (used by the vectorized evaluator).
+    pub(crate) fn pred(&self) -> &Pred {
+        &self.pred
+    }
+
+    /// A copy of the predicate with every column reference `i` replaced by
+    /// `map[i]` (used to re-anchor fused-pipeline filters onto the pipeline's
+    /// *source* columns, looking through intermediate projections).
+    pub(crate) fn remap(&self, map: &[usize]) -> CompiledPredicate {
+        CompiledPredicate { pred: self.pred.remap(map), scalar_refs: self.scalar_refs.clone() }
+    }
 }
 
 impl Pred {
+    fn remap(&self, map: &[usize]) -> Pred {
+        let op = |o: &CompiledOperand| match o {
+            CompiledOperand::Col(i) => CompiledOperand::Col(map[*i]),
+            other => other.clone(),
+        };
+        match self {
+            Pred::Const(t) => Pred::Const(*t),
+            Pred::Cmp { left, op: cmp, right } => {
+                Pred::Cmp { left: op(left), op: *cmp, right: op(right) }
+            }
+            Pred::IsNull(x) => Pred::IsNull(op(x)),
+            Pred::IsNotNull(x) => Pred::IsNotNull(op(x)),
+            Pred::Like { expr, pattern, negated } => {
+                Pred::Like { expr: op(expr), pattern: pattern.clone(), negated: *negated }
+            }
+            Pred::InList { expr, list, negated } => {
+                Pred::InList { expr: op(expr), list: list.clone(), negated: *negated }
+            }
+            Pred::And(a, b) => Pred::And(Box::new(a.remap(map)), Box::new(b.remap(map))),
+            Pred::Or(a, b) => Pred::Or(Box::new(a.remap(map)), Box::new(b.remap(map))),
+            Pred::Not(inner) => Pred::Not(Box::new(inner.remap(map))),
+        }
+    }
+
+    /// Collect every column position the predicate reads.
+    pub(crate) fn col_refs(&self, out: &mut Vec<usize>) {
+        let op = |o: &CompiledOperand, out: &mut Vec<usize>| {
+            if let CompiledOperand::Col(i) = o {
+                out.push(*i);
+            }
+        };
+        match self {
+            Pred::Const(_) => {}
+            Pred::Cmp { left, right, .. } => {
+                op(left, out);
+                op(right, out);
+            }
+            Pred::IsNull(x) | Pred::IsNotNull(x) => op(x, out),
+            Pred::Like { expr, .. } | Pred::InList { expr, .. } => op(expr, out),
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.col_refs(out);
+                b.col_refs(out);
+            }
+            Pred::Not(inner) => inner.col_refs(out),
+        }
+    }
+
     fn eval(&self, row: RowView<'_>, scalars: &ScalarValues, semantics: NullSemantics) -> Truth {
         match self {
             Pred::Const(t) => *t,
@@ -259,6 +322,49 @@ pub(crate) enum Step {
     Project(Vec<usize>),
 }
 
+/// The batch-at-a-time form of a fused step chain: every filter re-anchored
+/// onto the pipeline's *source* columns (intermediate projections composed
+/// away — they only reorder and drop columns), so the engine can evaluate
+/// all predicates column-wise over the source rows and gather the survivors
+/// once at the pipeline edge.
+#[derive(Debug)]
+pub(crate) struct VecPlan {
+    /// The filter predicates, in pipeline order, over source positions.
+    pub(crate) filters: Vec<CompiledPredicate>,
+    /// The source columns any filter reads (sorted, deduplicated) — the only
+    /// columns worth extracting into typed vectors.
+    pub(crate) cols: Vec<usize>,
+    /// Output row = source row projected onto these positions (`None` when
+    /// the pipeline emits the source row unchanged).
+    pub(crate) gather: Option<Vec<usize>>,
+}
+
+/// Compute the [`VecPlan`] of a step chain, or `None` when the chain has no
+/// filter (a pure projection/dedup chain gains nothing from batching — the
+/// row path already moves rows without cloning).
+fn vec_plan_of(steps: &[Step], source_arity: usize) -> Option<VecPlan> {
+    let mut mapping: Vec<usize> = (0..source_arity).collect();
+    let mut filters = Vec::new();
+    for step in steps {
+        match step {
+            Step::Filter(pred) => filters.push(pred.remap(&mapping)),
+            Step::Project(pos) => mapping = pos.iter().map(|&p| mapping[p]).collect(),
+        }
+    }
+    if filters.is_empty() {
+        return None;
+    }
+    let mut cols = Vec::new();
+    for f in &filters {
+        f.pred().col_refs(&mut cols);
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    let identity =
+        mapping.len() == source_arity && mapping.iter().enumerate().all(|(i, &p)| i == p);
+    Some(VecPlan { filters, cols, gather: if identity { None } else { Some(mapping) } })
+}
+
 /// A compiled operator tree: schemas inferred, names resolved, conditions
 /// compiled — ready for repeated execution with zero per-execution setup.
 #[derive(Debug)]
@@ -275,12 +381,16 @@ pub(crate) enum CompiledExpr {
     /// pass. `partitions > 0` marks a round-robin exchange under the first
     /// filter (morsel-parallel execution); `dedup` marks a projection or
     /// distinct in the chain (set semantics: deduplicate the output).
+    /// `vec_plan` is the batch-at-a-time form of the chain (present whenever
+    /// the chain filters); the engine picks the vectorized or the row path
+    /// per execution, so one compiled plan serves both.
     Fused {
         source: Box<CompiledExpr>,
         steps: Vec<Step>,
         schema: Arc<Schema>,
         dedup: bool,
         partitions: usize,
+        vec_plan: Option<VecPlan>,
     },
     /// Hash join: build on the right, probe with the left, residual applied
     /// to the (left, right) pair. `partitions > 0` marks a hash exchange on
@@ -441,8 +551,8 @@ fn compile_expr(
             let child = compile_expr(input, db, scalars)?;
             let schema = child.schema().rename(columns).map_err(AlgebraError::Data)?.shared();
             Ok(match child {
-                CompiledExpr::Fused { source, steps, dedup, partitions, .. } => {
-                    CompiledExpr::Fused { source, steps, schema, dedup, partitions }
+                CompiledExpr::Fused { source, steps, dedup, partitions, vec_plan, .. } => {
+                    CompiledExpr::Fused { source, steps, schema, dedup, partitions, vec_plan }
                 }
                 other => CompiledExpr::Rename { input: Box::new(other), schema },
             })
@@ -450,8 +560,8 @@ fn compile_expr(
         PhysicalExpr::Distinct { input } => {
             let child = compile_expr(input, db, scalars)?;
             Ok(match child {
-                CompiledExpr::Fused { source, steps, schema, partitions, .. } => {
-                    CompiledExpr::Fused { source, steps, schema, dedup: true, partitions }
+                CompiledExpr::Fused { source, steps, schema, partitions, vec_plan, .. } => {
+                    CompiledExpr::Fused { source, steps, schema, dedup: true, partitions, vec_plan }
                 }
                 other => CompiledExpr::Distinct { input: Box::new(other) },
             })
@@ -681,24 +791,29 @@ fn push_step(
 ) -> CompiledExpr {
     let projecting = matches!(step, Step::Project(_));
     match child {
-        CompiledExpr::Fused { source, mut steps, schema, dedup, partitions: existing } => {
+        CompiledExpr::Fused { source, mut steps, schema, dedup, partitions: existing, .. } => {
             steps.push(step);
+            let vec_plan = vec_plan_of(&steps, source.schema().arity());
             CompiledExpr::Fused {
                 source,
                 steps,
                 schema: new_schema.unwrap_or(schema),
                 dedup: dedup || projecting,
                 partitions: existing.max(partitions),
+                vec_plan,
             }
         }
         other => {
             let schema = new_schema.unwrap_or_else(|| other.schema().clone());
+            let steps = vec![step];
+            let vec_plan = vec_plan_of(&steps, other.schema().arity());
             CompiledExpr::Fused {
                 source: Box::new(other),
-                steps: vec![step],
+                steps,
                 schema,
                 dedup: projecting,
                 partitions,
+                vec_plan,
             }
         }
     }

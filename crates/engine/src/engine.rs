@@ -64,8 +64,9 @@
 
 use crate::compile::{
     apply_steps_borrowed, apply_steps_owned, CompiledExpr, CompiledPlan, CompiledPredicate,
-    RowView, ScalarValues, Step,
+    RowView, ScalarValues, Step, VecPlan,
 };
+use crate::vector::{self, KeySet};
 use certus_algebra::condition::Condition;
 use certus_algebra::eval::Evaluator;
 use certus_algebra::expr::RaExpr;
@@ -88,6 +89,13 @@ pub struct EngineConfig {
     /// heuristic planner has no statistics, so this runtime floor is what
     /// keeps its exchanges harmless on small data.
     pub parallel_floor: usize,
+    /// Whether fused pipelines and hash (semi-)join keys execute
+    /// batch-at-a-time over typed columns (the default). Off, the engine
+    /// takes the row-at-a-time paths of the PR-4 runtime — kept selectable
+    /// so the differential tests and benchmarks can pit the two against
+    /// each other on identical compiled plans (`CERTUS_VECTOR=0` flips the
+    /// environment-driven default).
+    pub vectorized: bool,
 }
 
 impl EngineConfig {
@@ -101,18 +109,34 @@ impl EngineConfig {
 
     /// A configuration with an explicit thread count (clamped to ≥ 1).
     pub fn with_threads(threads: usize) -> Self {
-        EngineConfig { threads: threads.max(1), parallel_floor: Self::DEFAULT_PARALLEL_FLOOR }
+        EngineConfig {
+            threads: threads.max(1),
+            parallel_floor: Self::DEFAULT_PARALLEL_FLOOR,
+            vectorized: true,
+        }
     }
 
     /// The environment-driven default: the `CERTUS_THREADS` variable when set
-    /// to a positive integer, the machine's available parallelism otherwise.
+    /// to a positive integer, the machine's available parallelism otherwise;
+    /// `CERTUS_VECTOR=0` (or `false`/`off`) selects the row-at-a-time paths.
     pub fn from_env() -> Self {
         let threads = std::env::var("CERTUS_THREADS")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&t| t >= 1)
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-        EngineConfig::with_threads(threads)
+        let vectorized = Self::parse_vector_flag(std::env::var("CERTUS_VECTOR").ok().as_deref());
+        EngineConfig::with_threads(threads).with_vectorized(vectorized)
+    }
+
+    /// Interpret a `CERTUS_VECTOR` value: `0`/`false`/`off` select the
+    /// row-at-a-time paths, anything else (or unset) keeps the vectorized
+    /// default. Public so tests can check the parsing without mutating the
+    /// process environment.
+    pub fn parse_vector_flag(value: Option<&str>) -> bool {
+        !value
+            .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off"))
+            .unwrap_or(false)
     }
 
     /// Replace the parallel floor (0 forces every exchange to fan out, used
@@ -120,6 +144,12 @@ impl EngineConfig {
     /// instances).
     pub fn with_parallel_floor(mut self, rows: usize) -> Self {
         self.parallel_floor = rows;
+        self
+    }
+
+    /// Select vectorized (`true`, the default) or row-at-a-time execution.
+    pub fn with_vectorized(mut self, vectorized: bool) -> Self {
+        self.vectorized = vectorized;
         self
     }
 
@@ -280,6 +310,25 @@ impl<'a> Engine<'a> {
     // Native compiled execution
     // ------------------------------------------------------------------
 
+    /// Execute a join-like operator's child, *borrowing* the base relation
+    /// when the child is an unaliased scan — the join operators only read
+    /// tuples through positions (output schemas are precompiled), so copying
+    /// the whole base table per execution would be pure overhead.
+    fn exec_rel<'e>(
+        &'e self,
+        node: &CompiledExpr,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<std::borrow::Cow<'e, Relation>> {
+        use std::borrow::Cow;
+        if let CompiledExpr::Scan { name, schema } = node {
+            let rel = self.db.relation(name).map_err(AlgebraError::Data)?;
+            if Arc::ptr_eq(rel.schema(), schema) || rel.schema() == schema {
+                return Ok(Cow::Borrowed(rel));
+            }
+        }
+        self.exec(node, scalars).map(Cow::Owned)
+    }
+
     fn exec(&self, node: &CompiledExpr, scalars: &ScalarCtx<'_>) -> Result<Relation> {
         match node {
             CompiledExpr::Scan { name, schema } => {
@@ -288,8 +337,8 @@ impl<'a> Engine<'a> {
             }
             CompiledExpr::Values { rel } => Ok(rel.clone()),
             CompiledExpr::Opaque { expr, .. } => Evaluator::new(self.db, self.semantics).eval(expr),
-            CompiledExpr::Fused { source, steps, schema, dedup, partitions } => {
-                self.exec_fused(source, steps, schema, *dedup, *partitions, scalars)
+            CompiledExpr::Fused { source, steps, schema, dedup, partitions, vec_plan } => {
+                self.exec_fused(source, steps, schema, *dedup, *partitions, vec_plan, scalars)
             }
             CompiledExpr::HashJoin {
                 left,
@@ -300,8 +349,8 @@ impl<'a> Engine<'a> {
                 schema,
                 partitions,
             } => {
-                let l = self.exec(left, scalars)?;
-                let r = self.exec(right, scalars)?;
+                let l = self.exec_rel(left, scalars)?;
+                let r = self.exec_rel(right, scalars)?;
                 self.hash_join(
                     &l,
                     &r,
@@ -314,8 +363,8 @@ impl<'a> Engine<'a> {
                 )
             }
             CompiledExpr::NlJoin { left, right, pred, schema, partitions } => {
-                let l = self.exec(left, scalars)?;
-                let r = self.exec(right, scalars)?;
+                let l = self.exec_rel(left, scalars)?;
+                let r = self.exec_rel(right, scalars)?;
                 self.nl_join(&l, &r, pred, schema, *partitions, scalars)
             }
             CompiledExpr::HashSemi {
@@ -327,8 +376,8 @@ impl<'a> Engine<'a> {
                 keep_matching,
                 partitions,
             } => {
-                let l = self.exec(left, scalars)?;
-                let r = self.exec(right, scalars)?;
+                let l = self.exec_rel(left, scalars)?;
+                let r = self.exec_rel(right, scalars)?;
                 self.hash_semi(
                     l,
                     &r,
@@ -341,8 +390,8 @@ impl<'a> Engine<'a> {
                 )
             }
             CompiledExpr::NlSemi { left, right, pred, keep_matching, partitions } => {
-                let l = self.exec(left, scalars)?;
-                let r = self.exec(right, scalars)?;
+                let l = self.exec_rel(left, scalars)?;
+                let r = self.exec_rel(right, scalars)?;
                 self.nl_semi(l, &r, pred, *keep_matching, *partitions, scalars)
             }
             CompiledExpr::DecorrelatedSemi { left, right, pred, keep_matching, left_schema } => {
@@ -391,8 +440,9 @@ impl<'a> Engine<'a> {
             CompiledExpr::Division { left, right, key_positions, shared_positions, schema } => {
                 let l = self.exec(left, scalars)?;
                 let r = self.exec(right, scalars)?;
-                let all: HashSet<&Tuple> = l.iter().collect();
-                let mut seen_keys = HashSet::new();
+                let mut all: HashSet<&Tuple> = HashSet::with_capacity(l.len());
+                all.extend(l.iter());
+                let mut seen_keys = HashSet::with_capacity(l.len());
                 let mut tuples = Vec::new();
                 for lt in l.iter() {
                     let key = lt.project(key_positions);
@@ -421,7 +471,7 @@ impl<'a> Engine<'a> {
             CompiledExpr::Distinct { input } => Ok(self.exec(input, scalars)?.into_distinct()),
             CompiledExpr::Aggregate { input, group_pos, aggs, schema } => {
                 let rel = self.exec(input, scalars)?;
-                let mut groups: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+                let mut groups: HashMap<Tuple, Vec<&Tuple>> = HashMap::with_capacity(rel.len());
                 let mut order: Vec<Tuple> = Vec::new();
                 for t in rel.iter() {
                     let key = t.project(group_pos);
@@ -450,9 +500,12 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Execute a fused step pipeline. A scan source streams borrowed base
-    /// tuples (rows dropped by a filter are never cloned); any other source
-    /// is executed and its tuples moved through the steps.
+    /// Execute a fused step pipeline. With vectorized execution on (and the
+    /// chain carrying a [`VecPlan`]), the filters evaluate column-wise and
+    /// the survivors are gathered once at the pipeline edge; otherwise a
+    /// scan source streams borrowed base tuples (rows dropped by a filter
+    /// are never cloned) and any other source is executed and its tuples
+    /// moved through the steps.
     #[allow(clippy::too_many_arguments)]
     fn exec_fused(
         &self,
@@ -461,15 +514,20 @@ impl<'a> Engine<'a> {
         schema: &Arc<Schema>,
         dedup: bool,
         partitions: usize,
+        vec_plan: &Option<VecPlan>,
         scalars: &ScalarCtx<'_>,
     ) -> Result<Relation> {
+        let vec_plan = if self.config.vectorized { vec_plan.as_ref() } else { None };
         let mut out = match source {
             CompiledExpr::Scan { name, .. } => {
                 let rel = self.db.relation(name).map_err(AlgebraError::Data)?;
                 if !rel.is_empty() {
                     self.ensure_step_scalars(steps, scalars)?;
                 }
-                let tuples = self.run_steps_borrowed(rel.tuples(), steps, partitions, scalars)?;
+                let tuples = match vec_plan {
+                    Some(vp) => self.run_steps_vectorized(rel.tuples(), vp, partitions, scalars)?,
+                    None => self.run_steps_borrowed(rel.tuples(), steps, partitions, scalars)?,
+                };
                 Relation::from_parts(schema.clone(), tuples)
             }
             other => {
@@ -477,18 +535,23 @@ impl<'a> Engine<'a> {
                 if !input.is_empty() {
                     self.ensure_step_scalars(steps, scalars)?;
                 }
-                let n = self.step_workers(partitions, input.len());
-                let tuples = if n > 1 {
+                let tuples = if let Some(vp) = vec_plan {
                     let input_tuples = input.into_tuples();
-                    self.run_steps_parallel(&input_tuples, steps, n, scalars)?
+                    self.run_steps_vectorized(&input_tuples, vp, partitions, scalars)?
                 } else {
-                    input
-                        .into_tuples()
-                        .into_iter()
-                        .filter_map(|t| {
-                            apply_steps_owned(t, steps, &scalars.values, self.semantics)
-                        })
-                        .collect()
+                    let n = self.step_workers(partitions, input.len());
+                    if n > 1 {
+                        let input_tuples = input.into_tuples();
+                        self.run_steps_parallel(&input_tuples, steps, n, scalars)?
+                    } else {
+                        input
+                            .into_tuples()
+                            .into_iter()
+                            .filter_map(|t| {
+                                apply_steps_owned(t, steps, &scalars.values, self.semantics)
+                            })
+                            .collect()
+                    }
                 };
                 Relation::from_parts(schema.clone(), tuples)
             }
@@ -514,6 +577,28 @@ impl<'a> Engine<'a> {
                 .iter()
                 .filter_map(|t| apply_steps_borrowed(t, steps, &scalars.values, self.semantics))
                 .collect())
+        }
+    }
+
+    /// Batch-at-a-time step pipeline: per morsel, extract the filter
+    /// columns, evaluate the predicates into truth masks, gather survivors.
+    /// Output order is input order, identical to the serial row pass.
+    fn run_steps_vectorized(
+        &self,
+        input: &[Tuple],
+        plan: &VecPlan,
+        partitions: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Vec<Tuple>> {
+        let pool = self.db.str_pool();
+        let n = self.step_workers(partitions, input.len());
+        if n > 1 {
+            let morsels: Vec<&[Tuple]> = chunks_of(input, n);
+            self.parallel_tuples(&morsels, |chunk| {
+                Ok(vector::filter_gather(chunk, plan, &scalars.values, self.semantics, pool))
+            })
+        } else {
+            Ok(vector::filter_gather(input, plan, &scalars.values, self.semantics, pool))
         }
     }
 
@@ -566,6 +651,13 @@ impl<'a> Engine<'a> {
         } else {
             1
         };
+        if self.config.vectorized {
+            if let Some(out) =
+                self.hash_join_vec(l, r, l_pos, r_pos, residual, schema, n, scalars)?
+            {
+                return Ok(out);
+            }
+        }
         if n > 1 {
             // Partitioned parallel hash join: route both sides by a
             // deterministic key hash, build + probe every partition on its
@@ -613,10 +705,85 @@ impl<'a> Engine<'a> {
         Ok(Relation::from_parts(schema.clone(), out))
     }
 
+    /// Vectorized hash join: key columns extracted once per side, per-row
+    /// hashes computed column-wise, the table keyed on the precomputed
+    /// hashes over row *indices* (collisions verified by typed comparison) —
+    /// no per-row key clones. Returns `None` when a key column cannot be
+    /// typed (mixed variants / all null) — the caller keeps the row path.
+    #[allow(clippy::too_many_arguments)]
+    fn hash_join_vec(
+        &self,
+        l: &Relation,
+        r: &Relation,
+        l_pos: &[usize],
+        r_pos: &[usize],
+        residual: &CompiledPredicate,
+        schema: &Arc<Schema>,
+        workers: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Option<Relation>> {
+        let allow_nulls = self.semantics == NullSemantics::Naive;
+        let pool = self.db.str_pool();
+        let Some(build) = KeySet::build(r.tuples(), r_pos, allow_nulls, pool) else {
+            return Ok(None);
+        };
+        let Some(probe) = KeySet::build(l.tuples(), l_pos, allow_nulls, pool) else {
+            return Ok(None);
+        };
+        if !probe.compatible(&build) {
+            // Differently-typed key columns can never be syntactically equal
+            // — except through nulls, which only participate under naive
+            // semantics (row fallback there).
+            return if allow_nulls {
+                Ok(None)
+            } else {
+                Ok(Some(Relation::from_parts(schema.clone(), Vec::new())))
+            };
+        }
+        let table = build.table();
+        let probe_one = |i: usize, out: &mut Vec<Tuple>| {
+            if !probe.valid[i] {
+                return;
+            }
+            let Some(candidates) = table.get(&probe.hashes[i]) else { return };
+            let lt = &l.tuples()[i];
+            for &j in candidates {
+                let rt = &r.tuples()[j as usize];
+                if probe.keys_eq(i, &build, j as usize)
+                    && residual
+                        .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                        .is_true()
+                {
+                    out.push(lt.concat(rt));
+                }
+            }
+        };
+        let tuples = if workers > 1 {
+            // Morsel-parallel probe over a shared table; chunk outputs
+            // concatenate in input order, so the result order matches the
+            // serial pass exactly.
+            let ranges = index_ranges(l.len(), workers);
+            self.parallel_flat(&ranges, |range| {
+                let mut out = Vec::new();
+                for i in range.clone() {
+                    probe_one(i, &mut out);
+                }
+                Ok(out)
+            })?
+        } else {
+            let mut out = Vec::new();
+            for i in 0..l.len() {
+                probe_one(i, &mut out);
+            }
+            out
+        };
+        Ok(Some(Relation::from_parts(schema.clone(), tuples)))
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn hash_semi(
         &self,
-        l: Relation,
+        l: std::borrow::Cow<'_, Relation>,
         r: &Relation,
         l_pos: &[usize],
         r_pos: &[usize],
@@ -634,6 +801,13 @@ impl<'a> Engine<'a> {
         } else {
             1
         };
+        if self.config.vectorized {
+            if let Some(keep) =
+                self.hash_semi_vec(&l, r, l_pos, r_pos, residual, keep_matching, n, scalars)?
+            {
+                return Ok(semi_result(l, keep));
+            }
+        }
         if n > 1 {
             // Partitioned parallel hash (anti-)semijoin. Left tuples with a
             // null key (which can never match under SQL semantics) bypass the
@@ -685,7 +859,67 @@ impl<'a> Engine<'a> {
                 matched == keep_matching
             })
             .collect();
-        Ok(retain_by_flags(l, keep))
+        Ok(semi_result(l, keep))
+    }
+
+    /// Vectorized hash (anti-)semijoin: same key machinery as
+    /// [`Engine::hash_join_vec`], producing per-row keep flags (survivors
+    /// are then retained by move, in input order — serial and parallel
+    /// agree). Returns `None` when the keys cannot be typed.
+    #[allow(clippy::too_many_arguments)]
+    fn hash_semi_vec(
+        &self,
+        l: &Relation,
+        r: &Relation,
+        l_pos: &[usize],
+        r_pos: &[usize],
+        residual: &CompiledPredicate,
+        keep_matching: bool,
+        workers: usize,
+        scalars: &ScalarCtx<'_>,
+    ) -> Result<Option<Vec<bool>>> {
+        let allow_nulls = self.semantics == NullSemantics::Naive;
+        let pool = self.db.str_pool();
+        let Some(build) = KeySet::build(r.tuples(), r_pos, allow_nulls, pool) else {
+            return Ok(None);
+        };
+        let Some(probe) = KeySet::build(l.tuples(), l_pos, allow_nulls, pool) else {
+            return Ok(None);
+        };
+        if !probe.compatible(&build) {
+            return if allow_nulls {
+                Ok(None)
+            } else {
+                // No key can ever match: an antijoin keeps everything, a
+                // semijoin nothing.
+                Ok(Some(vec![!keep_matching; l.len()]))
+            };
+        }
+        let table = build.table();
+        let decide = |i: usize| -> bool {
+            let matched = probe.valid[i]
+                && table.get(&probe.hashes[i]).is_some_and(|candidates| {
+                    let lt = &l.tuples()[i];
+                    candidates.iter().any(|&j| {
+                        probe.keys_eq(i, &build, j as usize)
+                            && residual
+                                .eval(
+                                    RowView::pair(lt, &r.tuples()[j as usize]),
+                                    &scalars.values,
+                                    self.semantics,
+                                )
+                                .is_true()
+                    })
+                });
+            matched == keep_matching
+        };
+        let keep = if workers > 1 {
+            let ranges = index_ranges(l.len(), workers);
+            self.parallel_flat(&ranges, |range| Ok(range.clone().map(decide).collect()))?
+        } else {
+            (0..l.len()).map(decide).collect()
+        };
+        Ok(Some(keep))
     }
 
     fn nl_join(
@@ -705,6 +939,47 @@ impl<'a> Engine<'a> {
         } else {
             1
         };
+        // Both sides must be non-empty: an empty outer side produces no
+        // pairs anyway, and `BoundPred::prepare` eagerly evaluates the
+        // outer-independent subtrees — whose scalar subqueries are only
+        // ensured above when both inputs are non-empty.
+        if self.config.vectorized && !l.is_empty() && !r.is_empty() {
+            // Vectorized nested loops: extract the inner columns the
+            // predicate reads once, hoist its outer-independent subtrees
+            // into cached masks, then evaluate the remaining atoms for each
+            // outer row against *all* inner rows at once (outer references
+            // become per-batch constants) and gather the matching pairs.
+            let bound = vector::BoundPred::prepare(
+                pred,
+                r.tuples(),
+                l.schema().arity(),
+                &scalars.values,
+                self.semantics,
+                self.db.str_pool(),
+            );
+            let pair_row = |i: usize, out: &mut Vec<Tuple>| {
+                let lt = &l.tuples()[i];
+                let mask = bound.eval(lt, &scalars.values, self.semantics, self.db.str_pool());
+                mask.for_each_true(|j| out.push(lt.concat(&r.tuples()[j])));
+            };
+            let out = if n > 1 {
+                let ranges = index_ranges(l.len(), n);
+                self.parallel_flat(&ranges, |range| {
+                    let mut out = Vec::new();
+                    for i in range.clone() {
+                        pair_row(i, &mut out);
+                    }
+                    Ok(out)
+                })?
+            } else {
+                let mut out = Vec::new();
+                for i in 0..l.len() {
+                    pair_row(i, &mut out);
+                }
+                out
+            };
+            return Ok(Relation::from_parts(schema.clone(), out));
+        }
         if n > 1 {
             // Morsel-parallel nested loops over the outer side.
             let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
@@ -737,7 +1012,7 @@ impl<'a> Engine<'a> {
 
     fn nl_semi(
         &self,
-        l: Relation,
+        l: std::borrow::Cow<'_, Relation>,
         r: &Relation,
         pred: &CompiledPredicate,
         keep_matching: bool,
@@ -752,6 +1027,33 @@ impl<'a> Engine<'a> {
         } else {
             1
         };
+        // Non-empty on both sides, as in the nested-loop join above — the
+        // prepare step may only read scalar subqueries that were ensured.
+        if self.config.vectorized && !l.is_empty() && !r.is_empty() {
+            // Vectorized nested-loop (anti-)semijoin: one mask evaluation
+            // over the inner columns per outer row; survivors retained by
+            // move in input order.
+            let bound = vector::BoundPred::prepare(
+                pred,
+                r.tuples(),
+                l.schema().arity(),
+                &scalars.values,
+                self.semantics,
+                self.db.str_pool(),
+            );
+            let decide = |i: usize| -> bool {
+                let mask =
+                    bound.eval(&l.tuples()[i], &scalars.values, self.semantics, self.db.str_pool());
+                mask.any_true() == keep_matching
+            };
+            let keep: Vec<bool> = if n > 1 {
+                let ranges = index_ranges(l.len(), n);
+                self.parallel_flat(&ranges, |range| Ok(range.clone().map(decide).collect()))?
+            } else {
+                (0..l.len()).map(decide).collect()
+            };
+            return Ok(semi_result(l, keep));
+        }
         if n > 1 {
             let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
             let out = self.parallel_tuples(&morsels, |chunk| {
@@ -776,7 +1078,7 @@ impl<'a> Engine<'a> {
                 }) == keep_matching
             })
             .collect();
-        Ok(retain_by_flags(l, keep))
+        Ok(semi_result(l, keep))
     }
 
     /// Execute a union: evaluate the arms (concurrently when the plan marked
@@ -1082,6 +1384,17 @@ impl<'a> Engine<'a> {
         T: Sync,
         W: Fn(&T) -> Result<Vec<Tuple>> + Sync,
     {
+        self.parallel_flat(items, worker)
+    }
+
+    /// [`Engine::parallel_tuples`], generalised over the output element type
+    /// (the vectorized semijoin collects keep *flags*, not tuples).
+    fn parallel_flat<T, R, W>(&self, items: &[T], worker: W) -> Result<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        W: Fn(&T) -> Result<Vec<R>> + Sync,
+    {
         // Items are grouped contiguously onto at most `thread_budget()`
         // worker threads; each worker processes its group in item order and
         // group outputs concatenate in group order, so the result is the
@@ -1096,7 +1409,7 @@ impl<'a> Engine<'a> {
         }
         let extra = groups.len() - 1;
         self.in_flight.fetch_add(extra, Ordering::Relaxed);
-        let chunks: Vec<Result<Vec<Tuple>>> = std::thread::scope(|s| {
+        let chunks: Vec<Result<Vec<R>>> = std::thread::scope(|s| {
             let worker = &worker;
             let handles: Vec<_> = groups
                 .iter()
@@ -1127,6 +1440,20 @@ struct ScalarCtx<'p> {
     values: ScalarValues,
 }
 
+/// Keep exactly the flagged tuples of a (anti-)semijoin's preserved side:
+/// an owned input retains by move, a borrowed base relation clones only the
+/// survivors.
+fn semi_result(l: std::borrow::Cow<'_, Relation>, keep: Vec<bool>) -> Relation {
+    match l {
+        std::borrow::Cow::Owned(rel) => retain_by_flags(rel, keep),
+        std::borrow::Cow::Borrowed(rel) => {
+            let tuples =
+                rel.iter().zip(&keep).filter(|(_, k)| **k).map(|(t, _)| t.clone()).collect();
+            Relation::from_parts(rel.schema().clone(), tuples)
+        }
+    }
+}
+
 /// Keep exactly the flagged tuples of an owned relation (moves, no clones).
 fn retain_by_flags(rel: Relation, keep: Vec<bool>) -> Relation {
     let schema = rel.schema().clone();
@@ -1140,7 +1467,8 @@ fn retain_by_flags(rel: Relation, keep: Vec<bool>) -> Relation {
 /// right side, positionally, keeping the left schema — matching the schema
 /// alignment the reference evaluator applies to set operations.
 fn set_filter(l: Relation, r: &Relation, want_member: bool) -> Relation {
-    let right: HashSet<&Tuple> = r.iter().collect();
+    let mut right: HashSet<&Tuple> = HashSet::with_capacity(r.len());
+    right.extend(r.iter());
     let keep: Vec<bool> = l.iter().map(|t| right.contains(t) == want_member).collect();
     drop(right);
     let mut out = retain_by_flags(l, keep);
@@ -1153,6 +1481,13 @@ fn set_filter(l: Relation, r: &Relation, want_member: bool) -> Relation {
 fn chunks_of<T>(items: &[T], n: usize) -> Vec<&[T]> {
     let size = items.len().div_ceil(n.max(1)).max(1);
     items.chunks(size).collect()
+}
+
+/// Split `0..len` into at most `workers` contiguous index ranges, in order
+/// (the morsels of the vectorized probe loops).
+fn index_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let size = len.div_ceil(workers.max(1)).max(1);
+    (0..len).step_by(size).map(|start| start..(start + size).min(len)).collect()
 }
 
 /// Deterministic partition index of a key: a fixed-seed hash, so plans
@@ -1647,5 +1982,15 @@ mod tests {
         // On a non-empty input the invalid subquery must surface its error.
         let bad = RaExpr::relation("two").select(invalid_scalar("y"));
         assert!(engine.execute(&bad).is_err());
+        // A nested-loop join whose *outer* side is empty never evaluates
+        // its condition — the vectorized path must not eagerly evaluate the
+        // hoisted outer-independent subtree (which reads the unensured
+        // scalar) before noticing the loop is empty.
+        let empty_outer = RaExpr::relation("empty")
+            .join(RaExpr::relation("two"), invalid_scalar("y").or(is_null("x")));
+        assert!(engine.execute(&empty_outer).unwrap().is_empty());
+        let empty_outer_semi = RaExpr::relation("empty")
+            .semi_join(RaExpr::relation("two"), invalid_scalar("y").or(is_null("x")));
+        assert!(engine.execute(&empty_outer_semi).unwrap().is_empty());
     }
 }

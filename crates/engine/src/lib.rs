@@ -44,9 +44,22 @@
 //! pre-compilation delegating path survives as
 //! [`Engine::execute_physical_delegating`] (differential oracle + benchmark
 //! baseline).
+//!
+//! # Vectorized execution
+//!
+//! By default ([`EngineConfig::vectorized`], `CERTUS_VECTOR=0` to disable)
+//! the hot paths run batch-at-a-time over `certus_data::column` typed
+//! vectors: fused pipelines evaluate their predicates column-wise into
+//! three-valued `TruthMask`s and gather survivors once, hash (semi-)join
+//! keys hash column-wise into pre-sized index tables, and nested loops
+//! evaluate one outer row against all inner rows at once with
+//! outer-independent predicate subtrees hoisted into per-join cached masks.
+//! The row-at-a-time paths remain both selectable and the automatic
+//! fallback when a key column cannot be typed.
 
 pub mod compile;
 pub mod engine;
+pub(crate) mod vector;
 
 pub use certus_plan::{cost, equi};
 

@@ -492,21 +492,28 @@ fn plan_rec(
         RaExpr::Select { input, condition } => {
             let mut c = plan_rec(input, catalog, stats, par)?;
             let rows = c.explain.rows * crate::cost::selectivity_with(condition, st);
-            let mut cost = c.explain.cost + c.explain.rows;
+            // Batch-eligible filters run column-wise in the engine's
+            // vectorized pipelines and charge a discounted per-row factor.
+            let cpu = crate::cost::filter_cpu_factor(condition);
+            let mut cost = c.explain.cost + c.explain.rows * cpu;
             // A filter over a large input is data-parallel: split it into
             // contiguous morsels, one per worker. Only worthwhile when
             // statistics prove the input large — the heuristic planner
             // (stats-free) never knows, so it never exchanges filters.
             if stats.is_some() && par.worthwhile(Some(c.explain.rows)) {
                 c = exchange(c, Partitioning::RoundRobin { partitions: par.threads });
-                cost = c.explain.cost + c.explain.rows;
+                cost = c.explain.cost + c.explain.rows * cpu;
             }
-            explained(
+            let mut planned = explained(
                 PhysicalExpr::Filter { input: Box::new(c.phys), condition: condition.clone() },
                 rows,
                 cost,
                 vec![c.explain],
-            )
+            );
+            if crate::cost::batch_eligible(condition) {
+                planned.explain.op.push_str(" [vec]");
+            }
+            planned
         }
         RaExpr::Project { input, columns } => {
             let c = plan_rec(input, catalog, stats, par)?;
@@ -990,6 +997,25 @@ mod tests {
             exchange.children[0].cost + crate::cost::exchange_cost(40.0, 4),
             "{text}"
         );
+    }
+
+    #[test]
+    fn explain_annotates_batch_eligible_filters() {
+        let db = db();
+        let stats = StatisticsCatalog::analyze(&db);
+        let planner = PhysicalPlanner::new(&db, &stats);
+        let vec_q = RaExpr::relation("r").select(eq("a", "a"));
+        let text = planner.explain(&vec_q).unwrap().to_string();
+        assert!(text.contains("[vec]"), "{text}");
+        // A LIKE filter evaluates row-at-a-time inside the batch: no tag.
+        let like = certus_algebra::condition::Condition::Like {
+            expr: certus_algebra::condition::Operand::Col("a".into()),
+            pattern: "%x%".into(),
+            negated: false,
+        };
+        let row_q = RaExpr::relation("r").select(like);
+        let text = planner.explain(&row_q).unwrap().to_string();
+        assert!(!text.contains("[vec]"), "{text}");
     }
 
     #[test]

@@ -51,31 +51,34 @@ impl DbGen {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let card = self.cardinalities();
 
+        // Strings load through the database's interner: the repeated values
+        // (region/nation names, order statuses) share one allocation each,
+        // and even the unique supplier/customer/part names get pool ids so
+        // string columns stay fully interned for the columnar layer.
         // region
         for (i, name) in REGIONS.iter().enumerate() {
+            let name = db.intern_str(name);
             db.relation_mut("region")
                 .expect("table exists")
-                .insert_values(vec![Value::Int(i as i64), Value::str(*name)])
+                .insert_values(vec![Value::Int(i as i64), name])
                 .expect("arity");
         }
         // nation
         for (i, (name, region)) in NATIONS.iter().enumerate() {
+            let name = db.intern_str(name);
             db.relation_mut("nation")
                 .expect("table exists")
-                .insert_values(vec![
-                    Value::Int(i as i64),
-                    Value::str(*name),
-                    Value::Int(*region as i64),
-                ])
+                .insert_values(vec![Value::Int(i as i64), name, Value::Int(*region as i64)])
                 .expect("arity");
         }
         // supplier
         for i in 1..=card.supplier {
+            let name = db.intern_str(&format!("Supplier#{i:09}"));
             db.relation_mut("supplier")
                 .expect("table exists")
                 .insert_values(vec![
                     Value::Int(i as i64),
-                    Value::str(format!("Supplier#{i:09}")),
+                    name,
                     Value::Int(rng.gen_range(0..25)),
                     Value::Decimal(rng.gen_range(-99_999..999_999)),
                 ])
@@ -83,11 +86,12 @@ impl DbGen {
         }
         // customer
         for i in 1..=card.customer {
+            let name = db.intern_str(&format!("Customer#{i:09}"));
             db.relation_mut("customer")
                 .expect("table exists")
                 .insert_values(vec![
                     Value::Int(i as i64),
-                    Value::str(format!("Customer#{i:09}")),
+                    name,
                     Value::Int(rng.gen_range(0..25)),
                     Value::Decimal(rng.gen_range(-99_999..999_999)),
                 ])
@@ -95,12 +99,12 @@ impl DbGen {
         }
         // part
         for i in 1..=card.part {
-            let name = Self::part_name(&mut rng);
+            let name = db.intern_str(&Self::part_name(&mut rng));
             db.relation_mut("part")
                 .expect("table exists")
                 .insert_values(vec![
                     Value::Int(i as i64),
-                    Value::str(name),
+                    name,
                     Value::Decimal(rng.gen_range(90_000..200_000)),
                 ])
                 .expect("arity");
@@ -131,13 +135,13 @@ impl DbGen {
         for o in 1..=card.orders {
             let custkey = rng.gen_range(1..=card.customer) as i64;
             let orderdate = rng.gen_range(start..end);
-            let status = ORDER_STATUS[rng.gen_range(0..ORDER_STATUS.len())];
+            let status = db.intern_str(ORDER_STATUS[rng.gen_range(0..ORDER_STATUS.len())]);
             db.relation_mut("orders")
                 .expect("table exists")
                 .insert_values(vec![
                     Value::Int(o as i64),
                     Value::Int(custkey),
-                    Value::str(status),
+                    status,
                     Value::Date(orderdate),
                     Value::Decimal(rng.gen_range(100_000..50_000_000)),
                 ])
@@ -237,6 +241,34 @@ mod tests {
             let ck = t[1].as_i64().unwrap();
             assert!(ck >= 1 && ck <= ncust);
         }
+    }
+
+    #[test]
+    fn repeated_strings_share_one_allocation() {
+        let db = DbGen::new(0.0005, 11).generate();
+        // Every order-status string is one of three pool entries; two rows
+        // with the same status share the same Arc.
+        let orders = db.relation("orders").unwrap();
+        let mut by_status: std::collections::HashMap<&str, &certus_data::Value> =
+            std::collections::HashMap::new();
+        for t in orders.iter() {
+            let v = &t[2];
+            let s = v.as_str().unwrap();
+            match by_status.get(s) {
+                Some(first) => match (first, v) {
+                    (certus_data::Value::Str(a), certus_data::Value::Str(b)) => {
+                        assert!(std::sync::Arc::ptr_eq(a, b), "status {s} re-allocated")
+                    }
+                    _ => unreachable!(),
+                },
+                None => {
+                    by_status.insert(s, v);
+                }
+            }
+        }
+        // The pool holds every distinct string of the instance.
+        assert!(db.str_pool().lookup("AFRICA").is_some());
+        assert!(db.str_pool().len() > 5);
     }
 
     #[test]

@@ -125,6 +125,52 @@ fn compiled_runtime_agrees_with_delegating_path() {
     }
 }
 
+/// The vectorized runtime must agree with both the row-at-a-time compiled
+/// runtime (same compiled plans, different execution configuration) and the
+/// delegating oracle, on randomized null databases, under both semantics —
+/// the `parallel_floor(0)` configuration also drives the morsel-parallel
+/// vectorized paths when `CERTUS_THREADS > 1`.
+#[test]
+fn vectorized_runtime_agrees_with_row_path_and_delegating() {
+    use certus::EngineConfig;
+    let mut rng = StdRng::seed_from_u64(0x5EC7);
+    for case in 0..48 {
+        let db = random_db(&mut rng);
+        for q in engine_queries() {
+            for semantics in [NullSemantics::Sql, NullSemantics::Naive] {
+                let vec_engine = certus::engine::Engine::configured(
+                    &db,
+                    semantics,
+                    EngineConfig::from_env().with_parallel_floor(0).with_vectorized(true),
+                );
+                let row_engine = certus::engine::Engine::configured(
+                    &db,
+                    semantics,
+                    EngineConfig::serial().with_vectorized(false),
+                );
+                // Plan with the (possibly parallel) vectorized engine so the
+                // plan carries exchanges when CERTUS_THREADS > 1; the serial
+                // row engine runs the same plan with its exchanges inert.
+                let plan = vec_engine.plan(&q).unwrap();
+                let vectorized = vec_engine.execute_physical(&plan).unwrap().distinct().sorted();
+                let row = row_engine.execute_physical(&plan).unwrap().distinct().sorted();
+                let delegating =
+                    row_engine.execute_physical_delegating(&plan).unwrap().distinct().sorted();
+                assert_eq!(
+                    vectorized.tuples(),
+                    row.tuples(),
+                    "vectorized vs row path: case {case}, query {q}, semantics {semantics:?}"
+                );
+                assert_eq!(
+                    vectorized.tuples(),
+                    delegating.tuples(),
+                    "vectorized vs delegating: case {case}, query {q}, semantics {semantics:?}"
+                );
+            }
+        }
+    }
+}
+
 /// Query shapes that exercise every rewrite pass: selections above joins and
 /// products (pushdown), nested/aliased projections (collapse), constant
 /// comparisons (fold), OR'd anti-join and join conditions (or-split) and
