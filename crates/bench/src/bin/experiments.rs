@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|bench-check|all] [--quick|--smoke] [--strict]
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|profile|bench-check|all] [--quick|--smoke] [--strict]
 //! ```
 //!
 //! `--quick` (alias `--smoke`) shrinks instance counts and scale factors so
@@ -12,7 +12,11 @@
 //! `bench-check` re-reads that file and flags a vectorized-vs-compiled
 //! regression beyond the noise tolerance — warn-only by default (CI runs on
 //! a one-core container whose absolute numbers are unstable), a hard failure
-//! with `--strict` (the mode for local release runs).
+//! with `--strict` (the mode for local release runs). `profile` executes the
+//! prepared Q3+/Q4+ instrumented, prints the top-5 operators by self time
+//! and the `EXPLAIN ANALYZE` tree, amends `BENCH_engine.json` with the
+//! per-operator breakdowns, and guards the instrumentation overhead on the
+//! prepared hot path (< 5%; warn-only without `--strict`).
 
 use certus_bench::experiments::*;
 
@@ -119,6 +123,32 @@ fn main() {
         let path = std::path::Path::new("BENCH_engine.json");
         write_engine_bench_json(path, &rows).expect("write BENCH_engine.json");
         println!("wrote {}", path.display());
+        println!();
+    }
+    if what == "profile" || what == "all" {
+        // Enough reps for a stable minimum: the overhead guard compares
+        // millisecond-scale minima, where a single sample is all noise.
+        let (scale, reps) = if quick { (0.001, 3) } else { (0.003, 15) };
+        let rows = profile_queries(scale, 0.03, 907, reps);
+        print_profile(&rows);
+        let path = std::path::Path::new("BENCH_engine.json");
+        append_profile_json(path, &rows).expect("amend BENCH_engine.json");
+        println!("amended {} with per-operator profiles", path.display());
+        let worst = rows.iter().map(ProfileRow::overhead).fold(f64::NEG_INFINITY, f64::max);
+        if worst > 0.05 {
+            if strict {
+                eprintln!(
+                    "profile: instrumentation overhead {:.1}% exceeds the 5% budget",
+                    worst * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "profile: instrumentation overhead {:.1}% exceeds the 5% budget \
+                 (warn-only without --strict)",
+                worst * 100.0
+            );
+        }
         println!();
     }
 }

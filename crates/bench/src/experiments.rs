@@ -884,6 +884,181 @@ pub fn bench_check(path: &std::path::Path, tolerance: f64) -> std::io::Result<Ve
     Ok(out)
 }
 
+/// One row of the `profile` experiment: instrumented execution of a prepared
+/// translated query, with its operator profile, the estimate-vs-actual
+/// annotated plan, and the instrumentation overhead on the prepared hot path.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Query number (translated, so `Q⁺3` / `Q⁺4`).
+    pub query: usize,
+    /// Number of answer rows.
+    pub rows: usize,
+    /// Minimum latency of the uninstrumented prepared execution (seconds).
+    pub t_prepared: f64,
+    /// Minimum latency of the instrumented prepared execution (seconds).
+    pub t_profiled: f64,
+    /// Per-operator actuals from one instrumented run.
+    pub profile: certus::QueryProfile,
+    /// The `EXPLAIN ANALYZE` tree: cost-model estimates and measured
+    /// actuals side by side.
+    pub analyzed: certus::AnalyzedPlan,
+}
+
+impl ProfileRow {
+    /// Instrumentation overhead of the profiled run relative to the plain
+    /// prepared run (`0.05` = 5% slower).
+    pub fn overhead(&self) -> f64 {
+        self.t_profiled / self.t_prepared.max(1e-12) - 1.0
+    }
+
+    /// The `n` operators with the largest self time (wall time minus
+    /// children), hottest first.
+    pub fn top_operators(&self, n: usize) -> Vec<&certus::QueryProfile> {
+        let mut ops = self.profile.flatten();
+        ops.sort_by_key(|p| std::cmp::Reverse(p.self_wall_ns()));
+        ops.truncate(n);
+        ops
+    }
+}
+
+/// The `profile` experiment: prepare the certain-answer translations Q3+ and
+/// Q4+ through a [`certus::Session`], execute them instrumented
+/// ([`certus::Session::execute_prepared_profiled`]), and time the
+/// instrumented path against the plain prepared path — the per-operator
+/// atomics and timers are supposed to cost well under 5% on the vectorized
+/// hot path. The estimate-vs-actual tree comes from
+/// [`certus::Session::explain_analyze`] on the same query.
+pub fn profile_queries(
+    scale_factor: f64,
+    null_rate: f64,
+    seed: u64,
+    reps: usize,
+) -> Vec<ProfileRow> {
+    use certus::{Certainty, Session};
+    let w = Workload::new(scale_factor, null_rate, seed);
+    let db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let session = Session::builder(db).config(EngineConfig::serial()).build();
+    let mut out = Vec::new();
+    for q in [3usize, 4] {
+        let expr = query_by_number(q, &params).expect("query exists");
+        let prepared = session.prepare(&expr, Certainty::CertainPlus).expect("prepares");
+        // Instrumentation must not change answers.
+        let plain = session.execute_prepared(&prepared).expect("runs");
+        let (profiled, profiles) = session.execute_prepared_profiled(&prepared).expect("runs");
+        assert_eq!(
+            plain.relation().sorted().tuples(),
+            profiled.relation().sorted().tuples(),
+            "instrumentation changed Q{q}+ results"
+        );
+        let profile = profiles.into_iter().next().expect("one plan, one profile");
+        let t_prepared = time_min(reps, || session.execute_prepared(&prepared).expect("runs"));
+        let t_profiled =
+            time_min(reps, || session.execute_prepared_profiled(&prepared).expect("runs"));
+        let analyzed = session.explain_analyze(&expr, Certainty::CertainPlus).expect("analyzes");
+        out.push(ProfileRow {
+            query: q,
+            rows: plain.len(),
+            t_prepared,
+            t_profiled,
+            profile,
+            analyzed,
+        });
+    }
+    out
+}
+
+/// Print profile rows: overhead, the top-5 operators by self time, and the
+/// estimate-vs-actual annotated plan.
+pub fn print_profile(rows: &[ProfileRow]) {
+    use certus::obs::time::fmt_ns;
+    println!("== Query profiles: instrumented prepared execution (Q3+/Q4+) ==");
+    for r in rows {
+        println!(
+            "-- Q{}+: {} answers, prepared {:.5}s, instrumented {:.5}s (overhead {:+.1}%)",
+            r.query,
+            r.rows,
+            r.t_prepared,
+            r.t_profiled,
+            r.overhead() * 100.0
+        );
+        println!(
+            "{:>24} {:>10} {:>10} {:>12} {:>12}",
+            "operator", "rows in", "rows out", "self time", "path"
+        );
+        for p in r.top_operators(5) {
+            let path = if p.vec_runs > 0 {
+                "vec"
+            } else if p.row_fallbacks > 0 {
+                "row-fallback"
+            } else {
+                "row"
+            };
+            println!(
+                "{:>24} {:>10} {:>10} {:>12} {:>12}",
+                p.op,
+                p.rows_in,
+                p.rows_out,
+                fmt_ns(p.self_wall_ns()),
+                path
+            );
+        }
+        println!("estimate vs actual:");
+        println!("{}", r.analyzed);
+    }
+}
+
+/// Amend `BENCH_engine.json` with per-operator breakdowns from the `profile`
+/// experiment. The pipeline's query sections (and the `bench_check` scrape
+/// of them) are left untouched: the operators section is appended before the
+/// closing brace, replacing any operators section from an earlier run, and
+/// deliberately avoids the `"query":` / `"wall_s":` markers the scraper
+/// keys on. If the file does not exist yet (a standalone `profile` run), a
+/// minimal document is created.
+pub fn append_profile_json(path: &std::path::Path, rows: &[ProfileRow]) -> std::io::Result<()> {
+    let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    // Cut a previous operators section, or just the closing brace.
+    let cut = base.find(",\n  \"operators\":").or_else(|| base.rfind('}')).unwrap_or(base.len());
+    let mut s = base[..cut].trim_end().to_string();
+    if s.ends_with('}') {
+        s.pop();
+        s.truncate(s.trim_end().len());
+    }
+    if !s.ends_with('{') {
+        s.push(',');
+    }
+    s.push_str("\n  \"operators\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"q\": \"Q{}+\", \"rows\": {}, \"prepared_ns\": {}, \"instrumented_ns\": {}, \
+             \"overhead_pct\": {:.2}, \"diverged\": {}, \"ops\": [\n",
+            r.query,
+            r.rows,
+            (r.t_prepared * 1e9) as u64,
+            (r.t_profiled * 1e9) as u64,
+            r.overhead() * 100.0,
+            r.analyzed.any_divergence()
+        ));
+        let flat = r.profile.flatten();
+        for (j, p) in flat.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"op\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \"self_ns\": {}, \
+                 \"vec_runs\": {}, \"row_fallbacks\": {}}}{}\n",
+                certus::obs::json::escape(&p.op),
+                p.rows_in,
+                p.rows_out,
+                p.self_wall_ns(),
+                p.vec_runs,
+                p.row_fallbacks,
+                if j + 1 < flat.len() { "," } else { "" },
+            ));
+        }
+        s.push_str(&format!("    ]}}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1042,6 +1217,48 @@ mod tests {
             assert!((c.vectorized_wall - r.t_vectorized).abs() < 1e-5);
             assert_eq!(c.ok, c.vectorized_wall <= c.compiled_wall * 1.10);
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_reports_operators_and_keeps_bench_check_readable() {
+        let rows = profile_queries(0.0005, 0.03, 907, 1);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.profile.rows_out as usize, r.rows, "profile root mismatches answers");
+            assert!(r.profile.node_count() > 1);
+            assert!(!r.top_operators(5).is_empty());
+            assert_eq!(r.analyzed.rows_act as usize, r.rows);
+            assert!(r.t_prepared > 0.0 && r.t_profiled > 0.0);
+        }
+        print_profile(&rows);
+        // Amending BENCH_engine.json must not confuse the bench-check scrape.
+        let path = std::env::temp_dir().join("BENCH_engine_profile_test.json");
+        let pipeline_rows = vec![EnginePipelineRow {
+            query: 3,
+            plan_ops: 5,
+            rows: 10,
+            t_delegating: 0.4,
+            t_compiled: 0.02,
+            t_vectorized: 0.01,
+            t_prepared: 0.008,
+        }];
+        write_engine_bench_json(&path, &pipeline_rows).expect("writes");
+        append_profile_json(&path, &rows).expect("amends");
+        // Amending twice replaces the operators section instead of stacking.
+        append_profile_json(&path, &rows).expect("amends again");
+        let text = std::fs::read_to_string(&path).expect("reads back");
+        assert_eq!(text.matches("\"operators\":").count(), 1);
+        assert!(text.contains("\"self_ns\":"));
+        let checks = bench_check(&path, 1.10).expect("parses");
+        assert_eq!(checks.len(), 1, "operators section leaked into bench-check: {checks:?}");
+        assert!((checks[0].compiled_wall - 0.02).abs() < 1e-9);
+        // A standalone profile run (no pipeline file) creates a valid doc.
+        let _ = std::fs::remove_file(&path);
+        append_profile_json(&path, &rows).expect("creates");
+        let text = std::fs::read_to_string(&path).expect("reads back");
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert_eq!(bench_check(&path, 1.10).expect("parses").len(), 0);
         let _ = std::fs::remove_file(&path);
     }
 

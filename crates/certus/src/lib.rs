@@ -14,6 +14,9 @@
 //!   the paper's Section 7 optimizations), statistics catalog, cost model and
 //!   cost-based physical planner;
 //! * [`engine`] — hash-join based physical execution of the planner's plans;
+//! * [`obs`] — observability: the process-wide metrics registry,
+//!   per-execution [`QueryProfile`]s and the `EXPLAIN ANALYZE`
+//!   ([`Session::explain_analyze`]) estimate-vs-actual trees;
 //! * [`tpch`] — the TPC-H substrate, the paper's queries Q1–Q4 and the
 //!   false-positive detectors.
 //!
@@ -54,6 +57,7 @@ pub use certus_algebra as algebra;
 pub use certus_core as core;
 pub use certus_data as data;
 pub use certus_engine as engine;
+pub use certus_obs as obs;
 pub use certus_plan as plan;
 pub use certus_tpch as tpch;
 
@@ -61,6 +65,7 @@ pub use certus_algebra::{Condition, NullSemantics, RaExpr};
 pub use certus_core::{CertainOracle, CertainRewriter, ConditionDialect};
 pub use certus_data::{Database, Relation, Tuple, Value};
 pub use certus_engine::{Engine, EngineConfig};
+pub use certus_obs::{AnalyzedPlan, MetricsSnapshot, QueryProfile};
 pub use certus_plan::{Parallelism, PassManager, PhysicalPlanner, Planner, StatisticsCatalog};
 pub use error::{CertusError, Result};
 pub use session::{AnswerSet, Certainty, PlannerKind, PreparedQuery, Session, SessionBuilder};

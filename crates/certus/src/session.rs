@@ -29,11 +29,13 @@ use certus_algebra::{NullSemantics, RaExpr};
 use certus_core::metrics::AnswerBreakdown;
 use certus_core::{CertainRewriter, ConditionDialect};
 use certus_data::{Database, Relation};
-use certus_engine::{CompiledPlan, Engine, EngineConfig};
+use certus_engine::{AnalyzedPlan, CompiledPlan, Engine, EngineConfig, QueryProfile};
+use certus_obs::metrics::{registry, Counter, Histogram};
+use certus_obs::{names, Timer};
 use certus_plan::cache::{CacheStats, PlanCache, PlanKey};
 use certus_plan::physical::{heuristic_plan_with, ExplainPlan, PhysicalExpr, PhysicalPlanner};
 use certus_plan::StatisticsCatalog;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which answers a query should be prepared to produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -336,6 +338,26 @@ impl Session {
 
     /// Snapshot of the plan cache's counters (hits, misses, evictions,
     /// epoch invalidations, current entries).
+    ///
+    /// The same counters are mirrored process-wide into the
+    /// [`certus::obs`](certus_obs) metrics registry under the
+    /// `plan_cache.*` names, so they also appear in
+    /// [`registry().snapshot()`](certus_obs::metrics::registry) next to the
+    /// engine and interner metrics:
+    ///
+    /// ```
+    /// # use certus::{Certainty, RaExpr, Session};
+    /// # use certus::data::{builder::rel, Database, Value};
+    /// # let mut db = Database::new();
+    /// # db.insert_relation("r", rel(&["a"], vec![vec![Value::Int(1)]]));
+    /// # let session = Session::new(db);
+    /// let before = certus::obs::registry().snapshot();
+    /// session.prepare(&RaExpr::relation("r"), Certainty::Plain).unwrap();
+    /// let stats = session.cache_stats();
+    /// assert_eq!(stats.misses, 1);
+    /// let delta = certus::obs::registry().snapshot().delta_since(&before);
+    /// assert_eq!(delta.counter(certus::obs::names::PLAN_CACHE_MISSES), 1);
+    /// ```
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().expect("plan cache lock poisoned").stats()
     }
@@ -383,7 +405,38 @@ impl Session {
     /// the engine runs the stored physical plans directly. Fails with
     /// [`CertusError::StalePlan`] if the database's schema epoch moved since
     /// the query was prepared.
+    ///
+    /// Every execution bumps the `session.executions` counter and records
+    /// its wall time into the `session.execute_ns` histogram of the
+    /// process-wide [`certus::obs`](certus_obs) metrics registry.
     pub fn execute_prepared(&self, prepared: &PreparedQuery) -> Result<AnswerSet> {
+        Ok(self.run_prepared(prepared, false)?.0)
+    }
+
+    /// [`Session::execute_prepared`] with instrumentation: returns the
+    /// answers together with one [`QueryProfile`] per physical plan, in the
+    /// same order as the plans ran (plain, then certain, then possible —
+    /// only the roles the prepared [`Certainty`] asked for). Use
+    /// [`Session::explain_analyze`] instead when the estimate-vs-actual
+    /// annotated plan tree is wanted rather than the raw profiles.
+    pub fn execute_prepared_profiled(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<(AnswerSet, Vec<QueryProfile>)> {
+        self.run_prepared(prepared, true)
+    }
+
+    /// Shared body of the prepared-execution paths. When `profiled`, every
+    /// part runs through the engine's instrumented walk and its
+    /// [`QueryProfile`] is collected; otherwise the profile vector comes
+    /// back empty and execution pays no instrumentation cost.
+    fn run_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        profiled: bool,
+    ) -> Result<(AnswerSet, Vec<QueryProfile>)> {
+        static EXECUTIONS: OnceLock<Arc<Counter>> = OnceLock::new();
+        static EXECUTE_NS: OnceLock<Arc<Histogram>> = OnceLock::new();
         let current = self.db.schema_epoch();
         if prepared.epoch != current {
             return Err(CertusError::StalePlan {
@@ -391,10 +444,18 @@ impl Session {
                 current_epoch: current,
             });
         }
+        let timer = Timer::start();
         let engine = Engine::configured(&self.db, self.semantics, self.config.clone());
         let (mut plain, mut certain, mut possible) = (None, None, None);
+        let mut profiles = Vec::new();
         for (role, plan) in &prepared.plans.parts {
-            let rel = engine.execute_compiled(plan)?;
+            let rel = if profiled {
+                let (rel, profile) = engine.execute_compiled_profiled(plan)?;
+                profiles.push(profile);
+                rel
+            } else {
+                engine.execute_compiled(plan)?
+            };
             match role {
                 AnswerRole::Plain => plain = Some(rel),
                 AnswerRole::Certain => certain = Some(rel),
@@ -405,7 +466,13 @@ impl Session {
             (Some(p), Some(c)) => Some(AnswerBreakdown::new(p, c)),
             _ => None,
         };
-        Ok(AnswerSet { certainty: prepared.certainty, plain, certain, possible, breakdown })
+        EXECUTIONS.get_or_init(|| registry().counter(names::SESSION_EXECUTIONS)).incr();
+        EXECUTE_NS
+            .get_or_init(|| registry().histogram(names::SESSION_EXECUTE_NS))
+            .record(timer.elapsed_ns());
+        let answers =
+            AnswerSet { certainty: prepared.certainty, plain, certain, possible, breakdown };
+        Ok((answers, profiles))
     }
 
     /// Prepare (or fetch from the cache) and execute in one call.
@@ -436,6 +503,51 @@ impl Session {
         let planner =
             PhysicalPlanner::with_parallelism(&self.db, &stats, self.config.parallelism());
         Ok(planner.explain(&expr)?)
+    }
+
+    /// `EXPLAIN ANALYZE`: plan the translation `certainty` selects, execute
+    /// it instrumented, and return the plan tree with the planner's
+    /// *estimates* and the execution's *actuals* side by side — per-operator
+    /// output rows, wall time, and `vec` / `row-fallback` path tags. Like
+    /// [`Session::explain`] this always analyzes the cost-based plan (so the
+    /// estimates and actuals describe the same tree), executed with the
+    /// session's semantics and engine configuration. The result renders as
+    /// text via `Display` and as JSON via [`AnalyzedPlan::to_json`]; nodes
+    /// whose actual cardinality strays far from the estimate are flagged
+    /// ([`AnalyzedPlan::diverged`]).
+    ///
+    /// ```
+    /// use certus::{Certainty, RaExpr, Session};
+    /// use certus::algebra::builder::eq;
+    /// use certus::data::{builder::rel, Database, Value};
+    /// use certus::data::null::NullId;
+    ///
+    /// let mut db = Database::new();
+    /// db.insert_relation("r", rel(&["a"], vec![vec![Value::Int(1)]]));
+    /// db.insert_relation("s", rel(&["b"], vec![vec![Value::Null(NullId(1))]]));
+    /// let q = RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"));
+    ///
+    /// let session = Session::new(db);
+    /// let analyzed = session.explain_analyze(&q, Certainty::CertainPlus).unwrap();
+    /// assert_eq!(analyzed.rows_act, 0); // no answer is certain with ⊥ in s
+    /// assert!(analyzed.to_string().contains("act=")); // estimates + actuals
+    /// ```
+    pub fn explain_analyze(&self, query: &RaExpr, certainty: Certainty) -> Result<AnalyzedPlan> {
+        let expr = match certainty {
+            Certainty::Plain => query.clone(),
+            Certainty::CertainPlus | Certainty::Both => {
+                self.rewriter.rewrite_plus(query, &self.db)?
+            }
+            Certainty::PossibleStar => self.rewriter.rewrite_star(query, &self.db)?,
+        };
+        let stats = self.statistics();
+        let planner =
+            PhysicalPlanner::with_parallelism(&self.db, &stats, self.config.parallelism());
+        let (phys, explain) = planner.plan_explained(&expr)?;
+        let compiled = CompiledPlan::compile(&phys, &self.db)?;
+        let engine = Engine::configured(&self.db, self.semantics, self.config.clone());
+        let (_, profile) = engine.execute_compiled_profiled(&compiled)?;
+        Ok(certus_engine::annotate(&phys, &explain, &profile))
     }
 
     /// Translate (as required by `certainty`), physically plan and compile
@@ -569,5 +681,57 @@ mod tests {
         let plan = session.explain(&query(), Certainty::CertainPlus).unwrap();
         assert!(plan.size() >= 1);
         assert!(!plan.to_string().is_empty());
+    }
+
+    #[test]
+    fn explain_analyze_mirrors_explain_and_carries_actuals() {
+        let session = Session::new(db());
+        let analyzed = session.explain_analyze(&query(), Certainty::CertainPlus).unwrap();
+        let explain = session.explain(&query(), Certainty::CertainPlus).unwrap();
+        assert_eq!(analyzed.node_count(), explain.size(), "one annotated node per explain node");
+        let expected = session.execute(&query(), Certainty::CertainPlus).unwrap().len() as u64;
+        assert_eq!(analyzed.rows_act, expected);
+        assert!(analyzed.to_string().contains("act="));
+        assert!(analyzed.to_json().contains("\"rows_act\""));
+        // Plain evaluation returns the two false positives; the actuals see
+        // them too.
+        let plain = session.explain_analyze(&query(), Certainty::Plain).unwrap();
+        assert_eq!(plain.rows_act, 2);
+    }
+
+    #[test]
+    fn profiled_prepared_execution_returns_one_profile_per_plan() {
+        let session = Session::new(db());
+        let prepared = session.prepare(&query(), Certainty::Both).unwrap();
+        let (answers, profiles) = session.execute_prepared_profiled(&prepared).unwrap();
+        assert_eq!(profiles.len(), prepared.plan_count());
+        // Profiles come back in plan order: plain, certain, possible.
+        let expected = [
+            answers.plain.as_ref().unwrap().len(),
+            answers.certain.as_ref().unwrap().len(),
+            answers.possible.as_ref().unwrap().len(),
+        ];
+        for (profile, rows) in profiles.iter().zip(expected) {
+            assert_eq!(profile.rows_out, rows as u64);
+            assert!(profile.node_count() >= 1);
+        }
+        // The unprofiled path agrees.
+        let plain = session.execute_prepared(&prepared).unwrap();
+        assert_eq!(plain.len(), answers.len());
+    }
+
+    #[test]
+    fn executions_land_in_the_metrics_registry() {
+        use certus_obs::metrics::registry;
+        let before = registry().snapshot();
+        let session = Session::new(db());
+        session.execute(&query(), Certainty::CertainPlus).unwrap();
+        session.execute(&query(), Certainty::CertainPlus).unwrap();
+        let delta = registry().snapshot().delta_since(&before);
+        // ≥, not ==: the registry is process-wide and other tests run
+        // concurrently in this process.
+        assert!(delta.counter(names::SESSION_EXECUTIONS) >= 2);
+        let hist = delta.histogram(names::SESSION_EXECUTE_NS);
+        assert!(hist.is_some_and(|h| h.count >= 2));
     }
 }

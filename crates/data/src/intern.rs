@@ -14,8 +14,19 @@
 //! shared `&Database` during execution; bulk operations (column extraction)
 //! take the lock once per column, not once per row.
 
+use certus_obs::metrics::{registry, Gauge};
+use certus_obs::names;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The process-wide `interner.strings` gauge: updated on every pool growth
+/// (write-path only, so the read-lock fast path stays untouched). With
+/// several live pools the gauge reports the most recently grown one —
+/// sessions hold one database, so in practice that is *the* interner.
+fn interner_gauge() -> &'static Gauge {
+    static H: OnceLock<Arc<Gauge>> = OnceLock::new();
+    H.get_or_init(|| registry().gauge(names::INTERNER_STRINGS))
+}
 
 /// Dense identifier of an interned string. Ids are assigned in first-intern
 /// order and are only meaningful relative to the pool that issued them; two
@@ -72,7 +83,10 @@ impl StrPool {
         {
             return (id, arc);
         }
-        self.inner.write().expect("pool lock").intern(s)
+        let mut inner = self.inner.write().expect("pool lock");
+        let out = inner.intern(s);
+        interner_gauge().set(inner.strings.len() as u64);
+        out
     }
 
     /// Intern an existing `Arc<str>`, reusing its allocation when the string
@@ -81,7 +95,10 @@ impl StrPool {
         if let Some(&id) = self.inner.read().expect("pool lock").map.get(s.as_ref()) {
             return id;
         }
-        self.inner.write().expect("pool lock").intern_arc(s)
+        let mut inner = self.inner.write().expect("pool lock");
+        let id = inner.intern_arc(s);
+        interner_gauge().set(inner.strings.len() as u64);
+        id
     }
 
     /// The id of an already interned string, if any. Strings absent from the
@@ -117,7 +134,9 @@ impl StrPool {
             }
         }
         let mut inner = self.inner.write().expect("pool lock");
-        vals.into_iter().map(|v| v.map(|s| inner.intern_arc(s)).unwrap_or(0)).collect()
+        let ids = vals.into_iter().map(|v| v.map(|s| inner.intern_arc(s)).unwrap_or(0)).collect();
+        interner_gauge().set(inner.strings.len() as u64);
+        ids
     }
 
     /// Number of distinct strings interned so far.

@@ -6,18 +6,37 @@
 //! [`crate::Schema::position_of`]), *schema inference* (re-deriving operator
 //! output schemas per execution), and *plan materialisation* (wrapping an
 //! already materialised relation back into a logical `Values` expression so
-//! the reference evaluator can re-execute it). Each site increments a relaxed
-//! atomic counter; tests snapshot the counters around a prepared re-execution
-//! and assert the deltas are zero.
+//! the reference evaluator can re-execute it).
+//!
+//! The counters themselves now live in the process-wide
+//! [`certus_obs::metrics::MetricsRegistry`] under the `data.*` names — this
+//! module is a thin shim that keeps the original record functions and the
+//! [`ProfileSnapshot`]/[`ProfileSnapshot::delta_since`] API stable for
+//! existing tests, while anything registry-aware (benches, the session
+//! facade, future servers) reads the same counters through
+//! [`certus_obs::MetricsSnapshot`].
 //!
 //! The counters are global and monotone — meaningful as *deltas* taken while
 //! no other engine work runs in the process.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use certus_obs::metrics::{registry, Counter};
+use certus_obs::names;
+use std::sync::{Arc, OnceLock};
 
-static NAME_RESOLUTIONS: AtomicU64 = AtomicU64::new(0);
-static SCHEMA_INFERENCES: AtomicU64 = AtomicU64::new(0);
-static PLAN_MATERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
+fn name_resolutions() -> &'static Counter {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| registry().counter(names::DATA_NAME_RESOLUTIONS))
+}
+
+fn schema_inferences() -> &'static Counter {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| registry().counter(names::DATA_SCHEMA_INFERENCES))
+}
+
+fn plan_materializations() -> &'static Counter {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| registry().counter(names::DATA_PLAN_MATERIALIZATIONS))
+}
 
 /// A snapshot of all profiling counters, for delta assertions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,9 +53,9 @@ impl ProfileSnapshot {
     /// Take a snapshot of the current counter values.
     pub fn now() -> ProfileSnapshot {
         ProfileSnapshot {
-            name_resolutions: NAME_RESOLUTIONS.load(Ordering::Relaxed),
-            schema_inferences: SCHEMA_INFERENCES.load(Ordering::Relaxed),
-            plan_materializations: PLAN_MATERIALIZATIONS.load(Ordering::Relaxed),
+            name_resolutions: name_resolutions().value(),
+            schema_inferences: schema_inferences().value(),
+            plan_materializations: plan_materializations().value(),
         }
     }
 
@@ -58,26 +77,27 @@ impl ProfileSnapshot {
 /// Record one column-name resolution (called by [`crate::Schema::position_of`]).
 #[inline]
 pub fn record_name_resolution() {
-    NAME_RESOLUTIONS.fetch_add(1, Ordering::Relaxed);
+    name_resolutions().incr();
 }
 
 /// Record one operator output-schema inference (called by the algebra crate's
 /// `output_schema`).
 #[inline]
 pub fn record_schema_inference() {
-    SCHEMA_INFERENCES.fetch_add(1, Ordering::Relaxed);
+    schema_inferences().incr();
 }
 
 /// Record one materialised-relation → logical-expression wrap (called by the
 /// engine's delegating execution path).
 #[inline]
 pub fn record_plan_materialization() {
-    PLAN_MATERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+    plan_materializations().incr();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use certus_obs::MetricsSnapshot;
 
     #[test]
     fn deltas_track_recorded_events() {
@@ -92,5 +112,17 @@ mod tests {
         assert!(delta.schema_inferences >= 1);
         assert!(delta.plan_materializations >= 1);
         assert!(!delta.is_zero());
+    }
+
+    #[test]
+    fn shim_and_registry_read_the_same_counters() {
+        let before = MetricsSnapshot::now();
+        record_name_resolution();
+        let delta = MetricsSnapshot::now().delta_since(&before);
+        assert!(delta.counter(names::DATA_NAME_RESOLUTIONS) >= 1);
+        assert_eq!(
+            ProfileSnapshot::now().name_resolutions,
+            MetricsSnapshot::now().counter(names::DATA_NAME_RESOLUTIONS)
+        );
     }
 }

@@ -39,8 +39,11 @@ use certus_algebra::{AlgebraError, NullSemantics, Result};
 use certus_data::compare::{naive_cmp, sql_cmp, CmpOp};
 use certus_data::like::{naive_like, sql_like};
 use certus_data::{Attribute, Database, Relation, Schema, Truth, Tuple, Value, ValueType};
+use certus_obs::metrics::{registry, Counter};
+use certus_obs::names;
+use certus_obs::ProfNode;
 use certus_plan::physical::{JoinAlgo, Partitioning, PhysicalExpr, SemiAlgo};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A row view over one tuple or a (left, right) pair of tuples. Join
 /// predicates evaluate over the pair directly, so tuples are concatenated
@@ -510,6 +513,8 @@ impl CompiledPlan {
     /// and every column-name resolution happen here, once; executing the
     /// result performs neither.
     pub fn compile(plan: &PhysicalExpr, db: &Database) -> Result<CompiledPlan> {
+        static COMPILES: OnceLock<Arc<Counter>> = OnceLock::new();
+        COMPILES.get_or_init(|| registry().counter(names::ENGINE_COMPILES)).incr();
         let mut scalars = Vec::new();
         let root = compile_expr(plan, db, &mut scalars)?;
         Ok(CompiledPlan { root, scalars })
@@ -1010,6 +1015,62 @@ pub(crate) fn apply_steps_owned(
                 if !pred.eval(RowView::one(&current), scalars, semantics).is_true() {
                     return None;
                 }
+            }
+            Step::Project(pos) => {
+                current = current.project(pos);
+            }
+        }
+    }
+    Some(current)
+}
+
+/// [`apply_steps_borrowed`] with instrumentation: every filter step a row
+/// survives bumps that step's survivor counter in `prof` — yielding, per
+/// filter, "rows passing filters `0..=k`", the same quantity the vectorized
+/// path reads off its running selection mask.
+pub(crate) fn apply_steps_borrowed_counted(
+    t: &Tuple,
+    steps: &[Step],
+    scalars: &ScalarValues,
+    semantics: NullSemantics,
+    prof: &ProfNode,
+) -> Option<Tuple> {
+    let mut owned: Option<Tuple> = None;
+    for (k, step) in steps.iter().enumerate() {
+        match step {
+            Step::Filter(pred) => {
+                let current = owned.as_ref().unwrap_or(t);
+                if !pred.eval(RowView::one(current), scalars, semantics).is_true() {
+                    return None;
+                }
+                prof.add_step_rows(k, 1);
+            }
+            Step::Project(pos) => {
+                let current = owned.as_ref().unwrap_or(t);
+                owned = Some(current.project(pos));
+            }
+        }
+    }
+    Some(owned.unwrap_or_else(|| t.clone()))
+}
+
+/// [`apply_steps_owned`] with the same per-filter survivor counting as
+/// [`apply_steps_borrowed_counted`].
+pub(crate) fn apply_steps_owned_counted(
+    t: Tuple,
+    steps: &[Step],
+    scalars: &ScalarValues,
+    semantics: NullSemantics,
+    prof: &ProfNode,
+) -> Option<Tuple> {
+    let mut current = t;
+    for (k, step) in steps.iter().enumerate() {
+        match step {
+            Step::Filter(pred) => {
+                if !pred.eval(RowView::one(&current), scalars, semantics).is_true() {
+                    return None;
+                }
+                prof.add_step_rows(k, 1);
             }
             Step::Project(pos) => {
                 current = current.project(pos);

@@ -62,9 +62,11 @@
 //! deterministic: partition routing uses a fixed hash and results are
 //! concatenated in partition order.
 
+use crate::analyze::skeleton;
 use crate::compile::{
-    apply_steps_borrowed, apply_steps_owned, CompiledExpr, CompiledPlan, CompiledPredicate,
-    RowView, ScalarValues, Step, VecPlan,
+    apply_steps_borrowed, apply_steps_borrowed_counted, apply_steps_owned,
+    apply_steps_owned_counted, CompiledExpr, CompiledPlan, CompiledPredicate, RowView,
+    ScalarValues, Step, VecPlan,
 };
 use crate::vector::{self, KeySet};
 use certus_algebra::condition::Condition;
@@ -72,10 +74,13 @@ use certus_algebra::eval::Evaluator;
 use certus_algebra::expr::RaExpr;
 use certus_algebra::{AlgebraError, NullSemantics, Result};
 use certus_data::{Database, Relation, Schema, Tuple, Value};
+use certus_obs::metrics::{registry, Counter};
+use certus_obs::names;
+use certus_obs::{ProfNode, QueryProfile, Timer};
 use certus_plan::physical::{heuristic_plan_with, JoinAlgo, Parallelism, PhysicalExpr, SemiAlgo};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Runtime configuration of the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -251,7 +256,29 @@ impl<'a> Engine<'a> {
     pub fn execute_compiled(&self, plan: &CompiledPlan) -> Result<Relation> {
         let scalars =
             ScalarCtx { exprs: &plan.scalars, values: ScalarValues::new(plan.scalars.len()) };
-        self.exec(&plan.root, &scalars)
+        self.exec(&plan.root, &scalars, None)
+    }
+
+    /// Execute an already compiled plan under instrumentation: alongside the
+    /// result, return a [`QueryProfile`] mirroring the compiled operator
+    /// tree, with per-operator actuals — output rows, wall time, batch and
+    /// morsel counts, vectorized-vs-row-fallback decisions, hash build sizes
+    /// and probe hit rates, and per-filter survivor counts inside fused
+    /// pipelines. The un-instrumented [`Engine::execute_compiled`] path is
+    /// untouched: profiling work only happens on this call.
+    ///
+    /// Wall times are monotonic and inclusive (a node's time contains its
+    /// children's; [`QueryProfile::self_wall_ns`] subtracts them), and are
+    /// all zero when the `timing` feature of `certus-obs` is disabled.
+    pub fn execute_compiled_profiled(
+        &self,
+        plan: &CompiledPlan,
+    ) -> Result<(Relation, QueryProfile)> {
+        let prof = skeleton(&plan.root);
+        let scalars =
+            ScalarCtx { exprs: &plan.scalars, values: ScalarValues::new(plan.scalars.len()) };
+        let rel = self.exec(&plan.root, &scalars, Some(&prof))?;
+        Ok((rel, prof.finish()))
     }
 
     /// Execute a physical plan through the **pre-compilation delegating
@@ -277,6 +304,8 @@ impl<'a> Engine<'a> {
             if scalars.values.is_set(i) {
                 continue;
             }
+            static SUBQ: OnceLock<Arc<Counter>> = OnceLock::new();
+            SUBQ.get_or_init(|| registry().counter(names::ENGINE_SUBQUERY_EVALS)).incr();
             let rel = Evaluator::new(self.db, self.semantics).eval(&scalars.exprs[i])?;
             if rel.arity() != 1 {
                 return Err(AlgebraError::ScalarSubquery(format!(
@@ -318,18 +347,53 @@ impl<'a> Engine<'a> {
         &'e self,
         node: &CompiledExpr,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<std::borrow::Cow<'e, Relation>> {
         use std::borrow::Cow;
         if let CompiledExpr::Scan { name, schema } = node {
             let rel = self.db.relation(name).map_err(AlgebraError::Data)?;
             if Arc::ptr_eq(rel.schema(), schema) || rel.schema() == schema {
+                if let Some(p) = prof {
+                    // Borrowing the base table is free; the scan still counts
+                    // as one invocation producing the table's rows.
+                    p.stats.record_invocation(rel.len() as u64, 0);
+                }
                 return Ok(Cow::Borrowed(rel));
             }
         }
-        self.exec(node, scalars).map(Cow::Owned)
+        self.exec(node, scalars, prof).map(Cow::Owned)
     }
 
-    fn exec(&self, node: &CompiledExpr, scalars: &ScalarCtx<'_>) -> Result<Relation> {
+    /// Execute one node, recording its invocation (output rows + inclusive
+    /// wall time) into `prof` when instrumented. All recursion goes through
+    /// here, so every profile node gets its actuals exactly once per
+    /// execution.
+    fn exec(
+        &self,
+        node: &CompiledExpr,
+        scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
+    ) -> Result<Relation> {
+        match prof {
+            None => self.exec_node(node, scalars, None),
+            Some(p) => {
+                let timer = Timer::start();
+                let rel = self.exec_node(node, scalars, prof)?;
+                p.stats.record_invocation(rel.len() as u64, timer.elapsed_ns());
+                Ok(rel)
+            }
+        }
+    }
+
+    fn exec_node(
+        &self,
+        node: &CompiledExpr,
+        scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
+    ) -> Result<Relation> {
+        // The profile node for the i-th child (indices follow the skeleton:
+        // binary operators are [left, right], unions are arms in order).
+        let pc = |i: usize| prof.and_then(|p| p.child(i));
         match node {
             CompiledExpr::Scan { name, schema } => {
                 let rel = self.db.relation(name).map_err(AlgebraError::Data)?;
@@ -338,7 +402,7 @@ impl<'a> Engine<'a> {
             CompiledExpr::Values { rel } => Ok(rel.clone()),
             CompiledExpr::Opaque { expr, .. } => Evaluator::new(self.db, self.semantics).eval(expr),
             CompiledExpr::Fused { source, steps, schema, dedup, partitions, vec_plan } => {
-                self.exec_fused(source, steps, schema, *dedup, *partitions, vec_plan, scalars)
+                self.exec_fused(source, steps, schema, *dedup, *partitions, vec_plan, scalars, prof)
             }
             CompiledExpr::HashJoin {
                 left,
@@ -349,8 +413,8 @@ impl<'a> Engine<'a> {
                 schema,
                 partitions,
             } => {
-                let l = self.exec_rel(left, scalars)?;
-                let r = self.exec_rel(right, scalars)?;
+                let l = self.exec_rel(left, scalars, pc(0))?;
+                let r = self.exec_rel(right, scalars, pc(1))?;
                 self.hash_join(
                     &l,
                     &r,
@@ -360,12 +424,13 @@ impl<'a> Engine<'a> {
                     schema,
                     *partitions,
                     scalars,
+                    prof,
                 )
             }
             CompiledExpr::NlJoin { left, right, pred, schema, partitions } => {
-                let l = self.exec_rel(left, scalars)?;
-                let r = self.exec_rel(right, scalars)?;
-                self.nl_join(&l, &r, pred, schema, *partitions, scalars)
+                let l = self.exec_rel(left, scalars, pc(0))?;
+                let r = self.exec_rel(right, scalars, pc(1))?;
+                self.nl_join(&l, &r, pred, schema, *partitions, scalars, prof)
             }
             CompiledExpr::HashSemi {
                 left,
@@ -376,8 +441,8 @@ impl<'a> Engine<'a> {
                 keep_matching,
                 partitions,
             } => {
-                let l = self.exec_rel(left, scalars)?;
-                let r = self.exec_rel(right, scalars)?;
+                let l = self.exec_rel(left, scalars, pc(0))?;
+                let r = self.exec_rel(right, scalars, pc(1))?;
                 self.hash_semi(
                     l,
                     &r,
@@ -387,17 +452,21 @@ impl<'a> Engine<'a> {
                     *keep_matching,
                     *partitions,
                     scalars,
+                    prof,
                 )
             }
             CompiledExpr::NlSemi { left, right, pred, keep_matching, partitions } => {
-                let l = self.exec_rel(left, scalars)?;
-                let r = self.exec_rel(right, scalars)?;
-                self.nl_semi(l, &r, pred, *keep_matching, *partitions, scalars)
+                let l = self.exec_rel(left, scalars, pc(0))?;
+                let r = self.exec_rel(right, scalars, pc(1))?;
+                self.nl_semi(l, &r, pred, *keep_matching, *partitions, scalars, prof)
             }
             CompiledExpr::DecorrelatedSemi { left, right, pred, keep_matching, left_schema } => {
                 // The predicate never looks at the outer side, so the inner
                 // side decides the fate of *all* outer tuples at once.
-                let r = self.exec(right, scalars)?;
+                let r = self.exec(right, scalars, pc(1))?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in(r.len() as u64);
+                }
                 if !r.is_empty() {
                     self.ensure_scalars(scalars, pred.scalar_refs())?;
                 }
@@ -405,7 +474,7 @@ impl<'a> Engine<'a> {
                     pred.eval(RowView::one(rt), &scalars.values, self.semantics).is_true()
                 });
                 if exists == *keep_matching {
-                    self.exec(left, scalars)
+                    self.exec(left, scalars, pc(0))
                 } else {
                     // Short-circuit: for a NOT EXISTS that found a witness
                     // the answer is empty and the outer side never runs.
@@ -413,21 +482,30 @@ impl<'a> Engine<'a> {
                 }
             }
             CompiledExpr::Union { arms, schema, parallel } => {
-                self.exec_union(arms, schema, *parallel, scalars)
+                self.exec_union(arms, schema, *parallel, scalars, prof)
             }
             CompiledExpr::Intersect { left, right } => {
-                let l = self.exec(left, scalars)?;
-                let r = self.exec(right, scalars)?;
+                let l = self.exec(left, scalars, pc(0))?;
+                let r = self.exec(right, scalars, pc(1))?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in((l.len() + r.len()) as u64);
+                }
                 Ok(set_filter(l, &r, true))
             }
             CompiledExpr::Difference { left, right } => {
-                let l = self.exec(left, scalars)?;
-                let r = self.exec(right, scalars)?;
+                let l = self.exec(left, scalars, pc(0))?;
+                let r = self.exec(right, scalars, pc(1))?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in((l.len() + r.len()) as u64);
+                }
                 Ok(set_filter(l, &r, false))
             }
             CompiledExpr::UnifySemi { left, right, keep_matching } => {
-                let l = self.exec(left, scalars)?;
-                let r = self.exec(right, scalars)?;
+                let l = self.exec(left, scalars, pc(0))?;
+                let r = self.exec(right, scalars, pc(1))?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in((l.len() + r.len()) as u64);
+                }
                 let keep: Vec<bool> = l
                     .iter()
                     .map(|lt| {
@@ -438,8 +516,11 @@ impl<'a> Engine<'a> {
                 Ok(retain_by_flags(l, keep))
             }
             CompiledExpr::Division { left, right, key_positions, shared_positions, schema } => {
-                let l = self.exec(left, scalars)?;
-                let r = self.exec(right, scalars)?;
+                let l = self.exec(left, scalars, pc(0))?;
+                let r = self.exec(right, scalars, pc(1))?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in((l.len() + r.len()) as u64);
+                }
                 let mut all: HashSet<&Tuple> = HashSet::with_capacity(l.len());
                 all.extend(l.iter());
                 let mut seen_keys = HashSet::with_capacity(l.len());
@@ -465,12 +546,24 @@ impl<'a> Engine<'a> {
                 Ok(Relation::from_parts(schema.clone(), tuples))
             }
             CompiledExpr::Rename { input, schema } => {
-                let rel = self.exec(input, scalars)?;
+                let rel = self.exec(input, scalars, pc(0))?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in(rel.len() as u64);
+                }
                 Ok(Relation::from_parts(schema.clone(), rel.into_tuples()))
             }
-            CompiledExpr::Distinct { input } => Ok(self.exec(input, scalars)?.into_distinct()),
+            CompiledExpr::Distinct { input } => {
+                let rel = self.exec(input, scalars, pc(0))?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in(rel.len() as u64);
+                }
+                Ok(rel.into_distinct())
+            }
             CompiledExpr::Aggregate { input, group_pos, aggs, schema } => {
-                let rel = self.exec(input, scalars)?;
+                let rel = self.exec(input, scalars, pc(0))?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in(rel.len() as u64);
+                }
                 let mut groups: HashMap<Tuple, Vec<&Tuple>> = HashMap::with_capacity(rel.len());
                 let mut order: Vec<Tuple> = Vec::new();
                 for t in rel.iter() {
@@ -516,41 +609,88 @@ impl<'a> Engine<'a> {
         partitions: usize,
         vec_plan: &Option<VecPlan>,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Relation> {
         let vec_plan = if self.config.vectorized { vec_plan.as_ref() } else { None };
+        // Per-step survivor counts only make sense for filter steps; the
+        // vectorized path needs the mapping from its i-th filter (vec plans
+        // drop projections) back to the step index.
+        let vprof = prof.map(|p| {
+            let map: Vec<usize> = steps
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Step::Filter(_)))
+                .map(|(i, _)| i)
+                .collect();
+            (p, map)
+        });
+        let vprof = vprof.as_ref().map(|(p, m)| (*p, m.as_slice()));
         let mut out = match source {
             CompiledExpr::Scan { name, .. } => {
                 let rel = self.db.relation(name).map_err(AlgebraError::Data)?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in(rel.len() as u64);
+                    // The pipeline streams the base table without executing
+                    // the scan node; credit it its rows anyway.
+                    if let Some(c) = p.child(0) {
+                        c.stats.record_invocation(rel.len() as u64, 0);
+                    }
+                }
                 if !rel.is_empty() {
                     self.ensure_step_scalars(steps, scalars)?;
                 }
                 let tuples = match vec_plan {
-                    Some(vp) => self.run_steps_vectorized(rel.tuples(), vp, partitions, scalars)?,
-                    None => self.run_steps_borrowed(rel.tuples(), steps, partitions, scalars)?,
+                    Some(vp) => {
+                        self.run_steps_vectorized(rel.tuples(), vp, partitions, scalars, vprof)?
+                    }
+                    None => {
+                        self.run_steps_borrowed(rel.tuples(), steps, partitions, scalars, prof)?
+                    }
                 };
                 Relation::from_parts(schema.clone(), tuples)
             }
             other => {
-                let input = self.exec(other, scalars)?;
+                let input = self.exec(other, scalars, prof.and_then(|p| p.child(0)))?;
+                if let Some(p) = prof {
+                    p.stats.record_rows_in(input.len() as u64);
+                }
                 if !input.is_empty() {
                     self.ensure_step_scalars(steps, scalars)?;
                 }
                 let tuples = if let Some(vp) = vec_plan {
                     let input_tuples = input.into_tuples();
-                    self.run_steps_vectorized(&input_tuples, vp, partitions, scalars)?
+                    self.run_steps_vectorized(&input_tuples, vp, partitions, scalars, vprof)?
                 } else {
                     let n = self.step_workers(partitions, input.len());
                     if n > 1 {
                         let input_tuples = input.into_tuples();
-                        self.run_steps_parallel(&input_tuples, steps, n, scalars)?
+                        self.run_steps_parallel(&input_tuples, steps, n, scalars, prof)?
                     } else {
-                        input
-                            .into_tuples()
-                            .into_iter()
-                            .filter_map(|t| {
-                                apply_steps_owned(t, steps, &scalars.values, self.semantics)
-                            })
-                            .collect()
+                        if let Some(p) = prof {
+                            p.stats.record_batches(1);
+                        }
+                        match prof {
+                            Some(p) => input
+                                .into_tuples()
+                                .into_iter()
+                                .filter_map(|t| {
+                                    apply_steps_owned_counted(
+                                        t,
+                                        steps,
+                                        &scalars.values,
+                                        self.semantics,
+                                        p,
+                                    )
+                                })
+                                .collect(),
+                            None => input
+                                .into_tuples()
+                                .into_iter()
+                                .filter_map(|t| {
+                                    apply_steps_owned(t, steps, &scalars.values, self.semantics)
+                                })
+                                .collect(),
+                        }
                     }
                 };
                 Relation::from_parts(schema.clone(), tuples)
@@ -568,15 +708,27 @@ impl<'a> Engine<'a> {
         steps: &[Step],
         partitions: usize,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Vec<Tuple>> {
         let n = self.step_workers(partitions, input.len());
         if n > 1 {
-            self.run_steps_parallel(input, steps, n, scalars)
+            self.run_steps_parallel(input, steps, n, scalars, prof)
         } else {
-            Ok(input
-                .iter()
-                .filter_map(|t| apply_steps_borrowed(t, steps, &scalars.values, self.semantics))
-                .collect())
+            if let Some(p) = prof {
+                p.stats.record_batches(1);
+            }
+            Ok(match prof {
+                Some(p) => input
+                    .iter()
+                    .filter_map(|t| {
+                        apply_steps_borrowed_counted(t, steps, &scalars.values, self.semantics, p)
+                    })
+                    .collect(),
+                None => input
+                    .iter()
+                    .filter_map(|t| apply_steps_borrowed(t, steps, &scalars.values, self.semantics))
+                    .collect(),
+            })
         }
     }
 
@@ -589,16 +741,27 @@ impl<'a> Engine<'a> {
         plan: &VecPlan,
         partitions: usize,
         scalars: &ScalarCtx<'_>,
+        prof: Option<(&ProfNode, &[usize])>,
     ) -> Result<Vec<Tuple>> {
         let pool = self.db.str_pool();
         let n = self.step_workers(partitions, input.len());
+        if let Some((p, _)) = prof {
+            p.stats.record_vec_run();
+        }
         if n > 1 {
             let morsels: Vec<&[Tuple]> = chunks_of(input, n);
+            if let Some((p, _)) = prof {
+                p.stats.record_batches(morsels.len() as u64);
+                p.stats.record_parallel(morsels.len() as u64, n as u64);
+            }
             self.parallel_tuples(&morsels, |chunk| {
-                Ok(vector::filter_gather(chunk, plan, &scalars.values, self.semantics, pool))
+                Ok(vector::filter_gather(chunk, plan, &scalars.values, self.semantics, pool, prof))
             })
         } else {
-            Ok(vector::filter_gather(input, plan, &scalars.values, self.semantics, pool))
+            if let Some((p, _)) = prof {
+                p.stats.record_batches(1);
+            }
+            Ok(vector::filter_gather(input, plan, &scalars.values, self.semantics, pool, prof))
         }
     }
 
@@ -610,13 +773,26 @@ impl<'a> Engine<'a> {
         steps: &[Step],
         workers: usize,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Vec<Tuple>> {
         let morsels: Vec<&[Tuple]> = chunks_of(input, workers);
+        if let Some(p) = prof {
+            p.stats.record_batches(morsels.len() as u64);
+            p.stats.record_parallel(morsels.len() as u64, workers as u64);
+        }
         self.parallel_tuples(&morsels, |chunk| {
-            Ok(chunk
-                .iter()
-                .filter_map(|t| apply_steps_borrowed(t, steps, &scalars.values, self.semantics))
-                .collect())
+            Ok(match prof {
+                Some(p) => chunk
+                    .iter()
+                    .filter_map(|t| {
+                        apply_steps_borrowed_counted(t, steps, &scalars.values, self.semantics, p)
+                    })
+                    .collect(),
+                None => chunk
+                    .iter()
+                    .filter_map(|t| apply_steps_borrowed(t, steps, &scalars.values, self.semantics))
+                    .collect(),
+            })
         })
     }
 
@@ -641,6 +817,7 @@ impl<'a> Engine<'a> {
         schema: &Arc<Schema>,
         partitions: usize,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Relation> {
         let allow_nulls = self.semantics == NullSemantics::Naive;
         if !l.is_empty() && !r.is_empty() {
@@ -651,11 +828,20 @@ impl<'a> Engine<'a> {
         } else {
             1
         };
+        if let Some(p) = prof {
+            p.stats.record_rows_in((l.len() + r.len()) as u64);
+            if n > 1 {
+                p.stats.record_parallel(n as u64, n as u64);
+            }
+        }
         if self.config.vectorized {
             if let Some(out) =
-                self.hash_join_vec(l, r, l_pos, r_pos, residual, schema, n, scalars)?
+                self.hash_join_vec(l, r, l_pos, r_pos, residual, schema, n, scalars, prof)?
             {
                 return Ok(out);
+            }
+            if let Some(p) = prof {
+                p.stats.record_row_fallback();
             }
         }
         if n > 1 {
@@ -664,11 +850,15 @@ impl<'a> Engine<'a> {
             // own worker; outputs concatenate in partition order.
             let build = route(r, r_pos, allow_nulls, n).0;
             let probe = route(l, l_pos, allow_nulls, n).0;
+            if let Some(p) = prof {
+                p.stats.record_build_rows(build.iter().map(|part| part.len() as u64).sum());
+            }
             let parts: Vec<_> = build.into_iter().zip(probe).collect();
             let out = self.parallel_tuples(&parts, |(b, p)| {
                 let table = table_of(b);
                 let mut out = Vec::new();
                 for (key, lt) in p {
+                    let before = out.len();
                     if let Some(candidates) = table.get(key.as_slice()) {
                         for &rt in candidates {
                             if residual
@@ -679,27 +869,38 @@ impl<'a> Engine<'a> {
                             }
                         }
                     }
+                    if let Some(pr) = prof {
+                        let hit = out.len() > before;
+                        pr.stats.record_probes(hit as u64, (!hit) as u64);
+                    }
                 }
                 Ok(out)
             })?;
             return Ok(Relation::from_parts(schema.clone(), out));
         }
         let table = build_hash(r, r_pos, allow_nulls);
+        if let Some(p) = prof {
+            p.stats.record_build_rows(table.values().map(|v| v.len() as u64).sum());
+        }
         let mut out = Vec::new();
         let mut key: Vec<Value> = Vec::with_capacity(l_pos.len());
         for lt in l.iter() {
-            if !fill_key(lt, l_pos, allow_nulls, &mut key) {
-                continue;
-            }
-            if let Some(candidates) = table.get(key.as_slice()) {
-                for &rt in candidates {
-                    if residual
-                        .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
-                        .is_true()
-                    {
-                        out.push(lt.concat(rt));
+            let before = out.len();
+            if fill_key(lt, l_pos, allow_nulls, &mut key) {
+                if let Some(candidates) = table.get(key.as_slice()) {
+                    for &rt in candidates {
+                        if residual
+                            .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                            .is_true()
+                        {
+                            out.push(lt.concat(rt));
+                        }
                     }
                 }
+            }
+            if let Some(p) = prof {
+                let hit = out.len() > before;
+                p.stats.record_probes(hit as u64, (!hit) as u64);
             }
         }
         Ok(Relation::from_parts(schema.clone(), out))
@@ -721,6 +922,7 @@ impl<'a> Engine<'a> {
         schema: &Arc<Schema>,
         workers: usize,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Option<Relation>> {
         let allow_nulls = self.semantics == NullSemantics::Naive;
         let pool = self.db.str_pool();
@@ -737,25 +939,37 @@ impl<'a> Engine<'a> {
             return if allow_nulls {
                 Ok(None)
             } else {
+                if let Some(p) = prof {
+                    p.stats.record_vec_run();
+                }
                 Ok(Some(Relation::from_parts(schema.clone(), Vec::new())))
             };
         }
+        if let Some(p) = prof {
+            p.stats.record_vec_run();
+            p.stats.record_build_rows(build.valid.iter().filter(|v| **v).count() as u64);
+        }
         let table = build.table();
         let probe_one = |i: usize, out: &mut Vec<Tuple>| {
-            if !probe.valid[i] {
-                return;
-            }
-            let Some(candidates) = table.get(&probe.hashes[i]) else { return };
-            let lt = &l.tuples()[i];
-            for &j in candidates {
-                let rt = &r.tuples()[j as usize];
-                if probe.keys_eq(i, &build, j as usize)
-                    && residual
-                        .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
-                        .is_true()
-                {
-                    out.push(lt.concat(rt));
+            let before = out.len();
+            if probe.valid[i] {
+                if let Some(candidates) = table.get(&probe.hashes[i]) {
+                    let lt = &l.tuples()[i];
+                    for &j in candidates {
+                        let rt = &r.tuples()[j as usize];
+                        if probe.keys_eq(i, &build, j as usize)
+                            && residual
+                                .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                                .is_true()
+                        {
+                            out.push(lt.concat(rt));
+                        }
+                    }
                 }
+            }
+            if let Some(p) = prof {
+                let hit = out.len() > before;
+                p.stats.record_probes(hit as u64, (!hit) as u64);
             }
         };
         let tuples = if workers > 1 {
@@ -791,6 +1005,7 @@ impl<'a> Engine<'a> {
         keep_matching: bool,
         partitions: usize,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Relation> {
         let allow_nulls = self.semantics == NullSemantics::Naive;
         if !l.is_empty() && !r.is_empty() {
@@ -801,11 +1016,20 @@ impl<'a> Engine<'a> {
         } else {
             1
         };
+        if let Some(p) = prof {
+            p.stats.record_rows_in((l.len() + r.len()) as u64);
+            if n > 1 {
+                p.stats.record_parallel(n as u64, n as u64);
+            }
+        }
         if self.config.vectorized {
             if let Some(keep) =
-                self.hash_semi_vec(&l, r, l_pos, r_pos, residual, keep_matching, n, scalars)?
+                self.hash_semi_vec(&l, r, l_pos, r_pos, residual, keep_matching, n, scalars, prof)?
             {
                 return Ok(semi_result(l, keep));
+            }
+            if let Some(p) = prof {
+                p.stats.record_row_fallback();
             }
         }
         if n > 1 {
@@ -814,6 +1038,9 @@ impl<'a> Engine<'a> {
             // partitions and are appended after them, preserving determinism.
             let build = route(r, r_pos, allow_nulls, n).0;
             let (probe, null_keyed) = route(&l, l_pos, allow_nulls, n);
+            if let Some(p) = prof {
+                p.stats.record_build_rows(build.iter().map(|part| part.len() as u64).sum());
+            }
             let parts: Vec<_> = build.into_iter().zip(probe).collect();
             let mut out = self.parallel_tuples(&parts, |(b, p)| {
                 let table = table_of(b);
@@ -827,6 +1054,9 @@ impl<'a> Engine<'a> {
                                 .is_true()
                         }),
                     };
+                    if let Some(pr) = prof {
+                        pr.stats.record_probes(matched as u64, (!matched) as u64);
+                    }
                     if matched == keep_matching {
                         out.push((*lt).clone());
                     }
@@ -840,6 +1070,9 @@ impl<'a> Engine<'a> {
             return Ok(Relation::from_parts(l.schema().clone(), out));
         }
         let table = build_hash(r, r_pos, allow_nulls);
+        if let Some(p) = prof {
+            p.stats.record_build_rows(table.values().map(|v| v.len() as u64).sum());
+        }
         let mut key: Vec<Value> = Vec::with_capacity(l_pos.len());
         let keep: Vec<bool> = l
             .iter()
@@ -856,6 +1089,9 @@ impl<'a> Engine<'a> {
                         }),
                     }
                 };
+                if let Some(p) = prof {
+                    p.stats.record_probes(matched as u64, (!matched) as u64);
+                }
                 matched == keep_matching
             })
             .collect();
@@ -877,6 +1113,7 @@ impl<'a> Engine<'a> {
         keep_matching: bool,
         workers: usize,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Option<Vec<bool>>> {
         let allow_nulls = self.semantics == NullSemantics::Naive;
         let pool = self.db.str_pool();
@@ -892,8 +1129,15 @@ impl<'a> Engine<'a> {
             } else {
                 // No key can ever match: an antijoin keeps everything, a
                 // semijoin nothing.
+                if let Some(p) = prof {
+                    p.stats.record_vec_run();
+                }
                 Ok(Some(vec![!keep_matching; l.len()]))
             };
+        }
+        if let Some(p) = prof {
+            p.stats.record_vec_run();
+            p.stats.record_build_rows(build.valid.iter().filter(|v| **v).count() as u64);
         }
         let table = build.table();
         let decide = |i: usize| -> bool {
@@ -911,6 +1155,9 @@ impl<'a> Engine<'a> {
                                 .is_true()
                     })
                 });
+            if let Some(p) = prof {
+                p.stats.record_probes(matched as u64, (!matched) as u64);
+            }
             matched == keep_matching
         };
         let keep = if workers > 1 {
@@ -922,6 +1169,7 @@ impl<'a> Engine<'a> {
         Ok(Some(keep))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn nl_join(
         &self,
         l: &Relation,
@@ -930,6 +1178,7 @@ impl<'a> Engine<'a> {
         schema: &Arc<Schema>,
         partitions: usize,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Relation> {
         if !l.is_empty() && !r.is_empty() {
             self.ensure_scalars(scalars, pred.scalar_refs())?;
@@ -939,11 +1188,20 @@ impl<'a> Engine<'a> {
         } else {
             1
         };
+        if let Some(p) = prof {
+            p.stats.record_rows_in((l.len() + r.len()) as u64);
+            if n > 1 {
+                p.stats.record_parallel(n as u64, n as u64);
+            }
+        }
         // Both sides must be non-empty: an empty outer side produces no
         // pairs anyway, and `BoundPred::prepare` eagerly evaluates the
         // outer-independent subtrees — whose scalar subqueries are only
         // ensured above when both inputs are non-empty.
         if self.config.vectorized && !l.is_empty() && !r.is_empty() {
+            if let Some(p) = prof {
+                p.stats.record_vec_run();
+            }
             // Vectorized nested loops: extract the inner columns the
             // predicate reads once, hoist its outer-independent subtrees
             // into cached masks, then evaluate the remaining atoms for each
@@ -1010,6 +1268,7 @@ impl<'a> Engine<'a> {
         Ok(Relation::from_parts(schema.clone(), out))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn nl_semi(
         &self,
         l: std::borrow::Cow<'_, Relation>,
@@ -1018,6 +1277,7 @@ impl<'a> Engine<'a> {
         keep_matching: bool,
         partitions: usize,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Relation> {
         if !l.is_empty() && !r.is_empty() {
             self.ensure_scalars(scalars, pred.scalar_refs())?;
@@ -1027,9 +1287,18 @@ impl<'a> Engine<'a> {
         } else {
             1
         };
+        if let Some(p) = prof {
+            p.stats.record_rows_in((l.len() + r.len()) as u64);
+            if n > 1 {
+                p.stats.record_parallel(n as u64, n as u64);
+            }
+        }
         // Non-empty on both sides, as in the nested-loop join above — the
         // prepare step may only read scalar subqueries that were ensured.
         if self.config.vectorized && !l.is_empty() && !r.is_empty() {
+            if let Some(p) = prof {
+                p.stats.record_vec_run();
+            }
             // Vectorized nested-loop (anti-)semijoin: one mask evaluation
             // over the inner columns per outer row; survivors retained by
             // move in input order.
@@ -1090,6 +1359,7 @@ impl<'a> Engine<'a> {
         schema: &Arc<Schema>,
         parallel: bool,
         scalars: &ScalarCtx<'_>,
+        prof: Option<&ProfNode>,
     ) -> Result<Relation> {
         // Arm sizes are unknown before execution, so the runtime floor is
         // checked against the database size: tiny databases can never
@@ -1098,19 +1368,39 @@ impl<'a> Engine<'a> {
             && self.config.threads > 1
             && arms.len() > 1
             && self.db.total_tuples() >= self.config.parallel_floor;
+        let pc = |i: usize| prof.and_then(|p| p.child(i));
         let relations: Vec<Relation> = if fan_out {
             let groups: Vec<&[CompiledExpr]> = chunks_of(arms, self.thread_budget());
             if groups.len() <= 1 {
-                arms.iter().map(|a| self.exec(a, scalars)).collect::<Result<_>>()?
+                arms.iter()
+                    .enumerate()
+                    .map(|(i, a)| self.exec(a, scalars, pc(i)))
+                    .collect::<Result<_>>()?
             } else {
+                if let Some(p) = prof {
+                    p.stats.record_parallel(groups.len() as u64, groups.len() as u64);
+                }
+                // Groups are contiguous runs of arms; each worker addresses
+                // its arms' profile nodes by global arm index.
+                let mut bases = Vec::with_capacity(groups.len());
+                let mut acc = 0;
+                for group in &groups {
+                    bases.push(acc);
+                    acc += group.len();
+                }
                 let extra = groups.len() - 1;
                 self.in_flight.fetch_add(extra, Ordering::Relaxed);
                 let results: Vec<Result<Vec<Relation>>> = std::thread::scope(|s| {
                     let handles: Vec<_> = groups
                         .iter()
-                        .map(|group| {
+                        .zip(&bases)
+                        .map(|(group, &base)| {
                             s.spawn(move || {
-                                group.iter().map(|arm| self.exec(arm, scalars)).collect()
+                                group
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(k, arm)| self.exec(arm, scalars, pc(base + k)))
+                                    .collect()
                             })
                         })
                         .collect();
@@ -1124,8 +1414,15 @@ impl<'a> Engine<'a> {
                 flat
             }
         } else {
-            arms.iter().map(|a| self.exec(a, scalars)).collect::<Result<_>>()?
+            arms.iter()
+                .enumerate()
+                .map(|(i, a)| self.exec(a, scalars, pc(i)))
+                .collect::<Result<_>>()?
         };
+        if let Some(p) = prof {
+            p.stats.record_rows_in(relations.iter().map(|r| r.len() as u64).sum());
+            p.stats.record_batches(relations.len() as u64);
+        }
         let mut iter = relations.into_iter();
         let first =
             iter.next().ok_or_else(|| AlgebraError::Malformed("union with no arms".into()))?;
@@ -1992,5 +2289,84 @@ mod tests {
         let empty_outer_semi = RaExpr::relation("empty")
             .semi_join(RaExpr::relation("two"), invalid_scalar("y").or(is_null("x")));
         assert!(engine.execute(&empty_outer_semi).unwrap().is_empty());
+    }
+
+    #[test]
+    fn profiled_execution_matches_and_records_actuals() {
+        let complete = DbGen::new(0.0002, 31).generate();
+        let db = certus_data::inject::NullInjector::new(0.05, 17).inject(&complete);
+        let params = QueryParams::random(&db, 5);
+        let plus = CertainRewriter::new().rewrite_plus(&q4(&params), &db).unwrap();
+        let stats = StatisticsCatalog::analyze(&db);
+        let planner = PhysicalPlanner::new(&db, &stats);
+        let engine = Engine::with_config(&db, EngineConfig::serial());
+        let (phys, explain) = planner.plan_explained(&plus).unwrap();
+        let compiled = engine.compile(&phys).unwrap();
+        let plain = engine.execute_compiled(&compiled).unwrap();
+        let (out, profile) = engine.execute_compiled_profiled(&compiled).unwrap();
+        // Instrumentation must not change results.
+        assert_eq!(out.sorted().tuples(), plain.sorted().tuples());
+        assert_eq!(profile.rows_out, out.len() as u64);
+        // Wall times are inclusive: children sum to at most their parent.
+        for node in profile.flatten() {
+            let children: u64 = node.children.iter().map(|c| c.wall_ns).sum();
+            assert!(node.wall_ns >= children, "non-inclusive wall at {}", node.op);
+        }
+        // Zipping actuals onto the explain tree covers every estimate node.
+        let analyzed = crate::analyze::annotate(&phys, &explain, &profile);
+        assert_eq!(analyzed.node_count(), explain.size());
+        assert_eq!(analyzed.rows_act, out.len() as u64);
+    }
+
+    #[test]
+    fn profiles_tag_vectorized_and_row_paths() {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(&["a", "b"], (0..50).map(|i| vec![Value::Int(i % 5), Value::Int(i)]).collect()),
+        );
+        let q = RaExpr::relation("r").select(eq_const("a", 3i64)).project(&["b"]);
+        for vectorized in [true, false] {
+            let engine =
+                Engine::with_config(&db, EngineConfig::serial().with_vectorized(vectorized));
+            let plan = engine.plan(&q).unwrap();
+            let compiled = engine.compile(&plan).unwrap();
+            let (out, profile) = engine.execute_compiled_profiled(&compiled).unwrap();
+            let fused =
+                profile.flatten().into_iter().find(|n| n.op == "fused").expect("fused node");
+            assert_eq!(fused.vec_runs > 0, vectorized);
+            assert_eq!(fused.rows_in, 50);
+            // Both paths agree on per-filter survivor counts; the projection
+            // here keeps cardinality, so they equal the pipeline's output.
+            let filter_rows: Vec<u64> =
+                fused.steps.iter().filter(|s| s.op == "filter").map(|s| s.rows_out).collect();
+            assert_eq!(filter_rows, vec![out.len() as u64]);
+        }
+    }
+
+    #[test]
+    fn profiled_hash_join_records_build_and_probe_stats() {
+        let mut db = Database::new();
+        db.insert_relation(
+            "r",
+            rel(&["a", "b"], (0..20).map(|i| vec![Value::Int(i % 5), Value::Int(i)]).collect()),
+        );
+        db.insert_relation("s", rel(&["c"], (0..10).map(|i| vec![Value::Int(i % 4)]).collect()));
+        let q = RaExpr::relation("r").join(RaExpr::relation("s"), eq("a", "c"));
+        let engine = Engine::with_config(&db, EngineConfig::serial());
+        let plan = engine.plan(&q).unwrap();
+        let compiled = engine.compile(&plan).unwrap();
+        let (_, profile) = engine.execute_compiled_profiled(&compiled).unwrap();
+        let join =
+            profile.flatten().into_iter().find(|n| n.op == "hash_join").expect("hash join node");
+        assert_eq!(join.rows_in, 30);
+        assert_eq!(join.build_rows, 10);
+        // The probe side is the left input: one probe per row, hits for the
+        // keys 0..=3 (16 of 20 rows).
+        assert_eq!(join.probe_hits + join.probe_misses, 20);
+        assert_eq!(join.probe_hits, 16);
+        // Both scan children got their actuals.
+        assert_eq!(join.children[0].rows_out, 20);
+        assert_eq!(join.children[1].rows_out, 10);
     }
 }

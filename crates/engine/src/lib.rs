@@ -57,12 +57,15 @@
 //! The row-at-a-time paths remain both selectable and the automatic
 //! fallback when a key column cannot be typed.
 
+pub mod analyze;
 pub mod compile;
 pub mod engine;
 pub(crate) mod vector;
 
 pub use certus_plan::{cost, equi};
 
+pub use analyze::annotate;
+pub use certus_obs::{AnalyzedPlan, QueryProfile};
 pub use certus_plan::physical::{
     heuristic_plan, heuristic_plan_with, ExplainPlan, JoinAlgo, Parallelism, Partitioning,
     PhysicalExpr, PhysicalPlanner, SemiAlgo,

@@ -37,6 +37,7 @@ use certus_data::like::like_match;
 use certus_data::truth::Truth;
 use certus_data::value::normalized_float_bits;
 use certus_data::{Tuple, Value};
+use certus_obs::ProfNode;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -93,12 +94,19 @@ impl<'a> Ctx<'a> {
 /// filter column-wise, intersect the masks, gather the survivors (projected
 /// when the pipeline projects). Output order is input order — identical to
 /// the row path.
+///
+/// `prof` optionally records per-filter survivor counts: the slice maps the
+/// i-th vectorized filter to its step index in the profiled pipeline, and
+/// after each mask merge the running selection's cardinality is added there
+/// — the same "rows surviving filters `0..=k`" the row path counts via
+/// short-circuit evaluation.
 pub(crate) fn filter_gather(
     rows: &[Tuple],
     plan: &VecPlan,
     scalars: &ScalarValues,
     semantics: NullSemantics,
     pool: &StrPool,
+    prof: Option<(&ProfNode, &[usize])>,
 ) -> Vec<Tuple> {
     if rows.is_empty() {
         // Nothing to filter — and the engine only guarantees scalar
@@ -108,13 +116,18 @@ pub(crate) fn filter_gather(
     let cols = ColumnSet::extract(rows, &plan.cols, pool);
     let ctx = Ctx { cols: &cols, bound: None, scalars, semantics, pool };
     let mut sel: Option<TruthMask> = None;
-    for filter in &plan.filters {
+    for (fi, filter) in plan.filters.iter().enumerate() {
         let mask = eval_pred(filter.pred(), &ctx);
         match &mut sel {
             // A row survives the chain iff every filter is True — exactly
             // the Kleene conjunction of the per-filter masks.
             Some(s) => s.and_with(&mask),
             None => sel = Some(mask),
+        }
+        if let (Some((p, map)), Some(s)) = (prof, sel.as_ref()) {
+            if let Some(&step) = map.get(fi) {
+                p.add_step_rows(step, s.count_true() as u64);
+            }
         }
     }
     let sel = sel.expect("vec plans carry at least one filter");

@@ -1,0 +1,41 @@
+//! Observability layer for certus: a process-wide [`MetricsRegistry`] of
+//! relaxed-atomic counters/gauges/histograms, per-execution operator
+//! profiles ([`QueryProfile`]), and estimate-vs-actual plan annotation
+//! ([`AnalyzedPlan`]).
+//!
+//! The crate is std-only and sits at the bottom of the workspace dependency
+//! graph so every layer — data substrate, planner, engine, session facade,
+//! bench harness — can report through the same substrate without cycles.
+//!
+//! Three pieces:
+//!
+//! * [`metrics`] — named process-wide counters ("how many plan-cache hits
+//!   since startup?") with a snapshot/delta API for tests and benches.
+//! * [`profile`] — a per-execution tree of operator actuals (rows, batches,
+//!   wall time, vectorized-vs-row-fallback, hash build/probe stats, morsel
+//!   distribution) collected while a compiled plan runs.
+//! * [`analyzed`] — the `EXPLAIN ANALYZE` product: cost-model estimates and
+//!   measured actuals side by side for every plan node, with text and JSON
+//!   renderers.
+//!
+//! ```
+//! use certus_obs::metrics::registry;
+//!
+//! let c = registry().counter("doc.example.events");
+//! let before = registry().snapshot();
+//! c.incr();
+//! let delta = registry().snapshot().delta_since(&before);
+//! assert_eq!(delta.counter("doc.example.events"), 1);
+//! ```
+
+pub mod analyzed;
+pub mod json;
+pub mod metrics;
+pub mod names;
+pub mod profile;
+pub mod time;
+
+pub use analyzed::AnalyzedPlan;
+pub use metrics::{registry, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use profile::{NodeStats, ProfNode, QueryProfile, StepProfile};
+pub use time::Timer;

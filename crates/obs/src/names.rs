@@ -1,0 +1,33 @@
+//! Canonical metric names. Call sites across the workspace register handles
+//! by these constants so snapshots, tests and dashboards agree on spelling.
+
+/// Plan-cache lookups that found a cached plan.
+pub const PLAN_CACHE_HITS: &str = "plan_cache.hits";
+/// Plan-cache lookups that found nothing.
+pub const PLAN_CACHE_MISSES: &str = "plan_cache.misses";
+/// Plans inserted into the plan cache.
+pub const PLAN_CACHE_INSERTIONS: &str = "plan_cache.insertions";
+/// Plan-cache entries dropped to make room.
+pub const PLAN_CACHE_EVICTIONS: &str = "plan_cache.evictions";
+/// Plan-cache entries dropped because their schema epoch went stale.
+pub const PLAN_CACHE_INVALIDATIONS: &str = "plan_cache.invalidations";
+
+/// Physical plans lowered to `CompiledPlan` form.
+pub const ENGINE_COMPILES: &str = "engine.compiles";
+/// Scalar subqueries evaluated while seeding compiled-plan scalar slots.
+pub const ENGINE_SUBQUERY_EVALS: &str = "engine.subquery_evals";
+
+/// Column-name resolutions against a schema (data substrate).
+pub const DATA_NAME_RESOLUTIONS: &str = "data.name_resolutions";
+/// Schema inferences over literal relations (data substrate).
+pub const DATA_SCHEMA_INFERENCES: &str = "data.schema_inferences";
+/// Intermediate relations materialized by the delegating evaluator.
+pub const DATA_PLAN_MATERIALIZATIONS: &str = "data.plan_materializations";
+
+/// Distinct strings currently held by the global interner (gauge).
+pub const INTERNER_STRINGS: &str = "interner.strings";
+
+/// Prepared-query executions completed by the session facade.
+pub const SESSION_EXECUTIONS: &str = "session.executions";
+/// Latency histogram (nanoseconds) of prepared-query executions.
+pub const SESSION_EXECUTE_NS: &str = "session.execute_ns";

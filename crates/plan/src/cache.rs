@@ -12,9 +12,34 @@
 //! is the LRU map over such keys used by the `certus::Session` facade.
 
 use certus_algebra::expr::RaExpr;
+use certus_obs::metrics::{registry, Counter};
+use certus_obs::names;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide `plan_cache.*` counter handles, fetched once. Every
+/// [`PlanCache`] instance mirrors its per-instance counters into these so
+/// registry snapshots see cache behaviour without a handle to the session.
+struct GlobalCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    insertions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    invalidations: Arc<Counter>,
+}
+
+fn global_counters() -> &'static GlobalCounters {
+    static H: OnceLock<GlobalCounters> = OnceLock::new();
+    H.get_or_init(|| GlobalCounters {
+        hits: registry().counter(names::PLAN_CACHE_HITS),
+        misses: registry().counter(names::PLAN_CACHE_MISSES),
+        insertions: registry().counter(names::PLAN_CACHE_INSERTIONS),
+        evictions: registry().counter(names::PLAN_CACHE_EVICTIONS),
+        invalidations: registry().counter(names::PLAN_CACHE_INVALIDATIONS),
+    })
+}
 
 /// A structural fingerprint of a logical expression: the hash of its
 /// deterministic textual rendering. Two equal expressions always fingerprint
@@ -166,10 +191,12 @@ impl<V: Clone> PlanCache<V> {
             Some(slot) => {
                 slot.last_used = self.tick;
                 self.hits += 1;
+                global_counters().hits.incr();
                 Some(slot.value.clone())
             }
             None => {
                 self.misses += 1;
+                global_counters().misses.incr();
                 None
             }
         }
@@ -184,9 +211,11 @@ impl<V: Clone> PlanCache<V> {
             {
                 self.map.remove(&oldest);
                 self.evictions += 1;
+                global_counters().evictions.incr();
             }
         }
         self.insertions += 1;
+        global_counters().insertions.incr();
         self.map.insert(key, Slot { value, last_used: self.tick });
     }
 
@@ -198,7 +227,9 @@ impl<V: Clone> PlanCache<V> {
     pub fn retain_epoch(&mut self, epoch: u64) {
         let before = self.map.len();
         self.map.retain(|k, _| k.epoch == epoch);
-        self.invalidations += (before - self.map.len()) as u64;
+        let dropped = (before - self.map.len()) as u64;
+        self.invalidations += dropped;
+        global_counters().invalidations.add(dropped);
     }
 
     /// Number of cached plans.
@@ -253,6 +284,22 @@ mod tests {
         assert_ne!(base, PlanKey::new(q("r"), 0, 1, 1));
         assert_ne!(base, PlanKey::new(q("r"), 0, 0, 4));
         assert_ne!(base, PlanKey::new(q("t"), 0, 0, 1));
+    }
+
+    #[test]
+    fn cache_mirrors_counters_into_the_registry() {
+        let before = certus_obs::MetricsSnapshot::now();
+        let mut cache: PlanCache<u32> = PlanCache::new(2);
+        let key = PlanKey::new(q("m"), 0, 0, 1);
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key.clone(), 1);
+        assert_eq!(cache.get(&key), Some(1));
+        let delta = certus_obs::MetricsSnapshot::now().delta_since(&before);
+        // Other cache tests run concurrently in this process, so only lower
+        // bounds are stable.
+        assert!(delta.counter(names::PLAN_CACHE_HITS) >= 1);
+        assert!(delta.counter(names::PLAN_CACHE_MISSES) >= 1);
+        assert!(delta.counter(names::PLAN_CACHE_INSERTIONS) >= 1);
     }
 
     #[test]

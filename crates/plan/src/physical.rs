@@ -378,6 +378,29 @@ impl ExplainPlan {
     pub fn size(&self) -> usize {
         1 + self.children.iter().map(ExplainPlan::size).sum::<usize>()
     }
+
+    /// Render the estimate tree as JSON (the static half of what
+    /// `Session::explain_analyze` produces; the session zips in actuals).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"op\": \"{}\", \"rows_est\": {}, \"cost_est\": {}",
+            certus_obs::json::escape(&self.op),
+            certus_obs::json::number(self.rows),
+            certus_obs::json::number(self.cost)
+        );
+        if !self.children.is_empty() {
+            out.push_str(", \"children\": [");
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&c.to_json());
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
 }
 
 impl fmt::Display for ExplainPlan {

@@ -1,0 +1,206 @@
+//! Observability coverage across the public facade: per-execution
+//! [`certus::QueryProfile`]s agree with the relations the engine returns,
+//! `EXPLAIN ANALYZE` ([`certus::Session::explain_analyze`]) annotates every
+//! node with estimates *and* actuals, divergence is flagged where the cost
+//! model misestimates a skewed-null workload, and profiles stay well-formed
+//! across thread counts and with vectorization on or off.
+
+use certus::algebra::builder::{eq, eq_const};
+use certus::data::builder::rel;
+use certus::data::null::NullId;
+use certus::data::{Database, Value};
+use certus::obs::names;
+use certus::tpch::Workload;
+use certus::{AnalyzedPlan, Certainty, EngineConfig, QueryProfile, RaExpr, Session};
+
+fn paper_db() -> Database {
+    let mut db = Database::new();
+    db.insert_relation(
+        "r",
+        rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]),
+    );
+    db.insert_relation("s", rel(&["b"], vec![vec![Value::Int(2)], vec![Value::Null(NullId(1))]]));
+    db
+}
+
+fn paper_query() -> RaExpr {
+    RaExpr::relation("r").anti_join(RaExpr::relation("s"), eq("a", "b"))
+}
+
+/// Walk a profile tree checking the structural invariants every execution
+/// must satisfy: non-negative inclusive walls that cover the children (the
+/// serial case; parallel paths may overlap, so callers choose when to apply
+/// this), and leaf scans that report the base relation's cardinality.
+fn assert_serial_walls(profile: &QueryProfile) {
+    let child_ns: u64 = profile.children.iter().map(|c| c.wall_ns).sum();
+    assert!(
+        profile.wall_ns >= child_ns || profile.wall_ns == 0,
+        "inclusive wall of {} ({}) below its children's sum ({})",
+        profile.op,
+        profile.wall_ns,
+        child_ns
+    );
+    for c in &profile.children {
+        assert_serial_walls(c);
+    }
+}
+
+#[test]
+fn profile_row_counts_match_the_relations() {
+    let db = paper_db();
+    let session = Session::builder(db).config(EngineConfig::serial()).build();
+    for certainty in [Certainty::Plain, Certainty::CertainPlus, Certainty::PossibleStar] {
+        let prepared = session.prepare(&paper_query(), certainty).unwrap();
+        let (answers, profiles) = session.execute_prepared_profiled(&prepared).unwrap();
+        assert_eq!(profiles.len(), 1);
+        let profile = &profiles[0];
+        assert_eq!(
+            profile.rows_out as usize,
+            answers.len(),
+            "{certainty:?}: profile root must report the answer cardinality"
+        );
+        assert_serial_walls(profile);
+        // Scans report the stored relations' sizes.
+        for node in profile.flatten() {
+            match node.op.as_str() {
+                "scan(r)" => assert_eq!(node.rows_out, 3),
+                "scan(s)" => assert_eq!(node.rows_out, 2),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_analyze_annotates_every_node() {
+    let w = Workload::new(0.0005, 0.05, 907);
+    let db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let q4 = certus::tpch::q4(&params);
+    let session = Session::builder(db).config(EngineConfig::serial()).build();
+    let analyzed = session.explain_analyze(&q4, Certainty::CertainPlus).unwrap();
+    let explain = session.explain(&q4, Certainty::CertainPlus).unwrap();
+    assert_eq!(analyzed.node_count(), explain.size(), "annotated tree mirrors EXPLAIN");
+    // Every node carries an estimate and an actual, and the text renderer
+    // shows them side by side on every line.
+    let rendered = analyzed.to_string();
+    assert_eq!(rendered.lines().count(), analyzed.node_count());
+    for line in rendered.lines() {
+        assert!(line.contains("est≈") && line.contains("act="), "unannotated line: {line}");
+    }
+    for node in analyzed.flatten() {
+        assert!(!node.op.is_empty());
+        assert!(node.rows_est >= 0.0);
+    }
+    // The root actual is the answer cardinality.
+    let expected = session.execute(&q4, Certainty::CertainPlus).unwrap().len() as u64;
+    assert_eq!(analyzed.rows_act, expected);
+    // JSON rendering stays well-formed (smoke: balanced braces, keyed rows).
+    let json = analyzed.to_json();
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches("\"rows_act\"").count(), analyzed.node_count());
+}
+
+#[test]
+fn skewed_nulls_flag_estimate_divergence() {
+    // The translated Q4+ keeps `… OR x IS NULL` disjunction joins whose
+    // selectivity the cost model guesses generically; on an instance with
+    // plenty of nulls the actuals run away from the estimates, which is
+    // exactly what the divergence flag is for.
+    let w = Workload::new(0.001, 0.05, 907);
+    let db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let q4 = certus::tpch::q4(&params);
+    let session = Session::builder(db).config(EngineConfig::serial()).build();
+    let analyzed = session.explain_analyze(&q4, Certainty::CertainPlus).unwrap();
+    assert!(
+        analyzed.any_divergence(),
+        "expected at least one est-vs-act divergence on Q4+:\n{analyzed}"
+    );
+    // And the renderer surfaces the flag.
+    assert!(analyzed.to_string().contains("est↯act"));
+}
+
+#[test]
+fn profiles_are_well_formed_across_thread_counts() {
+    let w = Workload::new(0.0005, 0.03, 41);
+    let db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let q3 = certus::tpch::q3(&params);
+    let serial = Session::builder(w.incomplete_instance()).config(EngineConfig::serial()).build();
+    let parallel =
+        Session::builder(db).config(EngineConfig::with_threads(4).with_parallel_floor(0)).build();
+    let (serial_answers, serial_profiles) = {
+        let p = serial.prepare(&q3, Certainty::CertainPlus).unwrap();
+        serial.execute_prepared_profiled(&p).unwrap()
+    };
+    let (parallel_answers, parallel_profiles) = {
+        let p = parallel.prepare(&q3, Certainty::CertainPlus).unwrap();
+        parallel.execute_prepared_profiled(&p).unwrap()
+    };
+    assert_eq!(
+        serial_answers.relation().sorted().tuples(),
+        parallel_answers.relation().sorted().tuples(),
+        "threads changed Q3+ answers"
+    );
+    for (profile, answers) in
+        [(&serial_profiles[0], &serial_answers), (&parallel_profiles[0], &parallel_answers)]
+    {
+        assert_eq!(profile.rows_out as usize, answers.len());
+        assert!(profile.node_count() >= 1);
+        for node in profile.flatten() {
+            assert!(node.invocations >= 1 || node.rows_out == 0, "dead node {}", node.op);
+        }
+    }
+    // The parallel run actually fanned out somewhere and said so.
+    let fanned: u64 = parallel_profiles[0].flatten().iter().map(|n| n.workers).sum();
+    assert!(fanned > 0, "no operator recorded parallel workers:\n{:?}", parallel_profiles[0]);
+    // Serial walls nest; parallel walls may overlap, so only check serial.
+    assert_serial_walls(&serial_profiles[0]);
+}
+
+#[test]
+fn vectorization_flags_the_path_taken() {
+    let q = RaExpr::relation("r").select(eq_const("a", 3i64)).project(&["b"]);
+    let run = |vectorized: bool| -> (usize, QueryProfile) {
+        let mut db = Database::new();
+        let rows = (0..64).map(|i| vec![Value::Int(i % 8), Value::Int(i)]).collect::<Vec<_>>();
+        db.insert_relation("r", rel(&["a", "b"], rows));
+        let config = EngineConfig::serial().with_vectorized(vectorized);
+        let session = Session::builder(db).config(config).build();
+        let prepared = session.prepare(&q, Certainty::Plain).unwrap();
+        let (answers, profiles) = session.execute_prepared_profiled(&prepared).unwrap();
+        (answers.len(), profiles.into_iter().next().unwrap())
+    };
+
+    let (vec_len, vec_profile) = run(true);
+    let (row_len, row_profile) = run(false);
+    assert_eq!(vec_len, 8);
+    assert_eq!(row_len, 8);
+    let vec_runs = |p: &QueryProfile| p.flatten().iter().map(|n| n.vec_runs).sum::<u64>();
+    assert!(vec_runs(&vec_profile) > 0, "vectorized run must tag a vec path");
+    assert_eq!(vec_runs(&row_profile), 0, "row run must not tag any vec path");
+    // Both report identical answer cardinality and per-step survivors.
+    assert_eq!(vec_profile.rows_out, row_profile.rows_out);
+    let steps = |p: &QueryProfile| {
+        p.flatten()
+            .iter()
+            .flat_map(|n| n.steps.iter().map(|s| (s.op.clone(), s.rows_out)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(steps(&vec_profile), steps(&row_profile), "per-step survivor counts must agree");
+}
+
+#[test]
+fn session_executions_feed_the_registry_and_analyze_renders() {
+    let session = Session::builder(paper_db()).config(EngineConfig::serial()).build();
+    let before = certus::obs::registry().snapshot();
+    let analyzed: AnalyzedPlan =
+        session.explain_analyze(&paper_query(), Certainty::CertainPlus).unwrap();
+    assert!(analyzed.to_string().contains("act="));
+    session.execute(&paper_query(), Certainty::Both).unwrap();
+    let delta = certus::obs::registry().snapshot().delta_since(&before);
+    // ≥, not ==: the registry is process-wide and tests share the process.
+    assert!(delta.counter(names::SESSION_EXECUTIONS) >= 1);
+    assert!(delta.counter(names::PLAN_CACHE_MISSES) >= 1);
+}
