@@ -105,7 +105,18 @@ fn main() {
         // The optimized Q4+ keeps quadratic nested-loop joins (the OR-split
         // is cost-guarded), so the scale is kept moderate.
         let (scale, reps) = if quick { (0.001, 1) } else { (0.002, 2) };
-        print_parallel_scaling(&parallel_scaling(scale, 0.02, 905, reps, &[1, 2, 4, 8]));
+        let scaling = parallel_scaling(scale, 0.02, 905, reps, &[1, 2, 4, 8]);
+        print_parallel_scaling(&scaling);
+        println!();
+        // Threads × concurrent clients on one shared pool: the multi-query
+        // half of the scheduler story, recorded next to the per-query curve.
+        let (cscale, creps) = if quick { (0.001, 2) } else { (0.002, 4) };
+        let clients: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+        let concurrency = concurrency_scaling(cscale, 0.02, 905, creps, &[1, 2, 4], clients);
+        print_concurrency_scaling(&concurrency);
+        let path = std::path::Path::new("BENCH_parallel.json");
+        write_parallel_bench_json(path, &scaling, &concurrency).expect("write BENCH_parallel.json");
+        println!("wrote {}", path.display());
         println!();
     }
     if what == "prepared" || what == "all" {

@@ -564,6 +564,176 @@ pub fn print_parallel_scaling(rows: &[ParallelScalingRow]) {
     println!("(results identical at every thread count, asserted before timing)");
 }
 
+/// One row of the concurrency-scaling experiment: `clients` sessions
+/// executing the prepared Q3+ concurrently on one shared worker pool.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyScalingRow {
+    /// Worker threads each session's engine was configured with (also the
+    /// shared pool's width for this row).
+    pub threads: usize,
+    /// Concurrent client sessions sharing the pool.
+    pub clients: usize,
+    /// Wall-clock seconds for all clients to finish `reps` executions each.
+    pub wall_s: f64,
+    /// Aggregate throughput: total executions / wall seconds.
+    pub queries_per_sec: f64,
+    /// Answer count (identical for every client and configuration, asserted).
+    pub answers: usize,
+}
+
+/// The concurrency-scaling experiment: sweep worker threads × concurrent
+/// client sessions, all sessions of a row sharing one worker pool of width
+/// `threads`. Every client asserts the serial answers before the timed
+/// rounds, so the sweep doubles as a stress test of multi-query submission
+/// to the shared deque.
+pub fn concurrency_scaling(
+    scale_factor: f64,
+    null_rate: f64,
+    seed: u64,
+    reps: usize,
+    thread_counts: &[usize],
+    client_counts: &[usize],
+) -> Vec<ConcurrencyScalingRow> {
+    use certus::exec::Pool;
+    use certus::{Certainty, Session};
+    use std::sync::Arc;
+
+    let w = Workload::new(scale_factor, null_rate, seed);
+    let db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let q3 = query_by_number(3, &params).expect("query exists");
+    let serial = Session::builder(db.clone()).config(EngineConfig::serial()).build();
+    let expected = serial
+        .execute(&q3, Certainty::CertainPlus)
+        .expect("serial runs")
+        .relation()
+        .sorted()
+        .distinct();
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        let pool = Arc::new(Pool::new(threads));
+        for &clients in client_counts {
+            let sessions: Vec<Session> = (0..clients)
+                .map(|_| {
+                    Session::builder(db.clone())
+                        .config(EngineConfig::with_threads(threads))
+                        .worker_pool(pool.clone())
+                        .build()
+                })
+                .collect();
+            let prepared: Vec<_> = sessions
+                .iter()
+                .map(|s| s.prepare(&q3, Certainty::CertainPlus).expect("prepares"))
+                .collect();
+            // Correctness gate before timing: every client sees the serial
+            // answers through the shared pool.
+            for (s, p) in sessions.iter().zip(&prepared) {
+                let got = s.execute_prepared(p).expect("runs").relation().sorted().distinct();
+                assert_eq!(
+                    got.tuples(),
+                    expected.tuples(),
+                    "Q3+ differs at {threads} threads × {clients} clients"
+                );
+            }
+            let start = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for (s, p) in sessions.iter().zip(&prepared) {
+                    scope.spawn(move || {
+                        for _ in 0..reps {
+                            s.execute_prepared(p).expect("runs");
+                        }
+                    });
+                }
+            });
+            let wall_s = start.elapsed().as_secs_f64();
+            out.push(ConcurrencyScalingRow {
+                threads,
+                clients,
+                wall_s,
+                queries_per_sec: (clients * reps) as f64 / wall_s.max(1e-9),
+                answers: expected.len(),
+            });
+            assert!(
+                pool.peak_busy_workers() <= pool.width(),
+                "pool exceeded its width at {threads} threads × {clients} clients"
+            );
+        }
+    }
+    out
+}
+
+/// Print concurrency-scaling rows with throughput relative to the
+/// single-client row of the same thread count.
+pub fn print_concurrency_scaling(rows: &[ConcurrencyScalingRow]) {
+    println!("== Concurrency scaling: prepared Q3+ throughput, shared worker pool ==");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>9}",
+        "threads", "clients", "wall s", "queries/s", "vs 1cli"
+    );
+    for r in rows {
+        let base = rows
+            .iter()
+            .find(|b| b.threads == r.threads && b.clients == 1)
+            .map(|b| b.queries_per_sec)
+            .unwrap_or(r.queries_per_sec);
+        println!(
+            "{:>8} {:>8} {:>10.4} {:>12.1} {:>8}x",
+            r.threads,
+            r.clients,
+            r.wall_s,
+            r.queries_per_sec,
+            fmt_ratio(r.queries_per_sec / base.max(1e-9))
+        );
+    }
+    println!("(every client asserted against the serial answers before timing)");
+}
+
+/// Write the parallel- and concurrency-scaling rows as machine-readable
+/// JSON (`BENCH_parallel.json`, alongside the `BENCH_engine.json` pipeline
+/// baseline). Plain `format!`-built JSON — the workspace is offline, no
+/// serde.
+pub fn write_parallel_bench_json(
+    path: &std::path::Path,
+    scaling: &[ParallelScalingRow],
+    concurrency: &[ConcurrencyScalingRow],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"parallel_scaling\",\n");
+    s.push_str(
+        "  \"units\": {\"wall\": \"seconds (mean over reps)\", \"throughput\": \"queries/sec\"},\n",
+    );
+    s.push_str("  \"threads\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"q3_wall_s\": {:.6}, \"q4_wall_s\": {:.6}, \
+             \"answers\": [{}, {}]}}{}\n",
+            r.threads,
+            r.t_q3,
+            r.t_q4,
+            r.answers[0],
+            r.answers[1],
+            if i + 1 < scaling.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"concurrency\": [\n");
+    for (i, r) in concurrency.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"clients\": {}, \"wall_s\": {:.6}, \
+             \"queries_per_sec\": {:.1}, \"answers\": {}}}{}\n",
+            r.threads,
+            r.clients,
+            r.wall_s,
+            r.queries_per_sec,
+            r.answers,
+            if i + 1 < concurrency.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
 /// One row of the prepared-execution experiment: per-call planning vs.
 /// re-executing a [`certus::PreparedQuery`].
 #[derive(Debug, Clone)]
@@ -1160,6 +1330,28 @@ mod tests {
             assert_eq!(r.answers, rows[0].answers);
         }
         print_parallel_scaling(&rows);
+    }
+
+    #[test]
+    fn concurrency_scaling_agrees_and_records_curves() {
+        // Correctness smoke: two clients on a shared two-wide pool still
+        // return the serial answers (asserted inside the experiment), and
+        // the JSON emitter round-trips the sweep's shape.
+        let rows = concurrency_scaling(0.0004, 0.02, 33, 2, &[1, 2], &[1, 2]);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.wall_s > 0.0 && r.queries_per_sec > 0.0);
+            assert_eq!(r.answers, rows[0].answers);
+        }
+        print_concurrency_scaling(&rows);
+        let scaling = parallel_scaling(0.0004, 0.02, 33, 1, &[1, 2]);
+        let path = std::env::temp_dir().join("BENCH_parallel_test.json");
+        write_parallel_bench_json(&path, &scaling, &rows).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("reads back");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches("\"clients\"").count(), rows.len());
+        assert_eq!(text.matches("\"q3_wall_s\"").count(), scaling.len());
     }
 
     #[test]

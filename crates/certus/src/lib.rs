@@ -57,6 +57,7 @@ pub use certus_algebra as algebra;
 pub use certus_core as core;
 pub use certus_data as data;
 pub use certus_engine as engine;
+pub use certus_exec as exec;
 pub use certus_obs as obs;
 pub use certus_plan as plan;
 pub use certus_tpch as tpch;

@@ -98,6 +98,7 @@ pub struct SessionBuilder {
     config: EngineConfig,
     planner: PlannerKind,
     cache_capacity: usize,
+    pool: Option<Arc<certus_exec::Pool>>,
 }
 
 impl SessionBuilder {
@@ -137,6 +138,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Worker pool executions schedule their parallel tasks on. Sessions
+    /// share the process-wide [`certus::exec::global`](certus_exec::global)
+    /// pool by default — set this only to isolate a session onto a private
+    /// pool (e.g. to cap its CPU share, or in tests that assert pool
+    /// behavior). The pool's width bounds *scheduling*, not plan shapes;
+    /// [`SessionBuilder::threads`] remains the planning-side fan-out.
+    pub fn worker_pool(mut self, pool: Arc<certus_exec::Pool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Session {
         let dialect = match self.semantics {
@@ -151,6 +163,7 @@ impl SessionBuilder {
             rewriter: CertainRewriter { dialect, ..CertainRewriter::default() },
             cache: Mutex::new(PlanCache::new(self.cache_capacity)),
             stats: Mutex::new(None),
+            pool: self.pool,
         }
     }
 }
@@ -282,6 +295,7 @@ pub struct Session {
     rewriter: CertainRewriter,
     cache: Mutex<PlanCache<Arc<PreparedPlans>>>,
     stats: Mutex<Option<(u64, Arc<StatisticsCatalog>)>>,
+    pool: Option<Arc<certus_exec::Pool>>,
 }
 
 impl Session {
@@ -301,6 +315,7 @@ impl Session {
             config: EngineConfig::from_env(),
             planner: PlannerKind::default(),
             cache_capacity: PlanCache::<()>::DEFAULT_CAPACITY,
+            pool: None,
         }
     }
 
@@ -445,7 +460,7 @@ impl Session {
             });
         }
         let timer = Timer::start();
-        let engine = Engine::configured(&self.db, self.semantics, self.config.clone());
+        let engine = self.engine();
         let (mut plain, mut certain, mut possible) = (None, None, None);
         let mut profiles = Vec::new();
         for (role, plan) in &prepared.plans.parts {
@@ -473,6 +488,16 @@ impl Session {
         let answers =
             AnswerSet { certainty: prepared.certainty, plain, certain, possible, breakdown };
         Ok((answers, profiles))
+    }
+
+    /// An engine over the session's database, configuration, and (when one
+    /// was injected via [`SessionBuilder::worker_pool`]) private worker pool.
+    fn engine(&self) -> Engine<'_> {
+        let engine = Engine::configured(&self.db, self.semantics, self.config.clone());
+        match &self.pool {
+            Some(pool) => engine.with_worker_pool(pool.clone()),
+            None => engine,
+        }
     }
 
     /// Prepare (or fetch from the cache) and execute in one call.
@@ -545,7 +570,7 @@ impl Session {
             PhysicalPlanner::with_parallelism(&self.db, &stats, self.config.parallelism());
         let (phys, explain) = planner.plan_explained(&expr)?;
         let compiled = CompiledPlan::compile(&phys, &self.db)?;
-        let engine = Engine::configured(&self.db, self.semantics, self.config.clone());
+        let engine = self.engine();
         let (_, profile) = engine.execute_compiled_profiled(&compiled)?;
         Ok(certus_engine::annotate(&phys, &explain, &profile))
     }

@@ -49,14 +49,14 @@ pub(crate) fn skeleton(node: &CompiledExpr) -> ProfNode {
         CompiledExpr::Union { arms, .. } => {
             ProfNode::with("union", Vec::new(), arms.iter().map(skeleton).collect())
         }
-        CompiledExpr::Intersect { left, right } => binary("intersect", left, right),
-        CompiledExpr::Difference { left, right } => binary("difference", left, right),
+        CompiledExpr::Intersect { left, right, .. } => binary("intersect", left, right),
+        CompiledExpr::Difference { left, right, .. } => binary("difference", left, right),
         CompiledExpr::UnifySemi { left, right, .. } => binary("unify_semi", left, right),
         CompiledExpr::Division { left, right, .. } => binary("division", left, right),
         CompiledExpr::Rename { input, .. } => {
             ProfNode::with("rename", Vec::new(), vec![skeleton(input)])
         }
-        CompiledExpr::Distinct { input } => {
+        CompiledExpr::Distinct { input, .. } => {
             ProfNode::with("distinct", Vec::new(), vec![skeleton(input)])
         }
         CompiledExpr::Aggregate { input, .. } => {

@@ -447,10 +447,12 @@ pub(crate) enum CompiledExpr {
     /// concurrent evaluation are absorbed into `parallel`).
     Union { arms: Vec<CompiledExpr>, schema: Arc<Schema>, parallel: bool },
     /// Set intersection (positional, left schema wins — as the delegating
-    /// path's schema alignment did).
-    Intersect { left: Box<CompiledExpr>, right: Box<CompiledExpr> },
-    /// Set difference (positional, left schema wins).
-    Difference { left: Box<CompiledExpr>, right: Box<CompiledExpr> },
+    /// path's schema alignment did). `partitions > 0` when the plan carried
+    /// an exchange: membership tests are hash-partitioned across pool tasks.
+    Intersect { left: Box<CompiledExpr>, right: Box<CompiledExpr>, partitions: usize },
+    /// Set difference (positional, left schema wins); `partitions` as for
+    /// [`CompiledExpr::Intersect`].
+    Difference { left: Box<CompiledExpr>, right: Box<CompiledExpr>, partitions: usize },
     /// Unification (anti-)semijoin of Definition 4.
     UnifySemi { left: Box<CompiledExpr>, right: Box<CompiledExpr>, keep_matching: bool },
     /// Relational division with divisor↔dividend column positions resolved.
@@ -463,14 +465,18 @@ pub(crate) enum CompiledExpr {
     },
     /// Column renaming: a schema swap, no tuple work.
     Rename { input: Box<CompiledExpr>, schema: Arc<Schema> },
-    /// Duplicate elimination.
-    Distinct { input: Box<CompiledExpr> },
-    /// Grouping and aggregation with positions resolved.
+    /// Duplicate elimination; `partitions > 0` when the plan carried an
+    /// exchange — rows are hash-partitioned and deduplicated per pool task.
+    Distinct { input: Box<CompiledExpr>, partitions: usize },
+    /// Grouping and aggregation with positions resolved; `partitions > 0`
+    /// when the plan carried an exchange — grouping is hash-partitioned on
+    /// the group key across pool tasks.
     Aggregate {
         input: Box<CompiledExpr>,
         group_pos: Vec<usize>,
         aggs: Vec<(AggFunc, Option<usize>)>,
         schema: Arc<Schema>,
+        partitions: usize,
     },
 }
 
@@ -494,7 +500,7 @@ impl CompiledExpr {
             | CompiledExpr::Intersect { left, .. }
             | CompiledExpr::Difference { left, .. }
             | CompiledExpr::UnifySemi { left, .. } => left.schema(),
-            CompiledExpr::Distinct { input } => input.schema(),
+            CompiledExpr::Distinct { input, .. } => input.schema(),
         }
     }
 }
@@ -563,12 +569,20 @@ fn compile_expr(
             })
         }
         PhysicalExpr::Distinct { input } => {
-            let child = compile_expr(input, db, scalars)?;
+            let (inner, partitions) = peel_any_exchange(input);
+            let child = compile_expr(inner, db, scalars)?;
             Ok(match child {
-                CompiledExpr::Fused { source, steps, schema, partitions, vec_plan, .. } => {
-                    CompiledExpr::Fused { source, steps, schema, dedup: true, partitions, vec_plan }
-                }
-                other => CompiledExpr::Distinct { input: Box::new(other) },
+                CompiledExpr::Fused {
+                    source, steps, schema, partitions: fused, vec_plan, ..
+                } => CompiledExpr::Fused {
+                    source,
+                    steps,
+                    schema,
+                    dedup: true,
+                    partitions: fused.max(partitions),
+                    vec_plan,
+                },
+                other => CompiledExpr::Distinct { input: Box::new(other), partitions },
             })
         }
         PhysicalExpr::Join { left, right, condition, algo } => match algo {
@@ -670,14 +684,26 @@ fn compile_expr(
             Ok(CompiledExpr::Union { arms, schema, parallel })
         }
         PhysicalExpr::Intersect { left, right } => {
-            let l = compile_expr(left, db, scalars)?;
-            let r = compile_expr(right, db, scalars)?;
-            Ok(CompiledExpr::Intersect { left: Box::new(l), right: Box::new(r) })
+            let (li, lp) = peel_any_exchange(left);
+            let (ri, rp) = peel_any_exchange(right);
+            let l = compile_expr(li, db, scalars)?;
+            let r = compile_expr(ri, db, scalars)?;
+            Ok(CompiledExpr::Intersect {
+                left: Box::new(l),
+                right: Box::new(r),
+                partitions: lp.max(rp),
+            })
         }
         PhysicalExpr::Difference { left, right } => {
-            let l = compile_expr(left, db, scalars)?;
-            let r = compile_expr(right, db, scalars)?;
-            Ok(CompiledExpr::Difference { left: Box::new(l), right: Box::new(r) })
+            let (li, lp) = peel_any_exchange(left);
+            let (ri, rp) = peel_any_exchange(right);
+            let l = compile_expr(li, db, scalars)?;
+            let r = compile_expr(ri, db, scalars)?;
+            Ok(CompiledExpr::Difference {
+                left: Box::new(l),
+                right: Box::new(r),
+                partitions: lp.max(rp),
+            })
         }
         PhysicalExpr::UnifySemi { left, right, anti } => {
             let l = compile_expr(left, db, scalars)?;
@@ -727,7 +753,8 @@ fn compile_expr(
             })
         }
         PhysicalExpr::Aggregate { input, group_by, aggregates } => {
-            let child = compile_expr(input, db, scalars)?;
+            let (inner, partitions) = peel_any_exchange(input);
+            let child = compile_expr(inner, db, scalars)?;
             let group_pos = resolve_positions(child.schema(), group_by)?;
             let mut aggs = Vec::with_capacity(aggregates.len());
             let mut attrs: Vec<Attribute> =
@@ -758,6 +785,7 @@ fn compile_expr(
                 group_pos,
                 aggs,
                 schema: Schema::new(attrs).shared(),
+                partitions,
             })
         }
     }
@@ -857,6 +885,22 @@ fn peel_rr_exchange(plan: &PhysicalExpr) -> (&PhysicalExpr, usize) {
     match plan {
         PhysicalExpr::Exchange { input, partitioning: Partitioning::RoundRobin { partitions } } => {
             (input, *partitions)
+        }
+        other => (other, 0),
+    }
+}
+
+/// Peel an exchange of either partitioning kind. Operators that partition
+/// by their own runtime row/key hash (distinct, set ops, aggregation) only
+/// need the partition count; the plan-side partitioning is advisory.
+fn peel_any_exchange(plan: &PhysicalExpr) -> (&PhysicalExpr, usize) {
+    match plan {
+        PhysicalExpr::Exchange { input, partitioning } => {
+            let partitions = match partitioning {
+                Partitioning::Hash { partitions, .. } => *partitions,
+                Partitioning::RoundRobin { partitions } => *partitions,
+            };
+            (input, partitions)
         }
         other => (other, 0),
     }

@@ -43,8 +43,9 @@
 //!
 //! Plans may contain [`PhysicalExpr::Exchange`] operators (inserted by the
 //! planners when configured with a [`Parallelism`]); the compiler absorbs
-//! them into the owning operator and the engine turns them into
-//! multi-threaded execution with `std::thread::scope`:
+//! them into the owning operator and the engine turns them into tasks
+//! submitted to the process-wide work-stealing worker pool
+//! ([`certus_exec::Pool`]) — no per-exchange thread spawning:
 //!
 //! * an exchange with [`Partitioning::Hash`](certus_plan::physical::Partitioning::Hash)
 //!   under a hash (semi-)join's build side splits **both** sides by a
@@ -60,7 +61,13 @@
 //! With [`EngineConfig::threads`] `== 1` (or on plans without exchanges) the
 //! engine takes exactly the serial code paths. All parallel paths are
 //! deterministic: partition routing uses a fixed hash and results are
-//! concatenated in partition order.
+//! concatenated in partition order. [`EngineConfig::threads`] is the
+//! *partitioning modulus* (how work is split — part of the deterministic
+//! output contract and the plan-cache key); how many OS threads actually
+//! run the tasks is the pool's width, fixed process-wide at first use
+//! (`CERTUS_THREADS`, falling back to the machine's parallelism). Nested
+//! regions and concurrent queries share that one pool, so the machine is
+//! never oversubscribed no matter how many exchanges are in flight.
 
 use crate::analyze::skeleton;
 use crate::compile::{
@@ -71,7 +78,7 @@ use crate::compile::{
 use crate::vector::{self, KeySet};
 use certus_algebra::condition::Condition;
 use certus_algebra::eval::Evaluator;
-use certus_algebra::expr::RaExpr;
+use certus_algebra::expr::{AggFunc, RaExpr};
 use certus_algebra::{AlgebraError, NullSemantics, Result};
 use certus_data::{Database, Relation, Schema, Tuple, Value};
 use certus_obs::metrics::{registry, Counter};
@@ -79,7 +86,6 @@ use certus_obs::names;
 use certus_obs::{ProfNode, QueryProfile, Timer};
 use certus_plan::physical::{heuristic_plan_with, JoinAlgo, Parallelism, PhysicalExpr, SemiAlgo};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Runtime configuration of the engine.
@@ -177,10 +183,10 @@ pub struct Engine<'a> {
     db: &'a Database,
     semantics: NullSemantics,
     config: EngineConfig,
-    /// Worker threads currently spawned by this engine's parallel regions;
-    /// nested operators subtract it from the configured thread budget so the
-    /// total fan-out never exceeds `config.threads`.
-    in_flight: AtomicUsize,
+    /// Worker pool parallel regions submit their tasks to. `None` uses the
+    /// process-wide [`certus_exec::global`] pool; tests and embedders that
+    /// want an isolated width inject a private pool.
+    pool: Option<Arc<certus_exec::Pool>>,
 }
 
 impl<'a> Engine<'a> {
@@ -192,7 +198,24 @@ impl<'a> Engine<'a> {
     /// caches the compiled plans, and constructs engines like this one
     /// internally per execution.
     pub fn configured(db: &'a Database, semantics: NullSemantics, config: EngineConfig) -> Self {
-        Engine { db, semantics, config, in_flight: AtomicUsize::new(0) }
+        Engine { db, semantics, config, pool: None }
+    }
+
+    /// Submit this engine's parallel tasks to `pool` instead of the
+    /// process-wide [`certus_exec::global`] pool. The pool only decides
+    /// *scheduling*; partition routing (and therefore output order) is a
+    /// function of [`EngineConfig::threads`] alone.
+    pub fn with_worker_pool(mut self, pool: Arc<certus_exec::Pool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The worker pool parallel regions run on.
+    fn pool(&self) -> &certus_exec::Pool {
+        match &self.pool {
+            Some(pool) => pool,
+            None => certus_exec::global(),
+        }
     }
 
     /// Shim over [`Engine::configured`]: SQL three-valued semantics and the
@@ -484,21 +507,21 @@ impl<'a> Engine<'a> {
             CompiledExpr::Union { arms, schema, parallel } => {
                 self.exec_union(arms, schema, *parallel, scalars, prof)
             }
-            CompiledExpr::Intersect { left, right } => {
+            CompiledExpr::Intersect { left, right, partitions } => {
                 let l = self.exec(left, scalars, pc(0))?;
                 let r = self.exec(right, scalars, pc(1))?;
                 if let Some(p) = prof {
                     p.stats.record_rows_in((l.len() + r.len()) as u64);
                 }
-                Ok(set_filter(l, &r, true))
+                self.exec_setop(l, &r, true, *partitions, prof)
             }
-            CompiledExpr::Difference { left, right } => {
+            CompiledExpr::Difference { left, right, partitions } => {
                 let l = self.exec(left, scalars, pc(0))?;
                 let r = self.exec(right, scalars, pc(1))?;
                 if let Some(p) = prof {
                     p.stats.record_rows_in((l.len() + r.len()) as u64);
                 }
-                Ok(set_filter(l, &r, false))
+                self.exec_setop(l, &r, false, *partitions, prof)
             }
             CompiledExpr::UnifySemi { left, right, keep_matching } => {
                 let l = self.exec(left, scalars, pc(0))?;
@@ -552,45 +575,247 @@ impl<'a> Engine<'a> {
                 }
                 Ok(Relation::from_parts(schema.clone(), rel.into_tuples()))
             }
-            CompiledExpr::Distinct { input } => {
+            CompiledExpr::Distinct { input, partitions } => {
                 let rel = self.exec(input, scalars, pc(0))?;
                 if let Some(p) = prof {
                     p.stats.record_rows_in(rel.len() as u64);
                 }
-                Ok(rel.into_distinct())
+                self.exec_distinct(rel, *partitions, prof)
             }
-            CompiledExpr::Aggregate { input, group_pos, aggs, schema } => {
+            CompiledExpr::Aggregate { input, group_pos, aggs, schema, partitions } => {
                 let rel = self.exec(input, scalars, pc(0))?;
                 if let Some(p) = prof {
                     p.stats.record_rows_in(rel.len() as u64);
                 }
-                let mut groups: HashMap<Tuple, Vec<&Tuple>> = HashMap::with_capacity(rel.len());
-                let mut order: Vec<Tuple> = Vec::new();
-                for t in rel.iter() {
-                    let key = t.project(group_pos);
-                    if !groups.contains_key(&key) {
-                        order.push(key.clone());
-                    }
-                    groups.entry(key).or_default().push(t);
-                }
-                // A global aggregate over an empty input still yields a row.
-                if group_pos.is_empty() && groups.is_empty() {
-                    let key = Tuple::empty();
-                    order.push(key.clone());
-                    groups.insert(key, Vec::new());
-                }
-                let mut tuples = Vec::with_capacity(order.len());
-                for key in order {
-                    let rows = &groups[&key];
-                    let mut out: Vec<Value> = key.into_values();
-                    for (func, pos) in aggs {
-                        out.push(certus_algebra::eval::compute_aggregate(*func, *pos, rows));
-                    }
-                    tuples.push(Tuple::new(out));
-                }
-                Ok(Relation::from_parts(schema.clone(), tuples))
+                self.exec_aggregate(rel, group_pos, aggs, schema, *partitions, prof)
             }
         }
+    }
+
+    /// Execute a standalone distinct. With plan-side partitions and enough
+    /// rows, rows are hash-partitioned into selection vectors; each pool
+    /// task keeps its partition's first occurrences, and the merged survivor
+    /// indices (sorted back to input order) reproduce the serial
+    /// first-occurrence-in-input-order result exactly.
+    fn exec_distinct(
+        &self,
+        rel: Relation,
+        partitions: usize,
+        prof: Option<&ProfNode>,
+    ) -> Result<Relation> {
+        let n = if partitions > 0 && self.config.threads > 1 {
+            self.workers(partitions, rel.len())
+        } else {
+            1
+        };
+        if n <= 1 {
+            return Ok(rel.into_distinct());
+        }
+        if let Some(p) = prof {
+            p.stats.record_parallel(n as u64, self.pool().width().min(n) as u64);
+        }
+        let hashes = self.row_hashes(rel.tuples(), None)?;
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, &h) in hashes.iter().enumerate() {
+            parts[(h % n as u64) as usize].push(i as u32);
+        }
+        let mut kept = self.parallel_flat(&parts, |part| {
+            let mut buckets: HashMap<u64, Vec<u32>> = HashMap::with_capacity(part.len());
+            let mut keep = Vec::new();
+            'rows: for &i in part {
+                let bucket = buckets.entry(hashes[i as usize]).or_default();
+                for &j in bucket.iter() {
+                    if rel.tuples()[j as usize] == rel.tuples()[i as usize] {
+                        continue 'rows;
+                    }
+                }
+                bucket.push(i);
+                keep.push(i);
+            }
+            Ok(keep)
+        })?;
+        kept.sort_unstable();
+        let mut flags = vec![false; rel.len()];
+        for &i in &kept {
+            flags[i as usize] = true;
+        }
+        Ok(retain_by_flags(rel, flags))
+    }
+
+    /// Set intersection (`want_member`) or difference. With plan-side
+    /// partitions and enough rows, both sides are hash-partitioned by full
+    /// row (equal tuples always share a partition) and each pool task
+    /// decides membership for its partition's left rows; decisions merge
+    /// into per-row keep flags, so output order matches the serial pass.
+    fn exec_setop(
+        &self,
+        l: Relation,
+        r: &Relation,
+        want_member: bool,
+        partitions: usize,
+        prof: Option<&ProfNode>,
+    ) -> Result<Relation> {
+        let n = if partitions > 0 && self.config.threads > 1 {
+            self.workers(partitions, l.len() + r.len())
+        } else {
+            1
+        };
+        if n <= 1 {
+            return Ok(set_filter(l, r, want_member));
+        }
+        if let Some(p) = prof {
+            p.stats.record_parallel(n as u64, self.pool().width().min(n) as u64);
+        }
+        let l_hash = self.row_hashes(l.tuples(), None)?;
+        let r_hash = self.row_hashes(r.tuples(), None)?;
+        let mut parts: Vec<(Vec<u32>, Vec<u32>)> = vec![Default::default(); n];
+        for (i, &h) in l_hash.iter().enumerate() {
+            parts[(h % n as u64) as usize].0.push(i as u32);
+        }
+        for (j, &h) in r_hash.iter().enumerate() {
+            parts[(h % n as u64) as usize].1.push(j as u32);
+        }
+        let members = self.parallel_flat(&parts, |(li, ri)| {
+            let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(ri.len());
+            for &j in ri {
+                table.entry(r_hash[j as usize]).or_default().push(j);
+            }
+            Ok(li
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    table.get(&l_hash[i as usize]).is_some_and(|cands| {
+                        cands.iter().any(|&j| r.tuples()[j as usize] == l.tuples()[i as usize])
+                    })
+                })
+                .collect())
+        })?;
+        let mut keep = vec![!want_member; l.len()];
+        for i in members {
+            keep[i as usize] = want_member;
+        }
+        let mut out = retain_by_flags(l, keep);
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Execute grouping + aggregation. With plan-side partitions, a
+    /// non-empty group key and enough rows, rows are hash-partitioned on
+    /// the group key; each pool task groups its partition (recording every
+    /// group's first input index), the groups merge sorted by first
+    /// occurrence, and the aggregates are computed in that order — the
+    /// exact group order (and fresh-null allocation order) of the serial
+    /// pass.
+    fn exec_aggregate(
+        &self,
+        rel: Relation,
+        group_pos: &[usize],
+        aggs: &[(AggFunc, Option<usize>)],
+        schema: &Arc<Schema>,
+        partitions: usize,
+        prof: Option<&ProfNode>,
+    ) -> Result<Relation> {
+        let n = if partitions > 0 && !group_pos.is_empty() && self.config.threads > 1 {
+            self.workers(partitions, rel.len())
+        } else {
+            1
+        };
+        if n > 1 {
+            if let Some(p) = prof {
+                p.stats.record_parallel(n as u64, self.pool().width().min(n) as u64);
+            }
+            let hashes = self.row_hashes(rel.tuples(), Some(group_pos))?;
+            let mut parts: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (i, &h) in hashes.iter().enumerate() {
+                parts[(h % n as u64) as usize].push(i as u32);
+            }
+            let keys_eq = |a: u32, b: u32| {
+                group_pos
+                    .iter()
+                    .all(|&p| rel.tuples()[a as usize][p] == rel.tuples()[b as usize][p])
+            };
+            let mut groups: Vec<(u32, Vec<u32>)> = self.parallel_flat(&parts, |part| {
+                // Local groups in first-occurrence order; the hash index
+                // maps to positions in the local group list.
+                let mut index: HashMap<u64, Vec<usize>> = HashMap::with_capacity(part.len());
+                let mut local: Vec<(u32, Vec<u32>)> = Vec::new();
+                'rows: for &i in part {
+                    let slot = index.entry(hashes[i as usize]).or_default();
+                    for &g in slot.iter() {
+                        if keys_eq(local[g].0, i) {
+                            local[g].1.push(i);
+                            continue 'rows;
+                        }
+                    }
+                    slot.push(local.len());
+                    local.push((i, vec![i]));
+                }
+                Ok(local)
+            })?;
+            groups.sort_unstable_by_key(|g| g.0);
+            let mut tuples = Vec::with_capacity(groups.len());
+            for (first, members) in groups {
+                let rows: Vec<&Tuple> =
+                    members.iter().map(|&i| &rel.tuples()[i as usize]).collect();
+                let mut out: Vec<Value> =
+                    rel.tuples()[first as usize].project(group_pos).into_values();
+                for (func, pos) in aggs {
+                    out.push(certus_algebra::eval::compute_aggregate(*func, *pos, &rows));
+                }
+                tuples.push(Tuple::new(out));
+            }
+            return Ok(Relation::from_parts(schema.clone(), tuples));
+        }
+        let mut groups: HashMap<Tuple, Vec<&Tuple>> = HashMap::with_capacity(rel.len());
+        let mut order: Vec<Tuple> = Vec::new();
+        for t in rel.iter() {
+            let key = t.project(group_pos);
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(t);
+        }
+        // A global aggregate over an empty input still yields a row.
+        if group_pos.is_empty() && groups.is_empty() {
+            let key = Tuple::empty();
+            order.push(key.clone());
+            groups.insert(key, Vec::new());
+        }
+        let mut tuples = Vec::with_capacity(order.len());
+        for key in order {
+            let rows = &groups[&key];
+            let mut out: Vec<Value> = key.into_values();
+            for (func, pos) in aggs {
+                out.push(certus_algebra::eval::compute_aggregate(*func, *pos, rows));
+            }
+            tuples.push(Tuple::new(out));
+        }
+        Ok(Relation::from_parts(schema.clone(), tuples))
+    }
+
+    /// Deterministic per-row hashes over the given positions (the whole
+    /// tuple when `pos` is `None`), consistent with `Tuple` equality.
+    /// Computed morsel-parallel on the pool for large inputs.
+    fn row_hashes(&self, rows: &[Tuple], pos: Option<&[usize]>) -> Result<Vec<u64>> {
+        use std::hash::{Hash, Hasher};
+        let hash_one = |t: &Tuple| -> u64 {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            match pos {
+                Some(pos) => {
+                    for &p in pos {
+                        t[p].hash(&mut h);
+                    }
+                }
+                None => t.hash(&mut h),
+            }
+            h.finish()
+        };
+        let n = self.workers(self.config.threads, rows.len());
+        if n <= 1 {
+            return Ok(rows.iter().map(hash_one).collect());
+        }
+        let ranges = index_ranges(rows.len(), n);
+        self.parallel_flat(&ranges, |range| Ok(range.clone().map(|i| hash_one(&rows[i])).collect()))
     }
 
     /// Execute a fused step pipeline. With vectorized execution on (and the
@@ -752,7 +977,10 @@ impl<'a> Engine<'a> {
             let morsels: Vec<&[Tuple]> = chunks_of(input, n);
             if let Some((p, _)) = prof {
                 p.stats.record_batches(morsels.len() as u64);
-                p.stats.record_parallel(morsels.len() as u64, n as u64);
+                // Small inputs chunk into fewer morsels than `n`; never
+                // report more workers than there are tasks to run.
+                let cap = self.pool().width().min(n).min(morsels.len());
+                p.stats.record_parallel(morsels.len() as u64, cap as u64);
             }
             self.parallel_tuples(&morsels, |chunk| {
                 Ok(vector::filter_gather(chunk, plan, &scalars.values, self.semantics, pool, prof))
@@ -778,7 +1006,10 @@ impl<'a> Engine<'a> {
         let morsels: Vec<&[Tuple]> = chunks_of(input, workers);
         if let Some(p) = prof {
             p.stats.record_batches(morsels.len() as u64);
-            p.stats.record_parallel(morsels.len() as u64, workers as u64);
+            // Small inputs chunk into fewer morsels than `workers`; never
+            // report more workers than there are tasks to run.
+            let cap = self.pool().width().min(workers).min(morsels.len());
+            p.stats.record_parallel(morsels.len() as u64, cap as u64);
         }
         self.parallel_tuples(&morsels, |chunk| {
             Ok(match prof {
@@ -831,7 +1062,7 @@ impl<'a> Engine<'a> {
         if let Some(p) = prof {
             p.stats.record_rows_in((l.len() + r.len()) as u64);
             if n > 1 {
-                p.stats.record_parallel(n as u64, n as u64);
+                p.stats.record_parallel(n as u64, self.pool().width().min(n) as u64);
             }
         }
         if self.config.vectorized {
@@ -845,25 +1076,33 @@ impl<'a> Engine<'a> {
             }
         }
         if n > 1 {
-            // Partitioned parallel hash join: route both sides by a
-            // deterministic key hash, build + probe every partition on its
-            // own worker; outputs concatenate in partition order.
-            let build = route(r, r_pos, allow_nulls, n).0;
-            let probe = route(l, l_pos, allow_nulls, n).0;
+            // Partitioned parallel hash join: route both sides' row
+            // *indices* by a deterministic key hash — selection vectors
+            // travel between workers, never cloned keys — then build + probe
+            // every partition on its own pool task; outputs concatenate in
+            // partition order.
+            let (build, r_hash, _) = route_indices(r, r_pos, allow_nulls, n);
+            let (probe, l_hash, _) = route_indices(l, l_pos, allow_nulls, n);
             if let Some(p) = prof {
                 p.stats.record_build_rows(build.iter().map(|part| part.len() as u64).sum());
             }
             let parts: Vec<_> = build.into_iter().zip(probe).collect();
-            let out = self.parallel_tuples(&parts, |(b, p)| {
-                let table = table_of(b);
+            let out = self.parallel_tuples(&parts, |(b, pidx)| {
+                let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(b.len());
+                for &j in b {
+                    table.entry(r_hash[j as usize]).or_default().push(j);
+                }
                 let mut out = Vec::new();
-                for (key, lt) in p {
+                for &i in pidx {
+                    let lt = &l.tuples()[i as usize];
                     let before = out.len();
-                    if let Some(candidates) = table.get(key.as_slice()) {
-                        for &rt in candidates {
-                            if residual
-                                .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
-                                .is_true()
+                    if let Some(candidates) = table.get(&l_hash[i as usize]) {
+                        for &j in candidates {
+                            let rt = &r.tuples()[j as usize];
+                            if keys_eq_at(lt, l_pos, rt, r_pos)
+                                && residual
+                                    .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                                    .is_true()
                             {
                                 out.push(lt.concat(rt));
                             }
@@ -1019,7 +1258,7 @@ impl<'a> Engine<'a> {
         if let Some(p) = prof {
             p.stats.record_rows_in((l.len() + r.len()) as u64);
             if n > 1 {
-                p.stats.record_parallel(n as u64, n as u64);
+                p.stats.record_parallel(n as u64, self.pool().width().min(n) as u64);
             }
         }
         if self.config.vectorized {
@@ -1033,39 +1272,45 @@ impl<'a> Engine<'a> {
             }
         }
         if n > 1 {
-            // Partitioned parallel hash (anti-)semijoin. Left tuples with a
+            // Partitioned parallel hash (anti-)semijoin over routed row
+            // indices (selection vectors, no key clones). Left tuples with a
             // null key (which can never match under SQL semantics) bypass the
             // partitions and are appended after them, preserving determinism.
-            let build = route(r, r_pos, allow_nulls, n).0;
-            let (probe, null_keyed) = route(&l, l_pos, allow_nulls, n);
+            let (build, r_hash, _) = route_indices(r, r_pos, allow_nulls, n);
+            let (probe, l_hash, null_keyed) = route_indices(&l, l_pos, allow_nulls, n);
             if let Some(p) = prof {
                 p.stats.record_build_rows(build.iter().map(|part| part.len() as u64).sum());
             }
             let parts: Vec<_> = build.into_iter().zip(probe).collect();
-            let mut out = self.parallel_tuples(&parts, |(b, p)| {
-                let table = table_of(b);
+            let mut out = self.parallel_tuples(&parts, |(b, pidx)| {
+                let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(b.len());
+                for &j in b {
+                    table.entry(r_hash[j as usize]).or_default().push(j);
+                }
                 let mut out = Vec::new();
-                for (key, lt) in p {
-                    let matched = match table.get(key.as_slice()) {
-                        None => false,
-                        Some(candidates) => candidates.iter().any(|&rt| {
-                            residual
-                                .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
-                                .is_true()
-                        }),
-                    };
+                for &i in pidx {
+                    let lt = &l.tuples()[i as usize];
+                    let matched = table.get(&l_hash[i as usize]).is_some_and(|candidates| {
+                        candidates.iter().any(|&j| {
+                            let rt = &r.tuples()[j as usize];
+                            keys_eq_at(lt, l_pos, rt, r_pos)
+                                && residual
+                                    .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
+                                    .is_true()
+                        })
+                    });
                     if let Some(pr) = prof {
                         pr.stats.record_probes(matched as u64, (!matched) as u64);
                     }
                     if matched == keep_matching {
-                        out.push((*lt).clone());
+                        out.push(lt.clone());
                     }
                 }
                 Ok(out)
             })?;
             if !keep_matching {
                 // A null key never matches: those tuples survive an anti-join.
-                out.extend(null_keyed.into_iter().cloned());
+                out.extend(null_keyed.iter().map(|&i| l.tuples()[i as usize].clone()));
             }
             return Ok(Relation::from_parts(l.schema().clone(), out));
         }
@@ -1191,7 +1436,7 @@ impl<'a> Engine<'a> {
         if let Some(p) = prof {
             p.stats.record_rows_in((l.len() + r.len()) as u64);
             if n > 1 {
-                p.stats.record_parallel(n as u64, n as u64);
+                p.stats.record_parallel(n as u64, self.pool().width().min(n) as u64);
             }
         }
         // Both sides must be non-empty: an empty outer side produces no
@@ -1290,7 +1535,7 @@ impl<'a> Engine<'a> {
         if let Some(p) = prof {
             p.stats.record_rows_in((l.len() + r.len()) as u64);
             if n > 1 {
-                p.stats.record_parallel(n as u64, n as u64);
+                p.stats.record_parallel(n as u64, self.pool().width().min(n) as u64);
             }
         }
         // Non-empty on both sides, as in the nested-loop join above — the
@@ -1362,57 +1607,34 @@ impl<'a> Engine<'a> {
         prof: Option<&ProfNode>,
     ) -> Result<Relation> {
         // Arm sizes are unknown before execution, so the runtime floor is
-        // checked against the database size: tiny databases can never
-        // produce arms worth a thread.
+        // checked against the base rows actually feeding the arms — not the
+        // whole database, which went parallel for tiny operator inputs
+        // whenever the database happened to be large.
         let fan_out = parallel
             && self.config.threads > 1
             && arms.len() > 1
-            && self.db.total_tuples() >= self.config.parallel_floor;
+            && arms.iter().map(|a| self.input_rows_hint(a)).sum::<usize>()
+                >= self.config.parallel_floor;
         let pc = |i: usize| prof.and_then(|p| p.child(i));
         let relations: Vec<Relation> = if fan_out {
-            let groups: Vec<&[CompiledExpr]> = chunks_of(arms, self.thread_budget());
-            if groups.len() <= 1 {
-                arms.iter()
-                    .enumerate()
-                    .map(|(i, a)| self.exec(a, scalars, pc(i)))
-                    .collect::<Result<_>>()?
-            } else {
-                if let Some(p) = prof {
-                    p.stats.record_parallel(groups.len() as u64, groups.len() as u64);
-                }
-                // Groups are contiguous runs of arms; each worker addresses
-                // its arms' profile nodes by global arm index.
-                let mut bases = Vec::with_capacity(groups.len());
-                let mut acc = 0;
-                for group in &groups {
-                    bases.push(acc);
-                    acc += group.len();
-                }
-                let extra = groups.len() - 1;
-                self.in_flight.fetch_add(extra, Ordering::Relaxed);
-                let results: Vec<Result<Vec<Relation>>> = std::thread::scope(|s| {
-                    let handles: Vec<_> = groups
-                        .iter()
-                        .zip(&bases)
-                        .map(|(group, &base)| {
-                            s.spawn(move || {
-                                group
-                                    .iter()
-                                    .enumerate()
-                                    .map(|(k, arm)| self.exec(arm, scalars, pc(base + k)))
-                                    .collect()
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("union worker panicked")).collect()
-                });
-                self.in_flight.fetch_sub(extra, Ordering::Relaxed);
-                let mut flat = Vec::new();
-                for group in results {
-                    flat.extend(group?);
-                }
-                flat
+            // One pool task per arm; the shared pool decides how many run at
+            // once, and this thread helps while it waits. Results land in
+            // per-arm slots, so arm order is preserved.
+            if let Some(p) = prof {
+                p.stats
+                    .record_parallel(arms.len() as u64, self.pool().width().min(arms.len()) as u64);
             }
+            let mut slots: Vec<Option<Result<Relation>>> = Vec::new();
+            slots.resize_with(arms.len(), || None);
+            self.pool().scope(|s| {
+                for (i, (arm, slot)) in arms.iter().zip(slots.iter_mut()).enumerate() {
+                    s.spawn(move || *slot = Some(self.exec(arm, scalars, pc(i))));
+                }
+            });
+            slots
+                .into_iter()
+                .map(|r| r.expect("pool scope ran every arm"))
+                .collect::<Result<_>>()?
         } else {
             arms.iter()
                 .enumerate()
@@ -1644,6 +1866,36 @@ impl<'a> Engine<'a> {
     // Parallel plumbing
     // ------------------------------------------------------------------
 
+    /// Upper-bound estimate of the base rows feeding a compiled subtree: the
+    /// row counts of its scans and literal relations. Used by runtime
+    /// parallelism gates when an operator's true input size is unknown
+    /// before execution (union arms).
+    fn input_rows_hint(&self, node: &CompiledExpr) -> usize {
+        match node {
+            CompiledExpr::Scan { name, .. } => self.db.relation(name).map(|r| r.len()).unwrap_or(0),
+            CompiledExpr::Values { rel } => rel.len(),
+            // Opaque subtrees delegate to the reference evaluator; what they
+            // reach is unknown, so keep the whole-database bound for them.
+            CompiledExpr::Opaque { .. } => self.db.total_tuples(),
+            CompiledExpr::Fused { source, .. } => self.input_rows_hint(source),
+            CompiledExpr::HashJoin { left, right, .. }
+            | CompiledExpr::NlJoin { left, right, .. }
+            | CompiledExpr::HashSemi { left, right, .. }
+            | CompiledExpr::NlSemi { left, right, .. }
+            | CompiledExpr::DecorrelatedSemi { left, right, .. }
+            | CompiledExpr::Intersect { left, right, .. }
+            | CompiledExpr::Difference { left, right, .. }
+            | CompiledExpr::UnifySemi { left, right, .. }
+            | CompiledExpr::Division { left, right, .. } => {
+                self.input_rows_hint(left) + self.input_rows_hint(right)
+            }
+            CompiledExpr::Union { arms, .. } => arms.iter().map(|a| self.input_rows_hint(a)).sum(),
+            CompiledExpr::Rename { input, .. }
+            | CompiledExpr::Distinct { input, .. }
+            | CompiledExpr::Aggregate { input, .. } => self.input_rows_hint(input),
+        }
+    }
+
     /// Number of workers an operator with the given plan-side partition
     /// count and input work (rows or pairs touched) actually fans out to:
     /// never more than the engine's configured threads, and 1 (inline, no
@@ -1653,29 +1905,21 @@ impl<'a> Engine<'a> {
         if work < self.config.parallel_floor {
             1
         } else {
-            // Deliberately *not* a function of the transient in-flight count:
-            // this value is the routing modulus / morsel count, and output
-            // order depends on it, so it must be deterministic for a fixed
-            // plan and config. Oversubscription is bounded separately, by
-            // grouping in parallel_tuples.
+            // Deliberately a pure function of plan and config: this value is
+            // the routing modulus / morsel count, and output order depends
+            // on it, so it must be deterministic. How many OS threads run
+            // the resulting tasks is the pool's concern — its fixed width
+            // bounds oversubscription across nested regions and concurrent
+            // queries alike.
             partitions.clamp(1, self.config.threads.max(1))
         }
     }
 
-    /// Threads still available to a new parallel region: the configured
-    /// count minus workers already spawned by enclosing regions (union arms
-    /// containing partitioned joins would otherwise multiply fan-out to
-    /// roughly `threads^2`). Only ever used to decide *scheduling* (how many
-    /// threads to spawn), never how work is split — the value is racy across
-    /// sibling regions.
-    fn thread_budget(&self) -> usize {
-        self.config.threads.saturating_sub(self.in_flight.load(Ordering::Relaxed)).max(1)
-    }
-
     /// Run `worker` over every item. A single item (or none) runs inline on
-    /// the current thread; more fan out to one scoped worker thread each,
-    /// accounted against the engine's thread budget. Outputs are
-    /// concatenated in item order, so callers are deterministic.
+    /// the current thread — single-partition exchanges never pay a task
+    /// submission. More items become one pool task each; outputs are
+    /// concatenated in item order, so callers are deterministic no matter
+    /// which workers ran what.
     fn parallel_tuples<T, W>(&self, items: &[T], worker: W) -> Result<Vec<Tuple>>
     where
         T: Sync,
@@ -1686,45 +1930,34 @@ impl<'a> Engine<'a> {
 
     /// [`Engine::parallel_tuples`], generalised over the output element type
     /// (the vectorized semijoin collects keep *flags*, not tuples).
+    ///
+    /// One pool task per item: the shared pool bounds how many run at once
+    /// (across nested regions and concurrent queries alike), and the
+    /// submitting thread helps execute tasks while it waits, so nesting
+    /// cannot deadlock and idle time is spent on someone's morsels.
     fn parallel_flat<T, R, W>(&self, items: &[T], worker: W) -> Result<Vec<R>>
     where
         T: Sync,
         R: Send,
         W: Fn(&T) -> Result<Vec<R>> + Sync,
     {
-        // Items are grouped contiguously onto at most `thread_budget()`
-        // worker threads; each worker processes its group in item order and
-        // group outputs concatenate in group order, so the result is the
-        // same regardless of how many threads happened to be available.
-        let groups: Vec<&[T]> = chunks_of(items, self.thread_budget());
         let mut out = Vec::new();
-        if groups.len() <= 1 {
+        if items.len() <= 1 {
             for item in items {
                 out.extend(worker(item)?);
             }
             return Ok(out);
         }
-        let extra = groups.len() - 1;
-        self.in_flight.fetch_add(extra, Ordering::Relaxed);
-        let chunks: Vec<Result<Vec<R>>> = std::thread::scope(|s| {
-            let worker = &worker;
-            let handles: Vec<_> = groups
-                .iter()
-                .map(|group| {
-                    s.spawn(move || {
-                        let mut out = Vec::new();
-                        for item in *group {
-                            out.extend(worker(item)?);
-                        }
-                        Ok(out)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+        let mut slots: Vec<Option<Result<Vec<R>>>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        self.pool().scope(|s| {
+            for (item, slot) in items.iter().zip(slots.iter_mut()) {
+                let worker = &worker;
+                s.spawn(move || *slot = Some(worker(item)));
+            }
         });
-        self.in_flight.fetch_sub(extra, Ordering::Relaxed);
-        for c in chunks {
-            out.extend(c?);
+        for slot in slots {
+            out.extend(slot.expect("pool scope ran every task")?);
         }
         Ok(out)
     }
@@ -1787,48 +2020,53 @@ fn index_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
     (0..len).step_by(size).map(|start| start..(start + size).min(len)).collect()
 }
 
-/// Deterministic partition index of a key: a fixed-seed hash, so plans
-/// execute identically run to run and across thread counts.
-fn partition_index(key: &[Value], partitions: usize) -> usize {
+/// Deterministic per-row key hash over the given positions: a fixed-seed
+/// hash, so plans execute identically run to run and across pool widths.
+/// `None` marks a null key (excluded from hashing under SQL semantics).
+fn key_hash(tuple: &Tuple, pos: &[usize], allow_nulls: bool) -> Option<u64> {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % partitions.max(1) as u64) as usize
+    for &p in pos {
+        let v = &tuple[p];
+        if v.is_null() && !allow_nulls {
+            return None;
+        }
+        v.hash(&mut h);
+    }
+    Some(h.finish())
 }
 
-/// Route a relation's tuples to partitions by key hash. Returns the
-/// partitions (key + tuple, in input order) and the tuples whose key
-/// contained a null (excluded from hashing under SQL semantics).
-#[allow(clippy::type_complexity)]
-fn route<'r>(
-    rel: &'r Relation,
+/// Route a relation's row *indices* to partitions by key hash — the
+/// selection vectors parallel operators hand to their pool tasks; no key
+/// values are cloned. Returns the per-partition index vectors (input
+/// order), the per-row key hashes (meaningful only for routed rows), and
+/// the indices whose key contained a null.
+fn route_indices(
+    rel: &Relation,
     pos: &[usize],
     allow_nulls: bool,
     partitions: usize,
-) -> (Vec<Vec<(Vec<Value>, &'r Tuple)>>, Vec<&'r Tuple>) {
+) -> (Vec<Vec<u32>>, Vec<u64>, Vec<u32>) {
     let p = partitions.max(1);
-    let mut parts: Vec<Vec<(Vec<Value>, &Tuple)>> = vec![Vec::new(); p];
+    let mut parts: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut hashes = vec![0u64; rel.len()];
     let mut null_keyed = Vec::new();
-    for t in rel.iter() {
-        match key_of(t, pos, allow_nulls) {
-            Some(key) => {
-                let i = partition_index(&key, p);
-                parts[i].push((key, t));
+    for (i, t) in rel.iter().enumerate() {
+        match key_hash(t, pos, allow_nulls) {
+            Some(h) => {
+                hashes[i] = h;
+                parts[(h % p as u64) as usize].push(i as u32);
             }
-            None => null_keyed.push(t),
+            None => null_keyed.push(i as u32),
         }
     }
-    (parts, null_keyed)
+    (parts, hashes, null_keyed)
 }
 
-/// Build a hash table over one routed partition (keys were computed during
-/// routing; the table borrows them).
-fn table_of<'p, 'r>(part: &'p [(Vec<Value>, &'r Tuple)]) -> HashMap<&'p [Value], Vec<&'r Tuple>> {
-    let mut table: HashMap<&[Value], Vec<&Tuple>> = HashMap::with_capacity(part.len());
-    for (key, t) in part {
-        table.entry(key.as_slice()).or_default().push(t);
-    }
-    table
+/// Positional key equality across the two sides of a hash (semi-)join —
+/// the collision check behind the hash-keyed partition tables.
+fn keys_eq_at(lt: &Tuple, l_pos: &[usize], rt: &Tuple, r_pos: &[usize]) -> bool {
+    l_pos.iter().zip(r_pos).all(|(&lp, &rp)| lt[lp] == rt[rp])
 }
 
 /// Wrap a materialised relation as a literal-relation expression so single

@@ -27,6 +27,11 @@ pub const DATA_PLAN_MATERIALIZATIONS: &str = "data.plan_materializations";
 /// Distinct strings currently held by the global interner (gauge).
 pub const INTERNER_STRINGS: &str = "interner.strings";
 
+/// Tasks executed by the shared worker pool (workers and helpers alike).
+pub const EXEC_TASKS_EXECUTED: &str = "exec.tasks_executed";
+/// Pool tasks taken from another worker's deque (work-stealing traffic).
+pub const EXEC_TASKS_STOLEN: &str = "exec.tasks_stolen";
+
 /// Prepared-query executions completed by the session facade.
 pub const SESSION_EXECUTIONS: &str = "session.executions";
 /// Latency histogram (nanoseconds) of prepared-query executions.

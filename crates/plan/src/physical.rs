@@ -618,7 +618,13 @@ fn plan_rec(
             )
         }
         RaExpr::Distinct { input } => {
-            let c = plan_rec(input, catalog, stats, par)?;
+            let mut c = plan_rec(input, catalog, stats, par)?;
+            // Duplicate elimination partitions by full-row hash in the
+            // engine, so any repartitioning marker works; round-robin keeps
+            // the exchange cost model identical to the filter case.
+            if par.worthwhile(stats.map(|_| c.explain.rows)) {
+                c = exchange(c, Partitioning::RoundRobin { partitions: par.threads });
+            }
             let (rows, cost) = (c.explain.rows, c.explain.cost + c.explain.rows);
             explained(
                 PhysicalExpr::Distinct { input: Box::new(c.phys) },
@@ -628,7 +634,15 @@ fn plan_rec(
             )
         }
         RaExpr::Aggregate { input, group_by, aggregates } => {
-            let c = plan_rec(input, catalog, stats, par)?;
+            let mut c = plan_rec(input, catalog, stats, par)?;
+            // Grouped aggregation hash-partitions on the group key: every
+            // row of a group lands in the same partition, so partitions
+            // aggregate independently. A global aggregate (no key) has a
+            // single group and stays serial.
+            if !group_by.is_empty() && par.worthwhile(stats.map(|_| c.explain.rows)) {
+                let p = Partitioning::Hash { keys: group_by.clone(), partitions: par.threads };
+                c = exchange(c, p);
+            }
             let rows = crate::cost::aggregate_rows(c.explain.rows, !group_by.is_empty());
             let cost = c.explain.cost + c.explain.rows;
             explained(
@@ -657,12 +671,12 @@ fn plan_setop(
     let mut r = plan_rec(right, catalog, stats, par)?;
     let rows = crate::cost::setop_rows(l.explain.rows, r.explain.rows);
     let mut cost = l.explain.cost + r.explain.cost + l.explain.rows + r.explain.rows;
-    // Union branches are independent: mark both for concurrent evaluation
-    // when the combined input clears the threshold (the translation's split
-    // unions — the Q⁺ arms — are the target here).
-    if matches!(expr, RaExpr::Union { .. })
-        && par.worthwhile(stats.map(|_| l.explain.rows + r.explain.rows))
-    {
+    // Mark both sides for parallel evaluation when the combined input clears
+    // the threshold. Union branches are independent and run concurrently
+    // (the translation's split unions — the Q⁺ arms — are the target);
+    // intersect and difference hash-partition by full row in the engine, so
+    // the exchange is the same pass-through repartitioning marker.
+    if par.worthwhile(stats.map(|_| l.explain.rows + r.explain.rows)) {
         let p = Partitioning::RoundRobin { partitions: par.threads };
         l = exchange(l, p.clone());
         r = exchange(r, p);

@@ -160,6 +160,46 @@ fn profiles_are_well_formed_across_thread_counts() {
 }
 
 #[test]
+fn parallel_profiles_report_pool_bounded_workers() {
+    use certus::exec::Pool;
+    use std::sync::Arc;
+
+    // A private pool of known width: worker counts in profiles must come
+    // from the pool (its width caps concurrency), not from the plan's
+    // partition fan-out — here 16-way partitioning on a 3-wide pool.
+    let pool = Arc::new(Pool::new(3));
+    let w = Workload::new(0.0005, 0.03, 63);
+    let db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let q3 = certus::tpch::q3(&params);
+    let session = Session::builder(db)
+        .config(EngineConfig::with_threads(16).with_parallel_floor(0))
+        .worker_pool(pool.clone())
+        .build();
+    let prepared = session.prepare(&q3, Certainty::CertainPlus).unwrap();
+    let (_, profiles) = session.execute_prepared_profiled(&prepared).unwrap();
+    let mut fanned = 0u64;
+    for node in profiles[0].flatten() {
+        // Every parallel dispatch accumulates (morsels, workers) pairs with
+        // workers ≤ min(pool width, morsels) — so the sums obey the same
+        // bounds even after several dispatches on one node.
+        assert!(
+            node.workers <= node.morsels,
+            "{}: more workers ({}) than morsels ({})",
+            node.op,
+            node.workers,
+            node.morsels
+        );
+        if node.workers > 0 {
+            assert!(node.morsels > 0, "{}: workers without morsels", node.op);
+        }
+        fanned += node.workers;
+    }
+    assert!(fanned > 0, "no operator recorded parallel workers");
+    assert!(pool.peak_busy_workers() <= pool.width());
+}
+
+#[test]
 fn vectorization_flags_the_path_taken() {
     let q = RaExpr::relation("r").select(eq_const("a", 3i64)).project(&["b"]);
     let run = |vectorized: bool| -> (usize, QueryProfile) {

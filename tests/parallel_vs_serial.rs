@@ -44,7 +44,7 @@ fn parallel_engine_matches_serial_on_randomized_null_databases() {
             let serial = Engine::configured(&db, semantics, EngineConfig::serial());
             for q in &queries {
                 let expected = serial.execute(q).expect("serial runs").sorted().distinct();
-                for threads in [2usize, 8] {
+                for threads in [2usize, 8, 32] {
                     // Floor 0: every exchange actually fans out, so the
                     // parallel code paths are exercised even on this small
                     // instance (the default floor would run most of them
@@ -172,15 +172,117 @@ fn parallel_execution_is_deterministic() {
     let db = workload_db(5);
     let params = QueryParams::random(&db, 5);
     let rewriter = CertainRewriter::new();
-    let engine = Engine::with_config(&db, EngineConfig::with_threads(4).with_parallel_floor(0));
-    for q in [q3(&params), q4(&params)] {
-        let plus = rewriter.rewrite_plus(&q, &db).expect("translates");
-        let first = engine.execute(&plus).expect("runs");
-        let second = engine.execute(&plus).expect("runs");
-        // Identical relations, tuple order included — partition routing is a
-        // fixed hash and partition outputs are concatenated in order.
-        assert_eq!(first.tuples(), second.tuples(), "query {q}");
+    for threads in [2usize, 8, 32] {
+        let engine =
+            Engine::with_config(&db, EngineConfig::with_threads(threads).with_parallel_floor(0));
+        for q in [q3(&params), q4(&params)] {
+            let plus = rewriter.rewrite_plus(&q, &db).expect("translates");
+            let first = engine.execute(&plus).expect("runs");
+            let second = engine.execute(&plus).expect("runs");
+            // Identical relations, tuple order included — partition routing
+            // is a fixed hash and partition outputs are concatenated in
+            // order, regardless of how the pool schedules the tasks.
+            assert_eq!(first.tuples(), second.tuples(), "{threads} threads, query {q}");
+        }
     }
+}
+
+/// Concurrent sessions submitting to one shared worker pool: every client
+/// still gets exactly the serial answers, and the pool never runs more
+/// tasks at once than its width — the configured-thread bound the old
+/// per-engine `in_flight` counter only approximated (racily).
+#[test]
+fn concurrent_sessions_share_one_pool() {
+    use certus::exec::Pool;
+    use certus::{Certainty, Session};
+    use std::sync::Arc;
+
+    let pool = Arc::new(Pool::new(4));
+    let db = workload_db(13);
+    let params = QueryParams::random(&db, 13);
+    let queries: Vec<RaExpr> = vec![q1(&params), q3(&params), q4(&params)];
+    let serial = Session::builder(db.clone()).config(EngineConfig::serial()).build();
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            serial
+                .execute(q, Certainty::CertainPlus)
+                .expect("serial runs")
+                .relation()
+                .sorted()
+                .distinct()
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for client in 0..6usize {
+            let pool = pool.clone();
+            let db = db.clone();
+            let queries = &queries;
+            let expected = &expected;
+            s.spawn(move || {
+                let session = Session::builder(db)
+                    .config(EngineConfig::with_threads(8).with_parallel_floor(0))
+                    .worker_pool(pool)
+                    .build();
+                for round in 0..3 {
+                    for (q, want) in queries.iter().zip(expected) {
+                        let got = session
+                            .execute(q, Certainty::CertainPlus)
+                            .expect("parallel runs")
+                            .relation()
+                            .sorted()
+                            .distinct();
+                        assert_eq!(
+                            got.tuples(),
+                            want.tuples(),
+                            "client {client}, round {round}, query {q}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert!(pool.tasks_executed() > 0, "the shared pool never ran a task");
+    assert!(
+        pool.peak_busy_workers() <= pool.width(),
+        "pool ran {} tasks at once with only {} workers",
+        pool.peak_busy_workers(),
+        pool.width()
+    );
+}
+
+/// Stress the worker bound: a plan fan-out far wider than the pool (64
+/// partitions, 8 workers) must neither deadlock nor run more than `width`
+/// tasks simultaneously, and still return the serial answers.
+#[test]
+fn oversubscribed_fan_out_stays_within_pool_width() {
+    use certus::exec::Pool;
+    use certus::{Certainty, Session};
+    use std::sync::Arc;
+
+    let pool = Arc::new(Pool::new(8));
+    let db = workload_db(17);
+    let params = QueryParams::random(&db, 17);
+    let serial = Session::builder(db.clone()).config(EngineConfig::serial()).build();
+    let session = Session::builder(db)
+        .config(EngineConfig::with_threads(64).with_parallel_floor(0))
+        .worker_pool(pool.clone())
+        .build();
+    for q in [q3(&params), q4(&params)] {
+        let want = serial.execute(&q, Certainty::CertainPlus).expect("serial runs");
+        let got = session.execute(&q, Certainty::CertainPlus).expect("parallel runs");
+        assert_eq!(
+            got.relation().sorted().distinct().tuples(),
+            want.relation().sorted().distinct().tuples(),
+            "query {q}"
+        );
+    }
+    assert!(
+        pool.peak_busy_workers() <= pool.width(),
+        "64-way fan-out ran {} tasks at once on an 8-wide pool",
+        pool.peak_busy_workers()
+    );
 }
 
 #[test]
