@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|profile|bench-check|all] [--quick|--smoke] [--strict]
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|profile|serve|bench-check|all] [--quick|--smoke] [--strict]
 //! ```
 //!
 //! `--quick` (alias `--smoke`) shrinks instance counts and scale factors so
@@ -133,6 +133,19 @@ fn main() {
         print_engine_pipeline(&rows);
         let path = std::path::Path::new("BENCH_engine.json");
         write_engine_bench_json(path, &rows).expect("write BENCH_engine.json");
+        println!("wrote {}", path.display());
+        println!();
+    }
+    if what == "serve" {
+        // Not part of `all`: the 64-client TCP fleet is its own workload.
+        // `--smoke` shrinks it to 8 clients for CI; every served answer is
+        // byte-checked against local execution either way.
+        let (scale, clients, reps, burst) =
+            if quick { (0.001, 8, 2, 4) } else { (0.002, 64, 5, 8) };
+        let report = serve_benchmark(scale, 0.02, 908, clients, reps, burst);
+        print_serve(&report);
+        let path = std::path::Path::new("BENCH_server.json");
+        write_server_bench_json(path, &report).expect("write BENCH_server.json");
         println!("wrote {}", path.display());
         println!();
     }

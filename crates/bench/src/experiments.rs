@@ -1229,6 +1229,293 @@ pub fn append_profile_json(path: &std::path::Path, rows: &[ProfileRow]) -> std::
     std::fs::write(path, s)
 }
 
+/// The report of the `experiments serve` benchmark: a fleet of TCP clients
+/// hammering an in-process [`certus_server::Server`] while a writer bumps
+/// the schema epoch, with every served answer checked byte-for-byte against
+/// single-session execution.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Concurrent client connections in each phase.
+    pub clients: usize,
+    /// Closed-loop requests per client.
+    pub reps_per_client: usize,
+    /// Total closed-loop requests answered (all byte-verified).
+    pub closed_loop_requests: u64,
+    /// Wall seconds of the closed-loop phase.
+    pub closed_wall_s: f64,
+    /// Closed-loop throughput (requests / wall).
+    pub closed_qps: f64,
+    /// Median closed-loop request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile closed-loop request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Pipelined requests sent in the open-loop burst phase.
+    pub open_loop_sent: u64,
+    /// Open-loop responses received (must equal sent: zero dropped).
+    pub open_loop_answered: u64,
+    /// Wall seconds of the open-loop phase.
+    pub open_wall_s: f64,
+    /// Open-loop throughput (requests / wall).
+    pub open_qps: f64,
+    /// Rows the concurrent writer inserted while the closed loop ran.
+    pub writer_ops: u64,
+    /// Schema epochs advanced during the run (one per write).
+    pub epoch_advance: u64,
+    /// Server-side transparent re-preparations of stale plans.
+    pub stale_replans: u64,
+    /// Shared plan-cache hits / misses over the whole run.
+    pub cache_hits: u64,
+    /// Shared plan-cache misses.
+    pub cache_misses: u64,
+    /// Requests shed by admission control (should be 0 at this load).
+    pub rejected: u64,
+}
+
+fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The server benchmark: start an in-process server over a TPC-H instance,
+/// run `clients` closed-loop clients (alternating Q3 certain-plus / both)
+/// with a concurrent writer appending to a side table the queries never
+/// read, then an open-loop pipelined burst. Every answer is compared
+/// byte-for-byte against local [`certus::Session`] execution, so the
+/// differential check runs under live epoch churn.
+pub fn serve_benchmark(
+    scale_factor: f64,
+    null_rate: f64,
+    seed: u64,
+    clients: usize,
+    reps: usize,
+    burst: usize,
+) -> ServeBenchReport {
+    use certus::{Certainty, Session};
+    use certus_server::client::Client;
+    use certus_server::protocol::WireCertainty;
+    use certus_server::{answer_body, Server, ServerConfig};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let w = Workload::new(scale_factor, null_rate, seed);
+    let mut db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let q3 = query_by_number(3, &params).expect("query exists");
+    // The write target: a side table no benchmark query reads, so inserts
+    // bump the schema epoch without changing any expected answer.
+    db.insert_relation("bench_audit", rel(&["op"], Vec::new()));
+
+    let local = Session::builder(db.clone()).build();
+    let expected_plus =
+        answer_body(&local.execute(&q3, Certainty::CertainPlus).expect("local Q3+")).encode();
+    let expected_both =
+        answer_body(&local.execute(&q3, Certainty::Both).expect("local Q3 both")).encode();
+    let expected = |i: usize| -> (&[u8], WireCertainty) {
+        if i.is_multiple_of(2) {
+            (&expected_plus, WireCertainty::CertainPlus)
+        } else {
+            (&expected_both, WireCertainty::Both)
+        }
+    };
+
+    let config = ServerConfig {
+        max_connections: clients + 8,
+        executors: 8,
+        engine_threads: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(db, config).expect("server binds");
+    let addr = server.local_addr();
+    let epoch_start = server.epoch();
+
+    // Writer: appends one row at a time for as long as the closed loop runs.
+    // Readers execute against pinned snapshots, so writer progress while
+    // readers sustain load is exactly the never-blocked guarantee.
+    let stop_writer = Arc::new(AtomicBool::new(false));
+    let writer_ops = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let stop = Arc::clone(&stop_writer);
+        let ops = Arc::clone(&writer_ops);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            let mut i = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                client
+                    .insert("bench_audit", vec![certus_data::Tuple::new(vec![Value::Int(i)])])
+                    .expect("insert applies");
+                ops.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+            client.close().expect("writer closes");
+        })
+    };
+
+    // Closed loop: every client runs `reps` one-shot queries, each verified
+    // byte-for-byte, with per-request latency recorded.
+    let closed_start = std::time::Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let expected = &expected;
+                let q3 = &q3;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut lat = Vec::with_capacity(reps);
+                    let (want, certainty) = expected(c);
+                    for _ in 0..reps {
+                        let t = std::time::Instant::now();
+                        let got = client.query(certainty, q3).expect("query runs");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        assert_eq!(
+                            got.canonical_bytes(),
+                            want,
+                            "served answer differs from local execution (client {c})"
+                        );
+                    }
+                    client.close().expect("client closes");
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let closed_wall_s = closed_start.elapsed().as_secs_f64();
+    stop_writer.store(true, Ordering::Relaxed);
+    writer.join().expect("writer thread");
+    let writer_ops = writer_ops.load(Ordering::Relaxed);
+    assert!(writer_ops > 0, "writer made progress while {clients} readers sustained load");
+
+    // Open loop: each client pipelines `burst` queries before reading any
+    // response, then drains. Every request must be answered (zero dropped).
+    let open_start = std::time::Instant::now();
+    let answered: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let expected = &expected;
+                let q3 = &q3;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let (want, certainty) = expected(c);
+                    let mut ids = Vec::with_capacity(burst);
+                    for _ in 0..burst {
+                        ids.push(client.send_query(certainty, q3).expect("pipelined send"));
+                    }
+                    let mut got = 0u64;
+                    for _ in 0..burst {
+                        let (id, answers) = client.recv_answers().expect("pipelined recv");
+                        assert!(ids.contains(&id), "response matches a sent request");
+                        assert_eq!(answers.canonical_bytes(), want, "pipelined answer differs");
+                        got += 1;
+                    }
+                    client.close().expect("client closes");
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+    });
+    let open_wall_s = open_start.elapsed().as_secs_f64();
+    let open_sent = (clients * burst) as u64;
+    assert_eq!(answered, open_sent, "every pipelined request got a response");
+
+    let mut stats_client = Client::connect(addr).expect("stats client connects");
+    let stats = stats_client.stats().expect("stats");
+    let epoch_end = server.epoch();
+    stats_client.close().expect("stats client closes");
+    server.shutdown();
+
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let closed_total = (clients * reps) as u64;
+    ServeBenchReport {
+        clients,
+        reps_per_client: reps,
+        closed_loop_requests: closed_total,
+        closed_wall_s,
+        closed_qps: closed_total as f64 / closed_wall_s.max(1e-9),
+        p50_ms: percentile_ns(&sorted, 0.50) as f64 / 1e6,
+        p99_ms: percentile_ns(&sorted, 0.99) as f64 / 1e6,
+        open_loop_sent: open_sent,
+        open_loop_answered: answered,
+        open_wall_s,
+        open_qps: open_sent as f64 / open_wall_s.max(1e-9),
+        writer_ops,
+        epoch_advance: epoch_end - epoch_start,
+        stale_replans: stats.stale_replans,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        rejected: stats.rejected,
+    }
+}
+
+/// Print the serve-benchmark report.
+pub fn print_serve(r: &ServeBenchReport) {
+    println!("== Server benchmark: {} clients over TCP, live epoch churn ==", r.clients);
+    println!(
+        "closed loop : {} requests in {:.3}s — {:.1} q/s, p50 {:.2}ms, p99 {:.2}ms",
+        r.closed_loop_requests, r.closed_wall_s, r.closed_qps, r.p50_ms, r.p99_ms
+    );
+    println!(
+        "open loop   : {}/{} pipelined answered in {:.3}s — {:.1} q/s (zero dropped)",
+        r.open_loop_answered, r.open_loop_sent, r.open_wall_s, r.open_qps
+    );
+    println!(
+        "writer      : {} inserts concurrent with the closed loop ({} epochs advanced)",
+        r.writer_ops, r.epoch_advance
+    );
+    println!(
+        "server      : {} stale replans, cache {}h/{}m, {} rejected",
+        r.stale_replans, r.cache_hits, r.cache_misses, r.rejected
+    );
+    println!("(every response byte-identical to single-session execution, asserted)");
+}
+
+/// Write the serve-benchmark report as machine-readable JSON
+/// (`BENCH_server.json`). Plain `format!`-built JSON — no serde.
+pub fn write_server_bench_json(
+    path: &std::path::Path,
+    r: &ServeBenchReport,
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"server_throughput\",\n");
+    s.push_str(
+        "  \"units\": {\"wall\": \"seconds\", \"latency\": \"milliseconds\", \
+         \"throughput\": \"queries/sec\"},\n",
+    );
+    s.push_str(&format!(
+        "  \"closed_loop\": {{\"clients\": {}, \"reps_per_client\": {}, \"requests\": {}, \
+         \"wall_s\": {:.6}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n",
+        r.clients,
+        r.reps_per_client,
+        r.closed_loop_requests,
+        r.closed_wall_s,
+        r.closed_qps,
+        r.p50_ms,
+        r.p99_ms,
+    ));
+    s.push_str(&format!(
+        "  \"open_loop\": {{\"sent\": {}, \"answered\": {}, \"wall_s\": {:.6}, \
+         \"qps\": {:.1}}},\n",
+        r.open_loop_sent, r.open_loop_answered, r.open_wall_s, r.open_qps,
+    ));
+    s.push_str(&format!(
+        "  \"writer\": {{\"ops\": {}, \"epoch_advance\": {}}},\n",
+        r.writer_ops, r.epoch_advance,
+    ));
+    s.push_str(&format!(
+        "  \"server\": {{\"stale_replans\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"rejected\": {}}},\n",
+        r.stale_replans, r.cache_hits, r.cache_misses, r.rejected,
+    ));
+    s.push_str("  \"differential\": \"all responses byte-identical to local Session\"\n");
+    s.push_str("}\n");
+    std::fs::write(path, s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

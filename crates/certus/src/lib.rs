@@ -69,7 +69,9 @@ pub use certus_engine::{Engine, EngineConfig};
 pub use certus_obs::{AnalyzedPlan, MetricsSnapshot, QueryProfile};
 pub use certus_plan::{Parallelism, PassManager, PhysicalPlanner, Planner, StatisticsCatalog};
 pub use error::{CertusError, Result};
-pub use session::{AnswerSet, Certainty, PlannerKind, PreparedQuery, Session, SessionBuilder};
+pub use session::{
+    AnswerSet, Certainty, PlannerKind, PreparedQuery, Session, SessionBuilder, SharedPlanCache,
+};
 
 /// The semantic version of the certus workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

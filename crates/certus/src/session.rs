@@ -90,14 +90,16 @@ pub enum PlannerKind {
     CostBased,
 }
 
-/// Builder for a [`Session`]; obtained from [`Session::builder`].
+/// Builder for a [`Session`]; obtained from [`Session::builder`] (owned
+/// database) or [`Session::builder_over`] (shared snapshot).
 #[derive(Debug)]
 pub struct SessionBuilder {
-    db: Database,
+    db: Arc<Database>,
     semantics: NullSemantics,
     config: EngineConfig,
     planner: PlannerKind,
     cache_capacity: usize,
+    cache: Option<SharedPlanCache>,
     pool: Option<Arc<certus_exec::Pool>>,
 }
 
@@ -132,9 +134,22 @@ impl SessionBuilder {
         self
     }
 
-    /// Capacity of the LRU plan cache (clamped to ≥ 1).
+    /// Capacity of the LRU plan cache (clamped to ≥ 1). Ignored when a
+    /// shared cache is injected via [`SessionBuilder::plan_cache`].
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Share a plan cache with other sessions instead of using a private
+    /// one. All sharers hit the same LRU, so N sessions preparing the same
+    /// query compile it once. Cache keys carry the expression fingerprint,
+    /// certainty, semantics, planner kind, schema epoch and thread count, so
+    /// sessions with different configurations can safely share one cache —
+    /// as long as they run over the same database *lineage* (epochs of
+    /// unrelated databases are not comparable).
+    pub fn plan_cache(mut self, cache: SharedPlanCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -161,10 +176,46 @@ impl SessionBuilder {
             config: self.config,
             planner: self.planner,
             rewriter: CertainRewriter { dialect, ..CertainRewriter::default() },
-            cache: Mutex::new(PlanCache::new(self.cache_capacity)),
+            cache: self.cache.unwrap_or_else(|| SharedPlanCache::new(self.cache_capacity)),
             stats: Mutex::new(None),
             pool: self.pool,
         }
+    }
+}
+
+/// A plan + compiled-plan cache shareable across sessions (and threads).
+///
+/// Cloning is cheap and every clone refers to the same LRU. Inject into
+/// sessions with [`SessionBuilder::plan_cache`]; a session built without one
+/// gets a private instance, so single-session behavior is unchanged. Keys
+/// include the certainty, null semantics, planner kind, schema epoch and
+/// thread count next to the expression fingerprint, so differently
+/// configured sessions never collide — share one cache only across sessions
+/// over the same database lineage, where schema epochs are comparable.
+#[derive(Debug, Clone)]
+pub struct SharedPlanCache {
+    inner: Arc<Mutex<PlanCache<Arc<PreparedPlans>>>>,
+}
+
+impl SharedPlanCache {
+    /// A shared cache holding up to `capacity` prepared plans (clamped ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        SharedPlanCache { inner: Arc::new(Mutex::new(PlanCache::new(capacity))) }
+    }
+
+    /// A shared cache with the default capacity.
+    pub fn with_default_capacity() -> Self {
+        SharedPlanCache::new(PlanCache::<()>::DEFAULT_CAPACITY)
+    }
+
+    /// Snapshot of the cache's counters (hits, misses, evictions, epoch
+    /// invalidations, current entries) across *all* sharing sessions.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCache<Arc<PreparedPlans>>> {
+        self.inner.lock().expect("plan cache lock poisoned")
     }
 }
 
@@ -288,12 +339,12 @@ impl AnswerSet {
 /// ```
 #[derive(Debug)]
 pub struct Session {
-    db: Database,
+    db: Arc<Database>,
     semantics: NullSemantics,
     config: EngineConfig,
     planner: PlannerKind,
     rewriter: CertainRewriter,
-    cache: Mutex<PlanCache<Arc<PreparedPlans>>>,
+    cache: SharedPlanCache,
     stats: Mutex<Option<(u64, Arc<StatisticsCatalog>)>>,
     pool: Option<Arc<certus_exec::Pool>>,
 }
@@ -307,14 +358,25 @@ impl Session {
         Session::builder(db).build()
     }
 
-    /// Start building a session over a database.
+    /// Start building a session over an owned database.
     pub fn builder(db: Database) -> SessionBuilder {
+        Session::builder_over(Arc::new(db))
+    }
+
+    /// Start building a session over a *shared* database handle — typically
+    /// a pinned snapshot from
+    /// [`certus::data::snapshot::SnapshotStore`](certus_data::snapshot::SnapshotStore).
+    /// The session holds the `Arc` without copying any data; as long as it
+    /// never calls [`Session::database_mut`], it shares every relation with
+    /// the other holders.
+    pub fn builder_over(db: Arc<Database>) -> SessionBuilder {
         SessionBuilder {
             db,
             semantics: NullSemantics::Sql,
             config: EngineConfig::from_env(),
             planner: PlannerKind::default(),
             cache_capacity: PlanCache::<()>::DEFAULT_CAPACITY,
+            cache: None,
             pool: None,
         }
     }
@@ -326,14 +388,17 @@ impl Session {
 
     /// Mutable access to the database. Any mutation done through this bumps
     /// the database's schema epoch, invalidating cached plans, statistics,
-    /// and outstanding [`PreparedQuery`]s.
+    /// and outstanding [`PreparedQuery`]s. If the database handle is shared
+    /// (built via [`Session::builder_over`]), this copies it first
+    /// (copy-on-write), so the other holders never observe the mutation.
     pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+        Arc::make_mut(&mut self.db)
     }
 
-    /// Consume the session, returning the database.
+    /// Consume the session, returning the database (copied only if the
+    /// handle is still shared with another holder).
     pub fn into_database(self) -> Database {
-        self.db
+        Arc::try_unwrap(self.db).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// The null semantics conditions are evaluated under.
@@ -374,7 +439,7 @@ impl Session {
     /// assert_eq!(delta.counter(certus::obs::names::PLAN_CACHE_MISSES), 1);
     /// ```
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("plan cache lock poisoned").stats()
+        self.cache.stats()
     }
 
     /// The statistics catalog for the database's current state, computed on
@@ -399,9 +464,10 @@ impl Session {
     /// that does no planning work at all.
     pub fn prepare(&self, query: &RaExpr, certainty: Certainty) -> Result<PreparedQuery> {
         let epoch = self.db.schema_epoch();
-        let key = PlanKey::new(query.clone(), certainty.variant(), epoch, self.config.threads);
+        let key =
+            PlanKey::new(query.clone(), self.key_variant(certainty), epoch, self.config.threads);
         {
-            let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+            let mut cache = self.cache.lock();
             cache.retain_epoch(epoch);
             if let Some(plans) = cache.get(&key) {
                 return Ok(PreparedQuery { certainty, epoch, plans });
@@ -412,8 +478,24 @@ impl Session {
         // cache. Two threads racing on the same key plan twice and the later
         // insert wins — wasted work, never a wrong plan.
         let plans = Arc::new(self.build_plans(query, certainty)?);
-        self.cache.lock().expect("plan cache lock poisoned").insert(key, plans.clone());
+        self.cache.lock().insert(key, plans.clone());
         Ok(PreparedQuery { certainty, epoch, plans })
+    }
+
+    /// The plan-cache variant tag for this session's configuration: the
+    /// certainty in the low two bits, the null semantics in bit 2 and the
+    /// planner kind in bit 3 — so sessions with different semantics or
+    /// planners sharing one [`SharedPlanCache`] never exchange plans.
+    fn key_variant(&self, certainty: Certainty) -> u8 {
+        let semantics = match self.semantics {
+            NullSemantics::Sql => 0u8,
+            NullSemantics::Naive => 1u8,
+        };
+        let planner = match self.planner {
+            PlannerKind::Heuristic => 0u8,
+            PlannerKind::CostBased => 1u8,
+        };
+        certainty.variant() | (semantics << 2) | (planner << 3)
     }
 
     /// Execute a prepared query. Performs **zero** rewrite or planning work:
@@ -520,13 +602,13 @@ impl Session {
         let expr = match certainty {
             Certainty::Plain => query.clone(),
             Certainty::CertainPlus | Certainty::Both => {
-                self.rewriter.rewrite_plus(query, &self.db)?
+                self.rewriter.rewrite_plus(query, &*self.db)?
             }
-            Certainty::PossibleStar => self.rewriter.rewrite_star(query, &self.db)?,
+            Certainty::PossibleStar => self.rewriter.rewrite_star(query, &*self.db)?,
         };
         let stats = self.statistics();
         let planner =
-            PhysicalPlanner::with_parallelism(&self.db, &stats, self.config.parallelism());
+            PhysicalPlanner::with_parallelism(&*self.db, &stats, self.config.parallelism());
         Ok(planner.explain(&expr)?)
     }
 
@@ -561,13 +643,13 @@ impl Session {
         let expr = match certainty {
             Certainty::Plain => query.clone(),
             Certainty::CertainPlus | Certainty::Both => {
-                self.rewriter.rewrite_plus(query, &self.db)?
+                self.rewriter.rewrite_plus(query, &*self.db)?
             }
-            Certainty::PossibleStar => self.rewriter.rewrite_star(query, &self.db)?,
+            Certainty::PossibleStar => self.rewriter.rewrite_star(query, &*self.db)?,
         };
         let stats = self.statistics();
         let planner =
-            PhysicalPlanner::with_parallelism(&self.db, &stats, self.config.parallelism());
+            PhysicalPlanner::with_parallelism(&*self.db, &stats, self.config.parallelism());
         let (phys, explain) = planner.plan_explained(&expr)?;
         let compiled = CompiledPlan::compile(&phys, &self.db)?;
         let engine = self.engine();
@@ -583,11 +665,11 @@ impl Session {
             parts.push((AnswerRole::Plain, self.compile_physical(query)?));
         }
         if certainty.wants_certain() {
-            let plus = self.rewriter.rewrite_plus(query, &self.db)?;
+            let plus = self.rewriter.rewrite_plus(query, &*self.db)?;
             parts.push((AnswerRole::Certain, self.compile_physical(&plus)?));
         }
         if certainty.wants_possible() {
-            let star = self.rewriter.rewrite_star(query, &self.db)?;
+            let star = self.rewriter.rewrite_star(query, &*self.db)?;
             parts.push((AnswerRole::Possible, self.compile_physical(&star)?));
         }
         Ok(PreparedPlans { parts })
@@ -606,12 +688,12 @@ impl Session {
     fn plan_physical(&self, expr: &RaExpr) -> Result<PhysicalExpr> {
         match self.planner {
             PlannerKind::Heuristic => {
-                Ok(heuristic_plan_with(expr, &self.db, &self.config.parallelism())?)
+                Ok(heuristic_plan_with(expr, &*self.db, &self.config.parallelism())?)
             }
             PlannerKind::CostBased => {
                 let stats = self.statistics();
                 let planner =
-                    PhysicalPlanner::with_parallelism(&self.db, &stats, self.config.parallelism());
+                    PhysicalPlanner::with_parallelism(&*self.db, &stats, self.config.parallelism());
                 Ok(planner.plan(expr)?)
             }
         }
@@ -743,6 +825,55 @@ mod tests {
         // The unprofiled path agrees.
         let plain = session.execute_prepared(&prepared).unwrap();
         assert_eq!(plain.len(), answers.len());
+    }
+
+    #[test]
+    fn shared_cache_compiles_once_across_sessions() {
+        let shared = SharedPlanCache::new(16);
+        let db = Arc::new(db());
+        let a = Session::builder_over(db.clone()).plan_cache(shared.clone()).build();
+        let b = Session::builder_over(db).plan_cache(shared.clone()).build();
+        a.prepare(&query(), Certainty::CertainPlus).unwrap();
+        let prepared = b.prepare(&query(), Certainty::CertainPlus).unwrap();
+        let stats = shared.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "second session reuses the plan");
+        assert!(b.execute_prepared(&prepared).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shared_cache_isolates_semantics_and_planner() {
+        let shared = SharedPlanCache::new(16);
+        let db = Arc::new(db());
+        let sql = Session::builder_over(db.clone()).plan_cache(shared.clone()).build();
+        let naive = Session::builder_over(db.clone())
+            .semantics(NullSemantics::Naive)
+            .plan_cache(shared.clone())
+            .build();
+        let costed = Session::builder_over(db)
+            .planner(PlannerKind::CostBased)
+            .plan_cache(shared.clone())
+            .build();
+        sql.prepare(&query(), Certainty::Plain).unwrap();
+        naive.prepare(&query(), Certainty::Plain).unwrap();
+        costed.prepare(&query(), Certainty::Plain).unwrap();
+        assert_eq!(shared.stats().misses, 3, "every configuration plans separately");
+        // Semantics must not leak through the shared cache: naive ⊥-matching
+        // differs from SQL three-valued logic on the anti-join.
+        assert_eq!(sql.execute(&query(), Certainty::Plain).unwrap().len(), 2);
+        assert_eq!(naive.execute(&query(), Certainty::Plain).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sessions_over_one_snapshot_share_relations() {
+        let db = Arc::new(db());
+        let mut a = Session::builder_over(db.clone()).build();
+        let b = Session::builder_over(db.clone()).build();
+        // Mutating one session copies the database for it (copy-on-write)…
+        a.database_mut().relation_mut("r").unwrap().insert_values(vec![Value::Int(9)]).unwrap();
+        assert_eq!(a.database().relation("r").unwrap().len(), 4);
+        // …while the other session and the original handle are untouched.
+        assert_eq!(b.database().relation("r").unwrap().len(), 3);
+        assert_eq!(db.relation("r").unwrap().len(), 3);
     }
 
     #[test]

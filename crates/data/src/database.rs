@@ -71,16 +71,28 @@ impl ActiveDomain {
 
 /// An incomplete database instance: a collection of named relations with
 /// optional key constraints.
+///
+/// Relations are stored behind `Arc`s, so cloning a database is cheap — the
+/// clone shares every relation (and the string pool) with the original and
+/// only copies the name→relation map. Mutation through
+/// [`Database::relation_mut`] is **copy-on-write**: a relation still shared
+/// with another database clone is copied once, at mutation time, and only
+/// that relation. This is what the snapshot/epoch storage
+/// ([`crate::snapshot::SnapshotStore`]) builds on: readers pin an immutable
+/// snapshot while a writer clones the database, rewrites just the touched
+/// relations, and publishes the result under a bumped schema epoch.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Relation>,
+    tables: BTreeMap<String, Arc<Relation>>,
     defs: BTreeMap<String, TableDef>,
     epoch: u64,
     /// The per-database string pool: loaders intern through it so repeated
     /// strings share one allocation, and the columnar layer resolves string
     /// column ids against it. Interior-mutable, so interning works through
-    /// the shared references the engine holds during execution.
-    pool: crate::intern::StrPool,
+    /// the shared references the engine holds during execution. Shared (not
+    /// copied) by `Clone`: snapshots of one database must agree on interned
+    /// ids, and interning is additive, so sharing is always sound.
+    pool: Arc<crate::intern::StrPool>,
 }
 
 impl Database {
@@ -114,7 +126,7 @@ impl Database {
         if self.tables.contains_key(&def.name) {
             return Err(DataError::DuplicateTable(def.name.clone()));
         }
-        self.tables.insert(def.name.clone(), Relation::empty(def.schema.clone()));
+        self.tables.insert(def.name.clone(), Arc::new(Relation::empty(def.schema.clone())));
         self.defs.insert(def.name.clone(), def);
         self.epoch += 1;
         Ok(())
@@ -129,25 +141,40 @@ impl Database {
             schema: relation.schema().clone(),
             primary_key: Vec::new(),
         });
-        self.tables.insert(name, relation);
+        self.tables.insert(name, Arc::new(relation));
         self.epoch += 1;
     }
 
     /// Look up a relation by name.
     pub fn relation(&self, name: &str) -> Result<&Relation> {
-        self.tables.get(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .map(|r| r.as_ref())
+            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a relation by name, returning the shared handle. Snapshots of
+    /// the same database lineage hand out the *same* `Arc` until a writer
+    /// copy-on-writes the relation, so `Arc::ptr_eq` across snapshots tells
+    /// whether a relation was actually rewritten.
+    pub fn relation_shared(&self, name: &str) -> Result<Arc<Relation>> {
+        self.tables.get(name).cloned().ok_or_else(|| DataError::UnknownTable(name.to_string()))
     }
 
     /// Mutable access to a relation by name. Conservatively bumps the schema
     /// epoch — the caller receives the power to change the relation, so
     /// anything cached against the previous epoch must be considered stale.
+    /// Copy-on-write: if the relation is still shared with another database
+    /// clone (e.g. a pinned snapshot), it is deep-copied first, so the
+    /// sharers never observe the mutation.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
-        let rel =
-            self.tables.get_mut(name).ok_or_else(|| DataError::UnknownTable(name.to_string()));
-        if rel.is_ok() {
-            self.epoch += 1;
+        match self.tables.get_mut(name) {
+            Some(rel) => {
+                self.epoch += 1;
+                Ok(Arc::make_mut(rel))
+            }
+            None => Err(DataError::UnknownTable(name.to_string())),
         }
-        rel
     }
 
     /// Look up a table definition by name.
@@ -172,12 +199,12 @@ impl Database {
 
     /// Total number of tuples across all tables.
     pub fn total_tuples(&self) -> usize {
-        self.tables.values().map(Relation::len).sum()
+        self.tables.values().map(|r| r.len()).sum()
     }
 
     /// Whether any table contains a null (i.e. the database is incomplete).
     pub fn has_nulls(&self) -> bool {
-        self.tables.values().any(Relation::has_nulls)
+        self.tables.values().any(|r| r.has_nulls())
     }
 
     /// Whether the database is complete (null-free).
@@ -213,7 +240,7 @@ impl Database {
             out.defs.insert(name.clone(), def.clone());
         }
         for (name, rel) in &self.tables {
-            out.tables.insert(name.clone(), rel.apply(v));
+            out.tables.insert(name.clone(), Arc::new(rel.apply(v)));
         }
         out
     }
@@ -375,6 +402,25 @@ mod tests {
         // Cloning the database keeps the pool (and its allocations).
         let copy = db.clone();
         assert!(copy.str_pool().lookup("FURNITURE").is_some());
+    }
+
+    #[test]
+    fn clone_shares_relations_until_mutation() {
+        let db = db_with_r();
+        let mut copy = db.clone();
+        // The clone shares the relation allocation…
+        assert!(Arc::ptr_eq(
+            &db.relation_shared("r").unwrap(),
+            &copy.relation_shared("r").unwrap()
+        ));
+        // …until it is mutated, which copies just that relation.
+        copy.relation_mut("r").unwrap().insert_values(vec![Value::Int(5), Value::Int(6)]).unwrap();
+        assert!(!Arc::ptr_eq(
+            &db.relation_shared("r").unwrap(),
+            &copy.relation_shared("r").unwrap()
+        ));
+        assert_eq!(db.relation("r").unwrap().len(), 2);
+        assert_eq!(copy.relation("r").unwrap().len(), 3);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod null;
 pub mod profile;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod truth;
 pub mod tuple;
 pub mod types;

@@ -666,8 +666,7 @@ impl<'a> Engine<'a> {
         if let Some(p) = prof {
             p.stats.record_parallel(n as u64, self.pool().width().min(n) as u64);
         }
-        let l_hash = self.row_hashes(l.tuples(), None)?;
-        let r_hash = self.row_hashes(r.tuples(), None)?;
+        let (l_hash, r_hash) = self.row_hashes_pair(l.tuples(), r.tuples())?;
         let mut parts: Vec<(Vec<u32>, Vec<u32>)> = vec![Default::default(); n];
         for (i, &h) in l_hash.iter().enumerate() {
             parts[(h % n as u64) as usize].0.push(i as u32);
@@ -794,9 +793,67 @@ impl<'a> Engine<'a> {
     }
 
     /// Deterministic per-row hashes over the given positions (the whole
-    /// tuple when `pos` is `None`), consistent with `Tuple` equality.
-    /// Computed morsel-parallel on the pool for large inputs.
+    /// tuple when `pos` is `None`), used to partition rows for parallel
+    /// distinct/set-op/aggregate execution. The only requirement is that
+    /// equal projected tuples hash equal *within one call* — the partition
+    /// modulus consumes the hashes and collisions always re-compare tuples.
+    ///
+    /// With vectorized execution on, this reuses the join-side column-wise
+    /// hasher ([`KeySet::build`] with nulls hashed by id) instead of running
+    /// `DefaultHasher` value-by-value over every row; inputs whose columns
+    /// land in the mixed-variant fallback keep the row path, computed
+    /// morsel-parallel on the pool for large inputs.
     fn row_hashes(&self, rows: &[Tuple], pos: Option<&[usize]>) -> Result<Vec<u64>> {
+        if let Some(hashes) = self.vec_row_hashes(rows, pos) {
+            return Ok(hashes);
+        }
+        self.row_hashes_fallback(rows, pos)
+    }
+
+    /// Per-row full-tuple hashes for *both* sides of a set operation. Equal
+    /// tuples across the two relations must hash equal, so the vectorized
+    /// path is taken only when both sides column-hash successfully **and**
+    /// with pairwise identical column representations (a null in an `Int`
+    /// column and the same null in a `Str` column mix different placeholder
+    /// bits); otherwise both sides take the row path together.
+    fn row_hashes_pair(&self, l: &[Tuple], r: &[Tuple]) -> Result<(Vec<u64>, Vec<u64>)> {
+        if self.config.vectorized {
+            let pool = self.db.str_pool();
+            let arity = l.first().or_else(|| r.first()).map_or(0, |t| t.values().len());
+            let pos: Vec<usize> = (0..arity).collect();
+            if let (Some(lk), Some(rk)) =
+                (KeySet::build(l, &pos, true, pool), KeySet::build(r, &pos, true, pool))
+            {
+                if lk.compatible(&rk) {
+                    return Ok((lk.hashes, rk.hashes));
+                }
+            }
+        }
+        Ok((self.row_hashes_fallback(l, None)?, self.row_hashes_fallback(r, None)?))
+    }
+
+    /// The vectorized arm of [`Engine::row_hashes`]: column-wise hashing via
+    /// [`KeySet::build`], with nulls hashed by their id (`allow_nulls`) so
+    /// every row stays valid. `None` when vectorized execution is off or a
+    /// projected column lands in the `Values` fallback.
+    fn vec_row_hashes(&self, rows: &[Tuple], pos: Option<&[usize]>) -> Option<Vec<u64>> {
+        if !self.config.vectorized || rows.is_empty() {
+            return None;
+        }
+        let all: Vec<usize>;
+        let pos = match pos {
+            Some(pos) => pos,
+            None => {
+                all = (0..rows[0].values().len()).collect();
+                &all
+            }
+        };
+        KeySet::build(rows, pos, true, self.db.str_pool()).map(|ks| ks.hashes)
+    }
+
+    /// The row-at-a-time arm of [`Engine::row_hashes`]: `DefaultHasher` over
+    /// the projected values, morsel-parallel on the pool for large inputs.
+    fn row_hashes_fallback(&self, rows: &[Tuple], pos: Option<&[usize]>) -> Result<Vec<u64>> {
         use std::hash::{Hash, Hasher};
         let hash_one = |t: &Tuple| -> u64 {
             let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -2146,6 +2203,41 @@ mod tests {
         let engine = Engine::new(db).execute(q).unwrap().sorted().distinct();
         let reference = eval(q, db, NullSemantics::Sql).unwrap().sorted().distinct();
         assert_eq!(engine.tuples(), reference.tuples(), "query: {q}");
+    }
+
+    #[test]
+    fn row_hashes_agree_between_vectorized_and_row_paths_on_equality() {
+        // The partitioner only needs "equal tuples hash equal within one
+        // call" — but the vectorized and row arms must each deliver it over
+        // every value shape, nulls included.
+        let rows = rel(
+            &["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(1), Value::str("x")],
+                vec![null(7), Value::str("y")],
+                vec![null(7), Value::str("y")],
+                vec![null(8), Value::str("y")],
+            ],
+        );
+        let db = Database::new();
+        let engine = Engine::configured(&db, NullSemantics::Sql, EngineConfig::with_threads(2));
+        let vec_hashes = engine.vec_row_hashes(rows.tuples(), None).expect("uniform columns");
+        let row_hashes = engine.row_hashes_fallback(rows.tuples(), None).unwrap();
+        for hashes in [&vec_hashes, &row_hashes] {
+            assert_eq!(hashes[0], hashes[1], "equal ground tuples");
+            assert_eq!(hashes[2], hashes[3], "equal nulls hash by id");
+            assert_ne!(hashes[2], hashes[4], "distinct nulls should split");
+        }
+        // The pair path must never mix arms across set-op sides: either both
+        // vectorized (compatible reprs) or both row-at-a-time.
+        let other = rel(
+            &["a", "b"],
+            vec![vec![Value::Int(1), Value::str("x")], vec![null(7), Value::str("y")]],
+        );
+        let (l, r) = engine.row_hashes_pair(rows.tuples(), other.tuples()).unwrap();
+        assert_eq!(l[0], r[0], "equal tuples across sides share a hash");
+        assert_eq!(l[2], r[1], "null tuples across sides share a hash");
     }
 
     #[test]

@@ -36,3 +36,20 @@ pub const EXEC_TASKS_STOLEN: &str = "exec.tasks_stolen";
 pub const SESSION_EXECUTIONS: &str = "session.executions";
 /// Latency histogram (nanoseconds) of prepared-query executions.
 pub const SESSION_EXECUTE_NS: &str = "session.execute_ns";
+
+/// Requests completed by the query server (all types, success or error).
+pub const SERVER_REQUESTS: &str = "server.requests";
+/// Depth of the server's bounded request queue (gauge).
+pub const SERVER_QUEUE_DEPTH: &str = "server.queue_depth";
+/// Requests shed by admission control (queue full or over connection cap).
+pub const SERVER_REJECTED: &str = "server.rejected";
+/// Database snapshots pinned by readers since process start.
+pub const SERVER_SNAPSHOT_PINS: &str = "server.snapshot_pins";
+/// Currently live pinned snapshots (gauge).
+pub const SERVER_SNAPSHOT_PINS_LIVE: &str = "server.snapshot_pins_live";
+/// Client connections currently open (gauge).
+pub const SERVER_CONNECTIONS: &str = "server.connections";
+/// Prepared executions that hit `StalePlan` and were re-prepared server-side.
+pub const SERVER_STALE_REPLANS: &str = "server.stale_replans";
+/// Latency histogram (nanoseconds) of server request handling.
+pub const SERVER_REQUEST_NS: &str = "server.request_ns";

@@ -1,0 +1,254 @@
+//! `certus-client`: a blocking TCP client for the certus query server.
+//!
+//! Two usage styles:
+//!
+//! * **Closed loop** — the convenience methods ([`Client::query`],
+//!   [`Client::execute`], …) send one request and block for its response.
+//! * **Open loop / pipelined** — [`Client::send_query`] (and friends) write
+//!   a request and return its id immediately; [`Client::recv`] pulls the
+//!   next response off the wire. The server may answer out of order, so
+//!   match responses to requests by id.
+//!
+//! ```no_run
+//! use certus_server::client::Client;
+//! use certus_server::protocol::WireCertainty;
+//! use certus_server::RaExpr;
+//!
+//! let mut client = Client::connect("127.0.0.1:7878").unwrap();
+//! let answers = client
+//!     .query(WireCertainty::CertainPlus, &RaExpr::relation("orders"))
+//!     .unwrap();
+//! println!("{} certain answers", answers.body.certain.as_ref().unwrap().len());
+//! client.close().unwrap();
+//! ```
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, AnswerBody, ErrorCode, Request,
+    Response, ServerStats, WireCertainty, WireError, WireResult,
+};
+use certus_algebra::RaExpr;
+use certus_data::Tuple;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// An error surfaced by the client: either a transport/encoding failure or
+/// an error response from the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The wire layer failed (I/O or malformed frame).
+    Wire(WireError),
+    /// The server answered with an error response.
+    Server {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server answered with a response type the call did not expect.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => write!(f, "server error {code:?}: {message}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Answers as received off the wire, plus the canonical body bytes for
+/// differential comparison against local execution.
+#[derive(Debug, Clone)]
+pub struct WireAnswers {
+    /// The decoded answer payload.
+    pub body: AnswerBody,
+    /// Whether the server transparently re-prepared a stale plan to produce
+    /// this answer.
+    pub reprepared: bool,
+}
+
+impl WireAnswers {
+    /// The canonical bytes of the answer body (excludes the replan flag), as
+    /// compared in differential tests.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        self.body.encode()
+    }
+}
+
+/// A blocking connection to a certus server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect and verify liveness with a ping handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client { stream, next_id: 1 };
+        client.ping()?;
+        Ok(client)
+    }
+
+    fn send(&mut self, req: &Request) -> ClientResult<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &encode_request(id, req))?;
+        Ok(id)
+    }
+
+    /// Receive the next response frame, whatever request it answers.
+    pub fn recv(&mut self) -> ClientResult<(u64, Response)> {
+        let payload = read_frame(&mut self.stream)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// Block until the response for `id` arrives. Responses are ordered per
+    /// request only, so interleavings from pipelined requests are skipped —
+    /// callers mixing the closed-loop helpers with manual pipelining should
+    /// drain pipelined responses first.
+    fn wait_for(&mut self, id: u64) -> ClientResult<Response> {
+        loop {
+            let (got, resp) = self.recv()?;
+            if got == id {
+                return Ok(resp);
+            }
+            // Request id 0 is the server's channel for connection-scoped
+            // refusals (connection cap, broken framing) — surface those
+            // instead of waiting for a response that will never come.
+            if got == 0 {
+                if let Response::Error { code, message } = resp {
+                    return Err(ClientError::Server { code, message });
+                }
+            }
+        }
+    }
+
+    fn rpc(&mut self, req: &Request) -> ClientResult<Response> {
+        let id = self.send(req)?;
+        match self.wait_for(id)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Ping; returns the server's current schema epoch.
+    pub fn ping(&mut self) -> ClientResult<u64> {
+        match self.rpc(&Request::Ping)? {
+            Response::Pong { epoch } => Ok(epoch),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Prepare a query server-side; returns the statement id and the epoch
+    /// it was planned at.
+    pub fn prepare(
+        &mut self,
+        certainty: WireCertainty,
+        query: &RaExpr,
+    ) -> ClientResult<(u64, u64)> {
+        let req = Request::Prepare { certainty, query: query.clone() };
+        match self.rpc(&req)? {
+            Response::Prepared { prepared, epoch } => Ok((prepared, epoch)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Execute a prepared statement.
+    pub fn execute(&mut self, prepared: u64) -> ClientResult<WireAnswers> {
+        match self.rpc(&Request::Execute { prepared })? {
+            Response::Answers { body, reprepared } => Ok(WireAnswers { body, reprepared }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// One-shot prepare + execute.
+    pub fn query(&mut self, certainty: WireCertainty, query: &RaExpr) -> ClientResult<WireAnswers> {
+        let req = Request::Query { certainty, query: query.clone() };
+        match self.rpc(&req)? {
+            Response::Answers { body, reprepared } => Ok(WireAnswers { body, reprepared }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Append rows to a table; returns the schema epoch after the write.
+    pub fn insert(&mut self, table: &str, rows: Vec<Tuple>) -> ClientResult<u64> {
+        let req = Request::Insert { table: table.to_string(), rows };
+        match self.rpc(&req)? {
+            Response::Ack { epoch } => Ok(epoch),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch server counters.
+    pub fn stats(&mut self) -> ClientResult<ServerStats> {
+        match self.rpc(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        match self.rpc(&Request::Shutdown)? {
+            Response::Ack { .. } => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Drain this connection server-side (all in-flight responses flush
+    /// first) and close it.
+    pub fn close(mut self) -> ClientResult<()> {
+        match self.rpc(&Request::Close)? {
+            Response::Ack { .. } => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    // ---- pipelined (open-loop) API ----------------------------------------
+
+    /// Send a one-shot query without waiting; returns its request id.
+    pub fn send_query(&mut self, certainty: WireCertainty, query: &RaExpr) -> ClientResult<u64> {
+        self.send(&Request::Query { certainty, query: query.clone() })
+    }
+
+    /// Send an execute without waiting; returns its request id.
+    pub fn send_execute(&mut self, prepared: u64) -> ClientResult<u64> {
+        self.send(&Request::Execute { prepared })
+    }
+
+    /// Send an insert without waiting; returns its request id.
+    pub fn send_insert(&mut self, table: &str, rows: Vec<Tuple>) -> ClientResult<u64> {
+        self.send(&Request::Insert { table: table.to_string(), rows })
+    }
+
+    /// Receive a response and require it to be answers (any request id).
+    pub fn recv_answers(&mut self) -> ClientResult<(u64, WireAnswers)> {
+        match self.recv()? {
+            (id, Response::Answers { body, reprepared }) => {
+                Ok((id, WireAnswers { body, reprepared }))
+            }
+            (_, Response::Error { code, message }) => Err(ClientError::Server { code, message }),
+            (_, other) => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}
+
+/// A convenience: try to connect, returning the wire result directly (used
+/// by harnesses probing whether a server is up).
+pub fn try_connect(addr: impl ToSocketAddrs) -> WireResult<TcpStream> {
+    TcpStream::connect(addr).map_err(WireError::Io)
+}

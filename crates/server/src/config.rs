@@ -1,0 +1,47 @@
+//! Server tuning knobs.
+
+use certus_algebra::NullSemantics;
+
+/// Configuration for a [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind. Port 0 picks an ephemeral port; read the actual
+    /// address back from [`crate::Server::local_addr`].
+    pub addr: String,
+    /// Admission control: connections beyond this cap are refused with
+    /// [`crate::protocol::ErrorCode::TooManyConnections`].
+    pub max_connections: usize,
+    /// Admission control: requests beyond this queue depth are shed with
+    /// [`crate::protocol::ErrorCode::Overloaded`] instead of building
+    /// unbounded backlog.
+    pub queue_capacity: usize,
+    /// Number of executor threads draining the request queue. Each executes
+    /// one request at a time over its own pinned snapshot.
+    pub executors: usize,
+    /// Intra-query parallelism: worker threads the engine fans out on for a
+    /// single request (shared pool across all executors).
+    pub engine_threads: usize,
+    /// Null-comparison semantics sessions run under.
+    pub semantics: NullSemantics,
+    /// Capacity of the process-wide shared plan cache.
+    pub cache_capacity: usize,
+    /// Poll granularity for connection reads and the accept loop, in
+    /// milliseconds. Smaller is more responsive to shutdown; larger burns
+    /// less idle CPU.
+    pub poll_interval_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 256,
+            queue_capacity: 1024,
+            executors: 4,
+            engine_threads: 2,
+            semantics: NullSemantics::Sql,
+            cache_capacity: 128,
+            poll_interval_ms: 20,
+        }
+    }
+}

@@ -1,0 +1,1277 @@
+//! The wire protocol: length-prefixed frames carrying a hand-rolled binary
+//! encoding of requests and responses (no external serialization crates).
+//!
+//! Every frame is `u32` little-endian payload length followed by the
+//! payload; every payload starts with a `u64` request id (echoed verbatim in
+//! the response) and a `u8` message tag. Integers are little-endian, floats
+//! travel as normalized IEEE-754 bits, strings as `u32` length + UTF-8
+//! bytes. See `PROTOCOL.md` at the repository root for the full grammar.
+
+use certus_algebra::{AggExpr, AggFunc, Condition, Operand, ProjCol, RaExpr};
+use certus_data::compare::CmpOp;
+use certus_data::null::NullId;
+use certus_data::{Attribute, Relation, Schema, Tuple, Value, ValueType};
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Upper bound on a frame payload (64 MiB): malformed or hostile length
+/// prefixes fail fast instead of attempting a giant allocation.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Protocol-level errors: framing violations, unknown tags, truncated or
+/// trailing bytes, I/O failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The payload violates the encoding (bad tag, truncation, bad UTF-8…).
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Result alias for protocol operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+fn bad(msg: impl Into<String>) -> WireError {
+    WireError::Malformed(msg.into())
+}
+
+/// Error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request could not be decoded.
+    Malformed,
+    /// The bounded request queue is full; retry later.
+    Overloaded,
+    /// The server is at its connection cap.
+    TooManyConnections,
+    /// An `Execute` referenced a prepared-statement id this connection never
+    /// prepared (or already closed).
+    UnknownPrepared,
+    /// Query planning or execution failed; the message carries the engine's
+    /// error text.
+    QueryError,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// An internal invariant failed server-side.
+    Internal,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 0,
+            ErrorCode::Overloaded => 1,
+            ErrorCode::TooManyConnections => 2,
+            ErrorCode::UnknownPrepared => 3,
+            ErrorCode::QueryError => 4,
+            ErrorCode::ShuttingDown => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_tag(t: u8) -> WireResult<Self> {
+        Ok(match t {
+            0 => ErrorCode::Malformed,
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::TooManyConnections,
+            3 => ErrorCode::UnknownPrepared,
+            4 => ErrorCode::QueryError,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::Internal,
+            other => return Err(bad(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+/// Which answers a query request asks for — the wire image of
+/// [`certus::Certainty`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireCertainty {
+    /// Plain SQL evaluation.
+    Plain,
+    /// The certain-answer rewriting `Q⁺`.
+    CertainPlus,
+    /// The possible-answer rewriting `Q★`.
+    PossibleStar,
+    /// All three plus the certain/possible breakdown.
+    Both,
+}
+
+impl WireCertainty {
+    fn tag(self) -> u8 {
+        match self {
+            WireCertainty::Plain => 0,
+            WireCertainty::CertainPlus => 1,
+            WireCertainty::PossibleStar => 2,
+            WireCertainty::Both => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> WireResult<Self> {
+        Ok(match t {
+            0 => WireCertainty::Plain,
+            1 => WireCertainty::CertainPlus,
+            2 => WireCertainty::PossibleStar,
+            3 => WireCertainty::Both,
+            other => return Err(bad(format!("unknown certainty {other}"))),
+        })
+    }
+}
+
+/// A client→server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check; answered inline with [`Response::Pong`].
+    Ping,
+    /// Plan + compile a query server-side; answered with
+    /// [`Response::Prepared`] carrying a connection-scoped statement id.
+    Prepare {
+        /// Which answers to prepare for.
+        certainty: WireCertainty,
+        /// The query.
+        query: RaExpr,
+    },
+    /// Execute a previously prepared statement.
+    Execute {
+        /// Statement id from [`Response::Prepared`].
+        prepared: u64,
+    },
+    /// One-shot prepare + execute.
+    Query {
+        /// Which answers to produce.
+        certainty: WireCertainty,
+        /// The query.
+        query: RaExpr,
+    },
+    /// Append rows to a table; bumps the schema epoch.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows to append (each must match the table's arity).
+        rows: Vec<Tuple>,
+    },
+    /// Drain this connection (all in-flight responses flush) and close it.
+    Close,
+    /// Server + cache counters; answered inline with [`Response::Stats`].
+    Stats,
+    /// Ask the whole server to shut down gracefully.
+    Shutdown,
+}
+
+impl Request {
+    fn tag(&self) -> u8 {
+        match self {
+            Request::Ping => 0,
+            Request::Prepare { .. } => 1,
+            Request::Execute { .. } => 2,
+            Request::Query { .. } => 3,
+            Request::Insert { .. } => 4,
+            Request::Close => 5,
+            Request::Stats => 6,
+            Request::Shutdown => 7,
+        }
+    }
+}
+
+/// The body of an answer response, shared by `Query` and `Execute`.
+///
+/// [`AnswerBody::encode`] is the *canonical* byte form: it covers exactly
+/// the certainty and the answer relations/breakdown, so differential
+/// harnesses can compare server answers byte-for-byte against local
+/// [`certus::Session`] execution regardless of epochs or replan flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerBody {
+    /// The certainty the query ran under.
+    pub certainty: WireCertainty,
+    /// Plain SQL answer, when requested.
+    pub plain: Option<Relation>,
+    /// Certain answers `Q⁺`, when requested.
+    pub certain: Option<Relation>,
+    /// Possible answers `Q★`, when requested.
+    pub possible: Option<Relation>,
+    /// For `Both`: (total, certain, false positives) of the SQL answer.
+    pub breakdown: Option<(u64, u64, u64)>,
+}
+
+impl AnswerBody {
+    /// Encode to the canonical byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.certainty.tag());
+        put_opt(&mut out, self.plain.as_ref(), put_relation);
+        put_opt(&mut out, self.certain.as_ref(), put_relation);
+        put_opt(&mut out, self.possible.as_ref(), put_relation);
+        put_opt(&mut out, self.breakdown.as_ref(), |b, &(t, c, f)| {
+            put_u64(b, t);
+            put_u64(b, c);
+            put_u64(b, f);
+        });
+        out
+    }
+
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(AnswerBody {
+            certainty: WireCertainty::from_tag(r.u8()?)?,
+            plain: get_opt(r, get_relation)?,
+            certain: get_opt(r, get_relation)?,
+            possible: get_opt(r, get_relation)?,
+            breakdown: get_opt(r, |r| Ok((r.u64()?, r.u64()?, r.u64()?)))?,
+        })
+    }
+}
+
+/// Counters reported by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests completed (all types).
+    pub requests: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Stale prepared executions transparently re-prepared.
+    pub stale_replans: u64,
+    /// Currently open connections.
+    pub connections: u64,
+    /// Currently pinned snapshots.
+    pub live_pins: u64,
+    /// Current depth of the bounded request queue.
+    pub queue_depth: u64,
+    /// Shared plan-cache hits.
+    pub cache_hits: u64,
+    /// Shared plan-cache misses.
+    pub cache_misses: u64,
+    /// Entries currently in the shared plan cache.
+    pub cache_entries: u64,
+    /// Schema epoch of the current snapshot.
+    pub epoch: u64,
+}
+
+/// A server→client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness answer carrying the current schema epoch.
+    Pong {
+        /// Schema epoch of the current snapshot.
+        epoch: u64,
+    },
+    /// A statement was prepared under this connection-scoped id.
+    Prepared {
+        /// Statement id for [`Request::Execute`].
+        prepared: u64,
+        /// Schema epoch the statement was planned at.
+        epoch: u64,
+    },
+    /// Answers to a `Query` or `Execute` request.
+    Answers {
+        /// The canonical answer payload.
+        body: AnswerBody,
+        /// Whether a stale prepared plan was transparently re-prepared
+        /// against the current snapshot before executing. Not part of the
+        /// canonical [`AnswerBody::encode`] bytes.
+        reprepared: bool,
+    },
+    /// A write (or close/shutdown) was applied.
+    Ack {
+        /// Schema epoch after the operation.
+        epoch: u64,
+    },
+    /// The request failed; the connection stays usable (except for
+    /// [`ErrorCode::TooManyConnections`] / [`ErrorCode::ShuttingDown`]).
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Server counters.
+    Stats(ServerStats),
+}
+
+impl Response {
+    fn tag(&self) -> u8 {
+        match self {
+            Response::Pong { .. } => 0,
+            Response::Prepared { .. } => 1,
+            Response::Answers { .. } => 2,
+            Response::Ack { .. } => 3,
+            Response::Error { .. } => 4,
+            Response::Stats(_) => 5,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders/decoders.
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_opt<T>(out: &mut Vec<u8>, v: Option<&T>, put: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+/// A cursor over a received payload with bounds-checked reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            None => Err(bad(format!(
+                "truncated payload: wanted {n} bytes at offset {} of {}",
+                self.at,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> WireResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> WireResult<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> WireResult<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("string is not UTF-8"))
+    }
+
+    fn bool(&mut self) -> WireResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(bad(format!("bad bool byte {other}"))),
+        }
+    }
+
+    /// A collection length, sanity-capped by the bytes actually remaining
+    /// (every element takes ≥ 1 byte) so hostile lengths cannot force huge
+    /// allocations.
+    fn len(&mut self) -> WireResult<usize> {
+        let n = self.u32()? as usize;
+        let left = self.buf.len() - self.at;
+        if n > left {
+            return Err(bad(format!("length {n} exceeds remaining {left} bytes")));
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> WireResult<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad(format!("{} trailing bytes", self.buf.len() - self.at)))
+        }
+    }
+}
+
+fn get_opt<T>(
+    r: &mut Reader<'_>,
+    get: impl FnOnce(&mut Reader<'_>) -> WireResult<T>,
+) -> WireResult<Option<T>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(get(r)?)),
+        other => Err(bad(format!("bad option byte {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain encoders/decoders.
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null(NullId(id)) => {
+            put_u8(out, 0);
+            put_u64(out, *id);
+        }
+        Value::Int(i) => {
+            put_u8(out, 1);
+            put_i64(out, *i);
+        }
+        Value::Float(f) => {
+            put_u8(out, 2);
+            put_u64(out, f.to_bits());
+        }
+        Value::Decimal(d) => {
+            put_u8(out, 3);
+            put_i64(out, *d);
+        }
+        Value::Str(s) => {
+            put_u8(out, 4);
+            put_str(out, s);
+        }
+        Value::Bool(b) => {
+            put_u8(out, 5);
+            put_bool(out, *b);
+        }
+        Value::Date(d) => {
+            put_u8(out, 6);
+            put_i32(out, *d);
+        }
+    }
+}
+
+fn get_value(r: &mut Reader<'_>) -> WireResult<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null(NullId(r.u64()?)),
+        1 => Value::Int(r.i64()?),
+        2 => Value::Float(f64::from_bits(r.u64()?)),
+        3 => Value::Decimal(r.i64()?),
+        4 => Value::str(r.str()?),
+        5 => Value::Bool(r.bool()?),
+        6 => Value::Date(r.i32()?),
+        other => return Err(bad(format!("unknown value tag {other}"))),
+    })
+}
+
+fn put_value_type(out: &mut Vec<u8>, ty: ValueType) {
+    put_u8(
+        out,
+        match ty {
+            ValueType::Int => 0,
+            ValueType::Float => 1,
+            ValueType::Decimal => 2,
+            ValueType::Str => 3,
+            ValueType::Bool => 4,
+            ValueType::Date => 5,
+            ValueType::Any => 6,
+        },
+    );
+}
+
+fn get_value_type(r: &mut Reader<'_>) -> WireResult<ValueType> {
+    Ok(match r.u8()? {
+        0 => ValueType::Int,
+        1 => ValueType::Float,
+        2 => ValueType::Decimal,
+        3 => ValueType::Str,
+        4 => ValueType::Bool,
+        5 => ValueType::Date,
+        6 => ValueType::Any,
+        other => return Err(bad(format!("unknown value type {other}"))),
+    })
+}
+
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u32(out, schema.attrs().len() as u32);
+    for a in schema.attrs() {
+        put_str(out, &a.name);
+        put_value_type(out, a.ty);
+        put_bool(out, a.nullable);
+    }
+}
+
+fn get_schema(r: &mut Reader<'_>) -> WireResult<Schema> {
+    let n = r.len()?;
+    let mut attrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let ty = get_value_type(r)?;
+        let nullable = r.bool()?;
+        attrs.push(Attribute { name, ty, nullable });
+    }
+    Ok(Schema::new(attrs))
+}
+
+fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
+    put_u32(out, t.values().len() as u32);
+    for v in t.values() {
+        put_value(out, v);
+    }
+}
+
+fn get_tuple(r: &mut Reader<'_>) -> WireResult<Tuple> {
+    let n = r.len()?;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(get_value(r)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+fn put_relation(out: &mut Vec<u8>, rel: &Relation) {
+    put_schema(out, rel.schema());
+    put_u32(out, rel.len() as u32);
+    for t in rel.tuples() {
+        put_tuple(out, t);
+    }
+}
+
+fn get_relation(r: &mut Reader<'_>) -> WireResult<Relation> {
+    let schema = Arc::new(get_schema(r)?);
+    let n = r.len()?;
+    let mut tuples = Vec::with_capacity(n);
+    for _ in 0..n {
+        tuples.push(get_tuple(r)?);
+    }
+    Ok(Relation::from_parts(schema, tuples))
+}
+
+fn put_cmp_op(out: &mut Vec<u8>, op: CmpOp) {
+    put_u8(
+        out,
+        match op {
+            CmpOp::Eq => 0,
+            CmpOp::Neq => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Gt => 4,
+            CmpOp::Ge => 5,
+        },
+    );
+}
+
+fn get_cmp_op(r: &mut Reader<'_>) -> WireResult<CmpOp> {
+    Ok(match r.u8()? {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Neq,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        other => return Err(bad(format!("unknown cmp op {other}"))),
+    })
+}
+
+fn put_operand(out: &mut Vec<u8>, op: &Operand) {
+    match op {
+        Operand::Col(c) => {
+            put_u8(out, 0);
+            put_str(out, c);
+        }
+        Operand::Const(v) => {
+            put_u8(out, 1);
+            put_value(out, v);
+        }
+        Operand::Scalar(q) => {
+            put_u8(out, 2);
+            put_expr(out, q);
+        }
+    }
+}
+
+fn get_operand(r: &mut Reader<'_>) -> WireResult<Operand> {
+    Ok(match r.u8()? {
+        0 => Operand::Col(r.str()?),
+        1 => Operand::Const(get_value(r)?),
+        2 => Operand::Scalar(Box::new(get_expr(r)?)),
+        other => return Err(bad(format!("unknown operand tag {other}"))),
+    })
+}
+
+fn put_condition(out: &mut Vec<u8>, c: &Condition) {
+    match c {
+        Condition::True => put_u8(out, 0),
+        Condition::False => put_u8(out, 1),
+        Condition::Cmp { left, op, right } => {
+            put_u8(out, 2);
+            put_operand(out, left);
+            put_cmp_op(out, *op);
+            put_operand(out, right);
+        }
+        Condition::IsNull(op) => {
+            put_u8(out, 3);
+            put_operand(out, op);
+        }
+        Condition::IsNotNull(op) => {
+            put_u8(out, 4);
+            put_operand(out, op);
+        }
+        Condition::Like { expr, pattern, negated } => {
+            put_u8(out, 5);
+            put_operand(out, expr);
+            put_str(out, pattern);
+            put_bool(out, *negated);
+        }
+        Condition::InList { expr, list, negated } => {
+            put_u8(out, 6);
+            put_operand(out, expr);
+            put_u32(out, list.len() as u32);
+            for v in list {
+                put_value(out, v);
+            }
+            put_bool(out, *negated);
+        }
+        Condition::And(a, b) => {
+            put_u8(out, 7);
+            put_condition(out, a);
+            put_condition(out, b);
+        }
+        Condition::Or(a, b) => {
+            put_u8(out, 8);
+            put_condition(out, a);
+            put_condition(out, b);
+        }
+        Condition::Not(a) => {
+            put_u8(out, 9);
+            put_condition(out, a);
+        }
+    }
+}
+
+fn get_condition(r: &mut Reader<'_>) -> WireResult<Condition> {
+    Ok(match r.u8()? {
+        0 => Condition::True,
+        1 => Condition::False,
+        2 => Condition::Cmp { left: get_operand(r)?, op: get_cmp_op(r)?, right: get_operand(r)? },
+        3 => Condition::IsNull(get_operand(r)?),
+        4 => Condition::IsNotNull(get_operand(r)?),
+        5 => Condition::Like { expr: get_operand(r)?, pattern: r.str()?, negated: r.bool()? },
+        6 => {
+            let expr = get_operand(r)?;
+            let n = r.len()?;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                list.push(get_value(r)?);
+            }
+            let negated = r.bool()?;
+            Condition::InList { expr, list, negated }
+        }
+        7 => Condition::And(Box::new(get_condition(r)?), Box::new(get_condition(r)?)),
+        8 => Condition::Or(Box::new(get_condition(r)?), Box::new(get_condition(r)?)),
+        9 => Condition::Not(Box::new(get_condition(r)?)),
+        other => return Err(bad(format!("unknown condition tag {other}"))),
+    })
+}
+
+fn put_agg_func(out: &mut Vec<u8>, f: AggFunc) {
+    put_u8(
+        out,
+        match f {
+            AggFunc::CountStar => 0,
+            AggFunc::Count => 1,
+            AggFunc::Sum => 2,
+            AggFunc::Avg => 3,
+            AggFunc::Min => 4,
+            AggFunc::Max => 5,
+        },
+    );
+}
+
+fn get_agg_func(r: &mut Reader<'_>) -> WireResult<AggFunc> {
+    Ok(match r.u8()? {
+        0 => AggFunc::CountStar,
+        1 => AggFunc::Count,
+        2 => AggFunc::Sum,
+        3 => AggFunc::Avg,
+        4 => AggFunc::Min,
+        5 => AggFunc::Max,
+        other => return Err(bad(format!("unknown aggregate function {other}"))),
+    })
+}
+
+fn put_expr(out: &mut Vec<u8>, e: &RaExpr) {
+    match e {
+        RaExpr::Relation { name, alias } => {
+            put_u8(out, 0);
+            put_str(out, name);
+            put_opt(out, alias.as_ref(), |b, a| put_str(b, a));
+        }
+        RaExpr::Values { schema, rows } => {
+            put_u8(out, 1);
+            put_schema(out, schema);
+            put_u32(out, rows.len() as u32);
+            for t in rows {
+                put_tuple(out, t);
+            }
+        }
+        RaExpr::Select { input, condition } => {
+            put_u8(out, 2);
+            put_expr(out, input);
+            put_condition(out, condition);
+        }
+        RaExpr::Project { input, columns } => {
+            put_u8(out, 3);
+            put_expr(out, input);
+            put_u32(out, columns.len() as u32);
+            for c in columns {
+                put_str(out, &c.column);
+                put_opt(out, c.alias.as_ref(), |b, a| put_str(b, a));
+            }
+        }
+        RaExpr::Product { left, right } => {
+            put_u8(out, 4);
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        RaExpr::Join { left, right, condition } => {
+            put_u8(out, 5);
+            put_expr(out, left);
+            put_expr(out, right);
+            put_condition(out, condition);
+        }
+        RaExpr::Union { left, right } => {
+            put_u8(out, 6);
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        RaExpr::Intersect { left, right } => {
+            put_u8(out, 7);
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        RaExpr::Difference { left, right } => {
+            put_u8(out, 8);
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        RaExpr::SemiJoin { left, right, condition } => {
+            put_u8(out, 9);
+            put_expr(out, left);
+            put_expr(out, right);
+            put_condition(out, condition);
+        }
+        RaExpr::AntiJoin { left, right, condition } => {
+            put_u8(out, 10);
+            put_expr(out, left);
+            put_expr(out, right);
+            put_condition(out, condition);
+        }
+        RaExpr::UnifySemiJoin { left, right } => {
+            put_u8(out, 11);
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        RaExpr::UnifyAntiSemiJoin { left, right } => {
+            put_u8(out, 12);
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        RaExpr::Division { left, right } => {
+            put_u8(out, 13);
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        RaExpr::Rename { input, columns } => {
+            put_u8(out, 14);
+            put_expr(out, input);
+            put_u32(out, columns.len() as u32);
+            for c in columns {
+                put_str(out, c);
+            }
+        }
+        RaExpr::Distinct { input } => {
+            put_u8(out, 15);
+            put_expr(out, input);
+        }
+        RaExpr::Aggregate { input, group_by, aggregates } => {
+            put_u8(out, 16);
+            put_expr(out, input);
+            put_u32(out, group_by.len() as u32);
+            for g in group_by {
+                put_str(out, g);
+            }
+            put_u32(out, aggregates.len() as u32);
+            for a in aggregates {
+                put_agg_func(out, a.func);
+                put_opt(out, a.column.as_ref(), |b, c| put_str(b, c));
+                put_str(out, &a.alias);
+            }
+        }
+    }
+}
+
+fn get_expr(r: &mut Reader<'_>) -> WireResult<RaExpr> {
+    Ok(match r.u8()? {
+        0 => RaExpr::Relation { name: r.str()?, alias: get_opt(r, |r| r.str())? },
+        1 => {
+            let schema = get_schema(r)?;
+            let n = r.len()?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(get_tuple(r)?);
+            }
+            RaExpr::Values { schema, rows }
+        }
+        2 => RaExpr::Select { input: Box::new(get_expr(r)?), condition: get_condition(r)? },
+        3 => {
+            let input = Box::new(get_expr(r)?);
+            let n = r.len()?;
+            let mut columns = Vec::with_capacity(n);
+            for _ in 0..n {
+                let column = r.str()?;
+                let alias = get_opt(r, |r| r.str())?;
+                columns.push(ProjCol { column, alias });
+            }
+            RaExpr::Project { input, columns }
+        }
+        4 => RaExpr::Product { left: Box::new(get_expr(r)?), right: Box::new(get_expr(r)?) },
+        5 => RaExpr::Join {
+            left: Box::new(get_expr(r)?),
+            right: Box::new(get_expr(r)?),
+            condition: get_condition(r)?,
+        },
+        6 => RaExpr::Union { left: Box::new(get_expr(r)?), right: Box::new(get_expr(r)?) },
+        7 => RaExpr::Intersect { left: Box::new(get_expr(r)?), right: Box::new(get_expr(r)?) },
+        8 => RaExpr::Difference { left: Box::new(get_expr(r)?), right: Box::new(get_expr(r)?) },
+        9 => RaExpr::SemiJoin {
+            left: Box::new(get_expr(r)?),
+            right: Box::new(get_expr(r)?),
+            condition: get_condition(r)?,
+        },
+        10 => RaExpr::AntiJoin {
+            left: Box::new(get_expr(r)?),
+            right: Box::new(get_expr(r)?),
+            condition: get_condition(r)?,
+        },
+        11 => RaExpr::UnifySemiJoin { left: Box::new(get_expr(r)?), right: Box::new(get_expr(r)?) },
+        12 => RaExpr::UnifyAntiSemiJoin {
+            left: Box::new(get_expr(r)?),
+            right: Box::new(get_expr(r)?),
+        },
+        13 => RaExpr::Division { left: Box::new(get_expr(r)?), right: Box::new(get_expr(r)?) },
+        14 => {
+            let input = Box::new(get_expr(r)?);
+            let n = r.len()?;
+            let mut columns = Vec::with_capacity(n);
+            for _ in 0..n {
+                columns.push(r.str()?);
+            }
+            RaExpr::Rename { input, columns }
+        }
+        15 => RaExpr::Distinct { input: Box::new(get_expr(r)?) },
+        16 => {
+            let input = Box::new(get_expr(r)?);
+            let n = r.len()?;
+            let mut group_by = Vec::with_capacity(n);
+            for _ in 0..n {
+                group_by.push(r.str()?);
+            }
+            let n = r.len()?;
+            let mut aggregates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let func = get_agg_func(r)?;
+                let column = get_opt(r, |r| r.str())?;
+                let alias = r.str()?;
+                aggregates.push(AggExpr { func, column, alias });
+            }
+            RaExpr::Aggregate { input, group_by, aggregates }
+        }
+        other => return Err(bad(format!("unknown expression tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Message encode/decode and framing.
+
+/// Encode a request payload (request id + tag + body), without the length
+/// prefix.
+pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, request_id);
+    put_u8(&mut out, req.tag());
+    match req {
+        Request::Ping | Request::Close | Request::Stats | Request::Shutdown => {}
+        Request::Prepare { certainty, query } | Request::Query { certainty, query } => {
+            put_u8(&mut out, certainty.tag());
+            put_expr(&mut out, query);
+        }
+        Request::Execute { prepared } => put_u64(&mut out, *prepared),
+        Request::Insert { table, rows } => {
+            put_str(&mut out, table);
+            put_u32(&mut out, rows.len() as u32);
+            for t in rows {
+                put_tuple(&mut out, t);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a request payload produced by [`encode_request`].
+pub fn decode_request(payload: &[u8]) -> WireResult<(u64, Request)> {
+    let mut r = Reader::new(payload);
+    let id = r.u64()?;
+    let tag = r.u8()?;
+    let req = match tag {
+        0 => Request::Ping,
+        1 | 3 => {
+            let certainty = WireCertainty::from_tag(r.u8()?)?;
+            let query = get_expr(&mut r)?;
+            if tag == 1 {
+                Request::Prepare { certainty, query }
+            } else {
+                Request::Query { certainty, query }
+            }
+        }
+        2 => Request::Execute { prepared: r.u64()? },
+        4 => {
+            let table = r.str()?;
+            let n = r.len()?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(get_tuple(&mut r)?);
+            }
+            Request::Insert { table, rows }
+        }
+        5 => Request::Close,
+        6 => Request::Stats,
+        7 => Request::Shutdown,
+        other => return Err(bad(format!("unknown request tag {other}"))),
+    };
+    r.finish()?;
+    Ok((id, req))
+}
+
+/// Encode a response payload (request id + tag + body), without the length
+/// prefix.
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, request_id);
+    put_u8(&mut out, resp.tag());
+    match resp {
+        Response::Pong { epoch } | Response::Ack { epoch } => put_u64(&mut out, *epoch),
+        Response::Prepared { prepared, epoch } => {
+            put_u64(&mut out, *prepared);
+            put_u64(&mut out, *epoch);
+        }
+        Response::Answers { body, reprepared } => {
+            out.extend_from_slice(&body.encode());
+            put_bool(&mut out, *reprepared);
+        }
+        Response::Error { code, message } => {
+            put_u8(&mut out, code.tag());
+            put_str(&mut out, message);
+        }
+        Response::Stats(s) => {
+            for v in [
+                s.requests,
+                s.rejected,
+                s.stale_replans,
+                s.connections,
+                s.live_pins,
+                s.queue_depth,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_entries,
+                s.epoch,
+            ] {
+                put_u64(&mut out, v);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a response payload produced by [`encode_response`].
+pub fn decode_response(payload: &[u8]) -> WireResult<(u64, Response)> {
+    let mut r = Reader::new(payload);
+    let id = r.u64()?;
+    let resp = match r.u8()? {
+        0 => Response::Pong { epoch: r.u64()? },
+        1 => Response::Prepared { prepared: r.u64()?, epoch: r.u64()? },
+        2 => Response::Answers { body: AnswerBody::decode(&mut r)?, reprepared: r.bool()? },
+        3 => Response::Ack { epoch: r.u64()? },
+        4 => Response::Error { code: ErrorCode::from_tag(r.u8()?)?, message: r.str()? },
+        5 => Response::Stats(ServerStats {
+            requests: r.u64()?,
+            rejected: r.u64()?,
+            stale_replans: r.u64()?,
+            connections: r.u64()?,
+            live_pins: r.u64()?,
+            queue_depth: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            cache_entries: r.u64()?,
+            epoch: r.u64()?,
+        }),
+        other => return Err(bad(format!("unknown response tag {other}"))),
+    };
+    r.finish()?;
+    Ok((id, resp))
+}
+
+/// Write one frame: `u32` LE payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> WireResult<()> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(bad(format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len())));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, returning its payload. Propagates I/O errors (including
+/// timeouts) untouched so pollers can distinguish "no data yet" from EOF.
+pub fn read_frame(r: &mut impl Read) -> WireResult<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(bad(format!("frame length {len} exceeds MAX_FRAME_LEN")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certus_algebra::builder::eq;
+
+    fn sample_exprs() -> Vec<RaExpr> {
+        let base = RaExpr::relation("r");
+        let joined = RaExpr::relation_as("l", "l1").join(
+            RaExpr::relation("s"),
+            eq("a", "b").and(Condition::Not(Box::new(Condition::Like {
+                expr: Operand::Col("c".into()),
+                pattern: "%x_".into(),
+                negated: false,
+            }))),
+        );
+        let values = RaExpr::Values {
+            schema: Schema::new(vec![
+                Attribute::new("x", ValueType::Int),
+                Attribute::not_null("y", ValueType::Str),
+            ]),
+            rows: vec![
+                Tuple::new(vec![Value::Int(1), Value::str("a")]),
+                Tuple::new(vec![Value::Null(NullId(3)), Value::str("b")]),
+            ],
+        };
+        let agg = RaExpr::Aggregate {
+            input: Box::new(base.clone()),
+            group_by: vec!["a".into()],
+            aggregates: vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Sum, "b", "total")],
+        };
+        let scalar = RaExpr::relation("t").select(Condition::Cmp {
+            left: Operand::Col("v".into()),
+            op: CmpOp::Ge,
+            right: Operand::Scalar(Box::new(values.clone())),
+        });
+        let inlist = RaExpr::relation("u").select(Condition::InList {
+            expr: Operand::Col("k".into()),
+            list: vec![Value::Int(1), Value::Float(2.5), Value::Date(19000), Value::Bool(true)],
+            negated: true,
+        });
+        vec![
+            base.clone(),
+            joined,
+            values,
+            agg,
+            scalar,
+            inlist,
+            RaExpr::Division {
+                left: Box::new(base.clone()),
+                right: Box::new(RaExpr::relation("s")),
+            },
+            RaExpr::Rename { input: Box::new(base.clone()), columns: vec!["p".into()] },
+            RaExpr::Distinct { input: Box::new(base.clone()) },
+            RaExpr::UnifySemiJoin {
+                left: Box::new(base.clone()),
+                right: Box::new(RaExpr::relation("s")),
+            },
+            RaExpr::UnifyAntiSemiJoin {
+                left: Box::new(base.clone()),
+                right: Box::new(RaExpr::relation("s")),
+            },
+            base.clone().union(RaExpr::relation("s")),
+            base.clone().intersect(RaExpr::relation("s")),
+            base.clone().difference(RaExpr::relation("s")),
+            base.clone().product(RaExpr::relation("s")),
+            base.clone().semi_join(RaExpr::relation("s"), eq("a", "b")),
+            base.anti_join(RaExpr::relation("s"), eq("a", "b")),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let mut requests = vec![
+            Request::Ping,
+            Request::Close,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Execute { prepared: 42 },
+            Request::Insert {
+                table: "r".into(),
+                rows: vec![Tuple::new(vec![Value::Int(1), Value::Null(NullId(9))])],
+            },
+        ];
+        for (i, q) in sample_exprs().into_iter().enumerate() {
+            let certainty = match i % 4 {
+                0 => WireCertainty::Plain,
+                1 => WireCertainty::CertainPlus,
+                2 => WireCertainty::PossibleStar,
+                _ => WireCertainty::Both,
+            };
+            requests.push(Request::Prepare { certainty, query: q.clone() });
+            requests.push(Request::Query { certainty, query: q });
+        }
+        for (i, req) in requests.into_iter().enumerate() {
+            let bytes = encode_request(i as u64, &req);
+            let (id, back) = decode_request(&bytes).expect("request decodes");
+            assert_eq!(id, i as u64);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let rel = Relation::from_parts(
+            Schema::new(vec![Attribute::new("a", ValueType::Int)]).shared(),
+            vec![Tuple::new(vec![Value::Int(7)]), Tuple::new(vec![Value::Null(NullId(2))])],
+        );
+        let responses = vec![
+            Response::Pong { epoch: 3 },
+            Response::Prepared { prepared: 5, epoch: 3 },
+            Response::Ack { epoch: 4 },
+            Response::Error { code: ErrorCode::Overloaded, message: "queue full".into() },
+            Response::Stats(ServerStats { requests: 10, epoch: 2, ..Default::default() }),
+            Response::Answers {
+                body: AnswerBody {
+                    certainty: WireCertainty::Both,
+                    plain: Some(rel.clone()),
+                    certain: Some(rel.clone()),
+                    possible: Some(rel),
+                    breakdown: Some((2, 1, 1)),
+                },
+                reprepared: true,
+            },
+        ];
+        for (i, resp) in responses.into_iter().enumerate() {
+            let bytes = encode_response(i as u64, &resp);
+            let (id, back) = decode_response(&bytes).expect("response decodes");
+            assert_eq!(id, i as u64);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn answer_body_bytes_exclude_the_replan_flag() {
+        let body = AnswerBody {
+            certainty: WireCertainty::Plain,
+            plain: Some(Relation::from_parts(
+                Schema::new(vec![Attribute::new("a", ValueType::Int)]).shared(),
+                vec![Tuple::new(vec![Value::Int(1)])],
+            )),
+            certain: None,
+            possible: None,
+            breakdown: None,
+        };
+        let fresh =
+            encode_response(1, &Response::Answers { body: body.clone(), reprepared: false });
+        let replanned =
+            encode_response(1, &Response::Answers { body: body.clone(), reprepared: true });
+        assert_ne!(fresh, replanned, "the flag is on the wire…");
+        let (_, a) = decode_response(&fresh).unwrap();
+        let (_, b) = decode_response(&replanned).unwrap();
+        match (a, b) {
+            (Response::Answers { body: ba, .. }, Response::Answers { body: bb, .. }) => {
+                assert_eq!(ba.encode(), bb.encode(), "…but not in the canonical body");
+                assert_eq!(ba.encode(), body.encode());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked() {
+        // Truncations of a valid request must all fail cleanly.
+        let good = encode_request(
+            7,
+            &Request::Query { certainty: WireCertainty::Both, query: sample_exprs().remove(1) },
+        );
+        for cut in 0..good.len() {
+            assert!(decode_request(&good[..cut]).is_err(), "truncation at {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_request(&trailing).is_err());
+        // Unknown tags and hostile lengths.
+        assert!(decode_request(&[0; 8]).is_err(), "an id alone lacks a tag");
+        let mut hostile = encode_request(1, &Request::Ping);
+        hostile[8] = 99;
+        assert!(decode_request(&hostile).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_cap_length() {
+        let payload = encode_request(1, &Request::Ping);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        // A hostile length prefix fails before allocating.
+        let mut hostile = std::io::Cursor::new((MAX_FRAME_LEN + 1).to_le_bytes().to_vec());
+        assert!(matches!(read_frame(&mut hostile), Err(WireError::Malformed(_))));
+    }
+}

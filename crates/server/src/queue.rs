@@ -1,0 +1,142 @@
+//! A bounded multi-producer multi-consumer work queue (std-only).
+//!
+//! Producers use [`Queue::push_try`], which *sheds* instead of blocking when
+//! the queue is full — admission control for an overloaded server is a
+//! protocol-level `Overloaded` response, never backpressure that would stall
+//! a reader thread and with it every other request on that connection.
+//! Consumers block in [`Queue::pop`] until work arrives or the queue is
+//! closed and drained.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use certus_obs::metrics::Gauge;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue with a gauge mirroring its depth.
+pub struct Queue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+    depth: Arc<Gauge>,
+}
+
+impl<T> Queue<T> {
+    /// Create a queue holding at most `capacity` items, mirroring its depth
+    /// into `depth`.
+    pub fn new(capacity: usize, depth: Arc<Gauge>) -> Self {
+        Queue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            capacity,
+            depth,
+        }
+    }
+
+    /// Enqueue `item`, or give it back if the queue is full or closed.
+    pub fn push_try(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        self.depth.set(inner.items.len() as u64);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is open and empty.
+    /// Returns `None` once the queue is closed *and* drained, so consumers
+    /// finish in-flight work before exiting.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.depth.set(inner.items.len() as u64);
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: new pushes fail, consumers drain what is left and
+    /// then see `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certus_obs::metrics::registry;
+    use std::thread;
+
+    fn gauge(name: &str) -> Arc<Gauge> {
+        registry().gauge(name)
+    }
+
+    #[test]
+    fn push_try_sheds_when_full() {
+        let q = Queue::new(2, gauge("test.queue.full"));
+        assert!(q.push_try(1).is_ok());
+        assert!(q.push_try(2).is_ok());
+        assert_eq!(q.push_try(3), Err(3));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push_try(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_stops_consumers() {
+        let q = Arc::new(Queue::new(8, gauge("test.queue.close")));
+        q.push_try(10).unwrap();
+        q.push_try(11).unwrap();
+        q.close();
+        assert_eq!(q.push_try(12), Err(12), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(Queue::new(8, gauge("test.queue.wake")));
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for v in 0..20 {
+            while q.push_try(v).is_err() {
+                thread::yield_now();
+            }
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+}

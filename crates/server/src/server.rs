@@ -1,0 +1,572 @@
+//! The server: a TCP acceptor, per-connection reader threads, and a pool of
+//! executor threads draining one bounded request queue.
+//!
+//! Concurrency model:
+//!
+//! * Each accepted connection gets a **reader thread** that decodes frames
+//!   and answers cheap requests (ping, stats, close, shutdown) inline.
+//!   Query/prepare/execute/insert requests are enqueued for the executors so
+//!   a slow query on one connection never stalls another connection's reads.
+//! * **Executor threads** pop requests, pin a [`Snapshot`] of the database,
+//!   build a [`Session`] over it (sharing the process-wide plan cache and
+//!   the engine worker pool), execute, and write the response back through
+//!   the connection's write half. Responses to one connection may therefore
+//!   complete out of order; the client matches them by request id.
+//! * **Writers** go through [`SnapshotStore::update`]: copy-on-write of the
+//!   touched relations and an atomic publish. Readers executing against
+//!   pinned snapshots are never blocked and never observe partial writes.
+//!
+//! Admission control is two-layered: a connection cap (refused with
+//! `TooManyConnections`) and a bounded queue (refused with `Overloaded`).
+//! Rejections are immediate protocol responses, not silent drops.
+
+use crate::config::ServerConfig;
+use crate::protocol::{
+    decode_request, encode_response, write_frame, AnswerBody, ErrorCode, Request, Response,
+    ServerStats, WireCertainty, MAX_FRAME_LEN,
+};
+use crate::queue::Queue;
+use certus::{Certainty, CertusError, Database, PreparedQuery, Session, SharedPlanCache};
+use certus_algebra::RaExpr;
+use certus_data::snapshot::{Snapshot, SnapshotStore};
+use certus_obs::metrics::{registry, Counter, Gauge, Histogram};
+use certus_obs::{names, Timer};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+impl From<WireCertainty> for Certainty {
+    fn from(c: WireCertainty) -> Certainty {
+        match c {
+            WireCertainty::Plain => Certainty::Plain,
+            WireCertainty::CertainPlus => Certainty::CertainPlus,
+            WireCertainty::PossibleStar => Certainty::PossibleStar,
+            WireCertainty::Both => Certainty::Both,
+        }
+    }
+}
+
+impl From<Certainty> for WireCertainty {
+    fn from(c: Certainty) -> WireCertainty {
+        match c {
+            Certainty::Plain => WireCertainty::Plain,
+            Certainty::CertainPlus => WireCertainty::CertainPlus,
+            Certainty::PossibleStar => WireCertainty::PossibleStar,
+            Certainty::Both => WireCertainty::Both,
+        }
+    }
+}
+
+/// Build the canonical wire body from a session answer set. Used by the
+/// server for responses and by differential harnesses to compute expected
+/// bytes from a local [`Session`] run.
+pub fn answer_body(answers: &certus::AnswerSet) -> AnswerBody {
+    AnswerBody {
+        certainty: answers.certainty.into(),
+        plain: answers.plain.clone(),
+        certain: answers.certain.clone(),
+        possible: answers.possible.clone(),
+        breakdown: answers
+            .breakdown
+            .as_ref()
+            .map(|b| (b.total as u64, b.certain as u64, b.false_positives as u64)),
+    }
+}
+
+/// A prepared statement held server-side for one connection: the original
+/// query (for transparent re-preparation after an epoch bump) plus the
+/// compiled [`PreparedQuery`].
+struct PreparedEntry {
+    query: RaExpr,
+    certainty: Certainty,
+    prepared: PreparedQuery,
+}
+
+/// Per-connection state shared between its reader thread and the executors.
+struct Conn {
+    /// Write half; executors and the reader both respond through it.
+    writer: Mutex<TcpStream>,
+    /// Requests handed to the executors and not yet responded to.
+    outstanding: AtomicUsize,
+    /// Prepared statements, keyed by connection-scoped id.
+    prepared: Mutex<HashMap<u64, PreparedEntry>>,
+    next_prepared: AtomicU64,
+}
+
+impl Conn {
+    /// Serialize and send one response; errors are swallowed because a dead
+    /// peer is detected (and cleaned up) by the reader thread.
+    fn send(&self, request_id: u64, resp: &Response) {
+        let payload = encode_response(request_id, resp);
+        let mut w = self.writer.lock().expect("connection writer poisoned");
+        let _ = write_frame(&mut *w, &payload);
+    }
+}
+
+/// A unit of executor work: one decoded request bound to its connection.
+struct Work {
+    conn: Arc<Conn>,
+    request_id: u64,
+    request: Request,
+}
+
+/// Everything the acceptor, readers and executors share.
+struct State {
+    config: ServerConfig,
+    store: SnapshotStore,
+    cache: SharedPlanCache,
+    pool: Arc<certus_exec::Pool>,
+    queue: Queue<Work>,
+    shutdown: AtomicBool,
+    open_connections: AtomicUsize,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    requests: Arc<Counter>,
+    rejected: Arc<Counter>,
+    stale_replans: Arc<Counter>,
+    connections_gauge: Arc<Gauge>,
+    request_ns: Arc<Histogram>,
+}
+
+impl State {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// A session over one pinned snapshot, wired to the shared plan cache
+    /// and the shared engine worker pool.
+    fn session_over(&self, snapshot: &Snapshot) -> Session {
+        Session::builder_over(snapshot.database())
+            .semantics(self.config.semantics)
+            .threads(self.config.engine_threads)
+            .plan_cache(self.cache.clone())
+            .worker_pool(Arc::clone(&self.pool))
+            .build()
+    }
+
+    fn stats(&self) -> ServerStats {
+        let cache = self.cache.stats();
+        ServerStats {
+            requests: self.requests.value(),
+            rejected: self.rejected.value(),
+            stale_replans: self.stale_replans.value(),
+            connections: self.open_connections.load(Ordering::Relaxed) as u64,
+            live_pins: self.store.live_pins(),
+            queue_depth: self.queue.depth() as u64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: cache.entries as u64,
+            epoch: self.store.epoch(),
+        }
+    }
+}
+
+/// A running query server. Dropping (or calling [`Server::shutdown`])
+/// stops accepting, drains in-flight requests, and joins every thread.
+pub struct Server {
+    state: Arc<State>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `db` under `config`.
+    pub fn start(db: Database, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let reg = registry();
+        let state = Arc::new(State {
+            store: SnapshotStore::new(db),
+            cache: SharedPlanCache::new(config.cache_capacity),
+            pool: Arc::new(certus_exec::Pool::new(config.engine_threads)),
+            queue: Queue::new(config.queue_capacity, reg.gauge(names::SERVER_QUEUE_DEPTH)),
+            shutdown: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            readers: Mutex::new(Vec::new()),
+            requests: reg.counter(names::SERVER_REQUESTS),
+            rejected: reg.counter(names::SERVER_REJECTED),
+            stale_replans: reg.counter(names::SERVER_STALE_REPLANS),
+            connections_gauge: reg.gauge(names::SERVER_CONNECTIONS),
+            request_ns: reg.histogram(names::SERVER_REQUEST_NS),
+            config,
+        });
+
+        let executors = (0..state.config.executors.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                thread::spawn(move || executor_loop(&state))
+            })
+            .collect();
+        let acceptor = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || accept_loop(&listener, &state))
+        };
+
+        Ok(Server { state, addr, acceptor: Some(acceptor), executors })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Schema epoch of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.state.store.epoch()
+    }
+
+    /// Whether a protocol-level `Shutdown` request has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutting_down()
+    }
+
+    /// Stop accepting, drain the queue, flush in-flight responses, join all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Readers exit on the shutdown flag once their in-flight work has
+        // been answered; join them before closing the queue so everything
+        // they enqueued is still drained by the executors.
+        let readers = std::mem::take(&mut *self.state.readers.lock().unwrap());
+        for r in readers {
+            let _ = r.join();
+        }
+        self.state.queue.close();
+        for e in self.executors.drain(..) {
+            let _ = e.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
+    let poll = Duration::from_millis(state.config.poll_interval_ms.max(1));
+    loop {
+        if state.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let open = state.open_connections.load(Ordering::Relaxed);
+                if open >= state.config.max_connections {
+                    state.rejected.incr();
+                    refuse(stream, ErrorCode::TooManyConnections, "connection cap reached");
+                    continue;
+                }
+                state.open_connections.fetch_add(1, Ordering::Relaxed);
+                state.connections_gauge.set(open as u64 + 1);
+                let state2 = Arc::clone(state);
+                let handle = thread::spawn(move || {
+                    reader_loop(stream, &state2);
+                    let open = state2.open_connections.fetch_sub(1, Ordering::Relaxed) - 1;
+                    state2.connections_gauge.set(open as u64);
+                });
+                state.readers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(poll),
+            Err(_) => thread::sleep(poll),
+        }
+    }
+}
+
+/// Reject a connection with a single error frame (request id 0) and close.
+fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str) {
+    let resp = Response::Error { code, message: message.to_string() };
+    let _ = write_frame(&mut stream, &encode_response(0, &resp));
+}
+
+/// Incremental frame decoder tolerant of read timeouts: bytes received so
+/// far are buffered, so a poll that lands mid-frame never loses data (a
+/// plain `read_exact` would).
+struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+enum Fill {
+    /// Peer closed the connection.
+    Eof,
+    /// The framing layer is broken beyond recovery.
+    Corrupt,
+}
+
+impl FrameBuffer {
+    fn new() -> Self {
+        FrameBuffer { buf: Vec::new() }
+    }
+
+    /// Pop one complete frame payload out of the buffer, if present.
+    fn take_frame(&mut self) -> Result<Option<Vec<u8>>, Fill> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(Fill::Corrupt);
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+
+    /// Read whatever is available (bounded by the stream's read timeout)
+    /// and return the first complete frame, if any.
+    fn fill(&mut self, stream: &mut TcpStream) -> Result<Option<Vec<u8>>, Fill> {
+        if let Some(frame) = self.take_frame()? {
+            return Ok(Some(frame));
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => Err(Fill::Eof),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                self.take_frame()
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Ok(None)
+            }
+            Err(_) => Err(Fill::Eof),
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, state: &Arc<State>) {
+    let poll = Duration::from_millis(state.config.poll_interval_ms.max(1));
+    let _ = stream.set_read_timeout(Some(poll));
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(writer),
+        outstanding: AtomicUsize::new(0),
+        prepared: Mutex::new(HashMap::new()),
+        next_prepared: AtomicU64::new(1),
+    });
+    let mut stream = stream;
+    let mut frames = FrameBuffer::new();
+
+    loop {
+        let payload = match frames.fill(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                if state.shutting_down() {
+                    drain_outstanding(&conn);
+                    return;
+                }
+                continue;
+            }
+            Err(Fill::Corrupt) => {
+                conn.send(
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: "frame length exceeds maximum".into(),
+                    },
+                );
+                drain_outstanding(&conn);
+                return;
+            }
+            Err(Fill::Eof) => {
+                drain_outstanding(&conn);
+                return;
+            }
+        };
+
+        let (request_id, request) = match decode_request(&payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                // The id is the first 8 bytes; echo it when present so the
+                // client can match the failure to its request.
+                let id = payload
+                    .get(..8)
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                conn.send(
+                    id,
+                    &Response::Error { code: ErrorCode::Malformed, message: e.to_string() },
+                );
+                continue;
+            }
+        };
+
+        match request {
+            Request::Ping => {
+                conn.send(request_id, &Response::Pong { epoch: state.store.epoch() });
+            }
+            Request::Stats => {
+                conn.send(request_id, &Response::Stats(state.stats()));
+            }
+            Request::Close => {
+                drain_outstanding(&conn);
+                conn.send(request_id, &Response::Ack { epoch: state.store.epoch() });
+                return;
+            }
+            Request::Shutdown => {
+                state.shutdown.store(true, Ordering::Relaxed);
+                drain_outstanding(&conn);
+                conn.send(request_id, &Response::Ack { epoch: state.store.epoch() });
+                return;
+            }
+            req @ (Request::Prepare { .. }
+            | Request::Execute { .. }
+            | Request::Query { .. }
+            | Request::Insert { .. }) => {
+                if state.shutting_down() {
+                    conn.send(
+                        request_id,
+                        &Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server is shutting down".into(),
+                        },
+                    );
+                    continue;
+                }
+                conn.outstanding.fetch_add(1, Ordering::AcqRel);
+                let work = Work { conn: Arc::clone(&conn), request_id, request: req };
+                if state.queue.push_try(work).is_err() {
+                    conn.outstanding.fetch_sub(1, Ordering::AcqRel);
+                    state.rejected.incr();
+                    conn.send(
+                        request_id,
+                        &Response::Error {
+                            code: ErrorCode::Overloaded,
+                            message: "request queue is full".into(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Busy-wait (politely) until every request this connection handed to the
+/// executors has been answered, so close/shutdown never drop responses.
+fn drain_outstanding(conn: &Conn) {
+    while conn.outstanding.load(Ordering::Acquire) > 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn executor_loop(state: &Arc<State>) {
+    while let Some(work) = state.queue.pop() {
+        let timer = Timer::start();
+        let response = respond(state, &work);
+        work.conn.send(work.request_id, &response);
+        work.conn.outstanding.fetch_sub(1, Ordering::AcqRel);
+        state.requests.incr();
+        state.request_ns.record(timer.elapsed_ns());
+    }
+}
+
+fn query_error(e: &CertusError) -> Response {
+    Response::Error { code: ErrorCode::QueryError, message: e.to_string() }
+}
+
+fn respond(state: &Arc<State>, work: &Work) -> Response {
+    match &work.request {
+        Request::Prepare { certainty, query } => {
+            let snapshot = state.store.pin();
+            let session = state.session_over(&snapshot);
+            let certainty = Certainty::from(*certainty);
+            match session.prepare(query, certainty) {
+                Ok(prepared) => {
+                    let epoch = prepared.schema_epoch();
+                    let id = work.conn.next_prepared.fetch_add(1, Ordering::Relaxed);
+                    work.conn
+                        .prepared
+                        .lock()
+                        .expect("prepared map poisoned")
+                        .insert(id, PreparedEntry { query: query.clone(), certainty, prepared });
+                    Response::Prepared { prepared: id, epoch }
+                }
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::Execute { prepared } => {
+            let snapshot = state.store.pin();
+            let session = state.session_over(&snapshot);
+            let mut entries = work.conn.prepared.lock().expect("prepared map poisoned");
+            let Some(entry) = entries.get_mut(prepared) else {
+                return Response::Error {
+                    code: ErrorCode::UnknownPrepared,
+                    message: format!("no prepared statement {prepared} on this connection"),
+                };
+            };
+            match session.execute_prepared(&entry.prepared) {
+                Ok(answers) => Response::Answers { body: answer_body(&answers), reprepared: false },
+                Err(CertusError::StalePlan { .. }) => {
+                    // The schema epoch moved past the plan: transparently
+                    // re-prepare against the pinned snapshot and retry. The
+                    // refreshed plan is stored for subsequent executes.
+                    state.stale_replans.incr();
+                    match session.prepare(&entry.query, entry.certainty) {
+                        Ok(fresh) => {
+                            entry.prepared = fresh;
+                            match session.execute_prepared(&entry.prepared) {
+                                Ok(answers) => Response::Answers {
+                                    body: answer_body(&answers),
+                                    reprepared: true,
+                                },
+                                Err(e) => query_error(&e),
+                            }
+                        }
+                        Err(e) => query_error(&e),
+                    }
+                }
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::Query { certainty, query } => {
+            let snapshot = state.store.pin();
+            let session = state.session_over(&snapshot);
+            match session.execute(query, Certainty::from(*certainty)) {
+                Ok(answers) => Response::Answers { body: answer_body(&answers), reprepared: false },
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::Insert { table, rows } => {
+            let outcome = state.store.update(|db| -> Result<u64, String> {
+                // Validate against a scratch copy first so a bad row leaves
+                // the published database (and its epoch) untouched.
+                let mut scratch = db.relation(table).map_err(|e| e.to_string())?.clone();
+                for row in rows {
+                    scratch.insert_values(row.values().to_vec()).map_err(|e| e.to_string())?;
+                }
+                *db.relation_mut(table).map_err(|e| e.to_string())? = scratch;
+                Ok(db.schema_epoch())
+            });
+            match outcome {
+                Ok(epoch) => Response::Ack { epoch },
+                Err(message) => Response::Error { code: ErrorCode::QueryError, message },
+            }
+        }
+        // Inline requests never reach the executors.
+        Request::Ping | Request::Stats | Request::Close | Request::Shutdown => Response::Error {
+            code: ErrorCode::Internal,
+            message: "inline request routed to executor".into(),
+        },
+    }
+}
