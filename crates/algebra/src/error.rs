@@ -17,6 +17,9 @@ pub enum AlgebraError {
     /// A feature is not supported by the operation that was attempted
     /// (e.g. desugaring an aggregate for the Figure-2 translation).
     Unsupported(String),
+    /// Execution was cancelled cooperatively (deadline expired or the
+    /// caller gave up); the partial work was discarded at a morsel boundary.
+    Cancelled,
 }
 
 impl fmt::Display for AlgebraError {
@@ -26,6 +29,7 @@ impl fmt::Display for AlgebraError {
             AlgebraError::Malformed(m) => write!(f, "malformed expression: {m}"),
             AlgebraError::ScalarSubquery(m) => write!(f, "scalar subquery error: {m}"),
             AlgebraError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            AlgebraError::Cancelled => write!(f, "execution cancelled"),
         }
     }
 }

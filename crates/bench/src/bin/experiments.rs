@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|profile|serve|bench-check|all] [--quick|--smoke] [--strict]
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|profile|serve|chaos|bench-check|all] [--quick|--smoke] [--strict]
 //! ```
 //!
 //! `--quick` (alias `--smoke`) shrinks instance counts and scale factors so
@@ -147,6 +147,21 @@ fn main() {
         let path = std::path::Path::new("BENCH_server.json");
         write_server_bench_json(path, &report).expect("write BENCH_server.json");
         println!("wrote {}", path.display());
+        println!();
+    }
+    if what == "chaos" {
+        // Not part of `all`: the crash/recover loop is its own workload.
+        // Each round recovers the previous generation's on-disk state,
+        // byte-checks it against a local mirror of the acknowledged writes,
+        // then injects WAL faults (failed fsyncs, torn appends) before the
+        // next crash. Amends BENCH_server.json with recovery-time and
+        // durable-write-throughput figures.
+        let (rounds, writes) = if quick { (3, 16) } else { (9, 64) };
+        let report = chaos_experiment(0.001, 0.02, 909, rounds, writes);
+        print_chaos(&report);
+        let path = std::path::Path::new("BENCH_server.json");
+        append_chaos_json(path, &report).expect("amend BENCH_server.json");
+        println!("amended {} with chaos figures", path.display());
         println!();
     }
     if what == "profile" || what == "all" {

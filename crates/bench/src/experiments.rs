@@ -1516,6 +1516,235 @@ pub fn write_server_bench_json(
     std::fs::write(path, s)
 }
 
+/// The report of the `experiments chaos` run: a crash/recover loop over a
+/// durable server under deterministic fault injection, with every served
+/// answer byte-checked against local execution and every acknowledged write
+/// asserted to survive recovery.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Server generations started (each one recovers the previous state).
+    pub rounds: usize,
+    /// Inserts acknowledged by the server; all must survive every recovery.
+    pub writes_acked: u64,
+    /// Inserts refused by injected WAL faults; none may ever resurface.
+    pub writes_rejected: u64,
+    /// Torn-append crashes injected (partial record left on disk).
+    pub torn_injected: u64,
+    /// Mean recovery time (checkpoint + WAL replay inside `Server::start`).
+    pub recovery_ms_mean: f64,
+    /// Worst recovery time across all rounds.
+    pub recovery_ms_max: f64,
+    /// Acknowledged durable writes per wall second (each one fsync'd).
+    pub durable_write_qps: f64,
+    /// Served answers compared byte-for-byte against local execution.
+    pub verified_answers: u64,
+}
+
+/// Crash/recover loop over a durable [`certus_server::Server`]: each round
+/// starts a server over whatever the previous generation left on disk,
+/// byte-checks the recovered audit table (all certainty modes) and a real
+/// TPC-H query against a local mirror that replays only the *acknowledged*
+/// writes, then issues a batch of inserts with deterministic WAL faults
+/// injected (fsync failures mid-batch, a torn append at crash time) before
+/// tearing the server down. The invariant under test is the durability
+/// contract: an acked write is never lost, a failed one never resurfaces.
+pub fn chaos_experiment(
+    scale_factor: f64,
+    null_rate: f64,
+    seed: u64,
+    rounds: usize,
+    writes_per_round: usize,
+) -> ChaosReport {
+    use certus::obs::{failpoints, FailAction};
+    use certus::{Certainty, Session};
+    use certus_data::wal::{FP_APPEND, FP_FSYNC};
+    use certus_data::Tuple;
+    use certus_server::client::{Client, RetryPolicy};
+    use certus_server::protocol::WireCertainty;
+    use certus_server::{answer_body, Server, ServerConfig};
+
+    let w = Workload::new(scale_factor, null_rate, seed);
+    let mut db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let q3 = query_by_number(3, &params).expect("query exists");
+    // The write target: a side table the TPC-H queries never read, so the
+    // audit rows are byte-checked directly and Q3 stays byte-stable.
+    db.insert_relation("chaos_audit", rel(&["op"], Vec::new()));
+
+    let dir = std::env::temp_dir().join(format!("certus-chaos-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let modes = [
+        (WireCertainty::Plain, Certainty::Plain),
+        (WireCertainty::CertainPlus, Certainty::CertainPlus),
+        (WireCertainty::PossibleStar, Certainty::PossibleStar),
+        (WireCertainty::Both, Certainty::Both),
+    ];
+    let audit_query = RaExpr::relation("chaos_audit");
+    let fp = failpoints();
+    fp.disarm_all();
+
+    let mut acked: Vec<i64> = Vec::new();
+    let mut next_op = 0i64;
+    let mut writes_rejected = 0u64;
+    let mut torn_injected = 0u64;
+    let mut verified_answers = 0u64;
+    let mut recovery_ms: Vec<f64> = Vec::new();
+    let mut insert_wall_s = 0.0f64;
+
+    // One extra generation at the end verifies the final crash's state.
+    for round in 0..=rounds {
+        let config = ServerConfig {
+            executors: 2,
+            engine_threads: 1,
+            data_dir: Some(dir.clone()),
+            // Small enough that the loop crosses checkpoint folds, so
+            // recovery exercises checkpoint + WAL-suffix replay.
+            checkpoint_every: (writes_per_round as u64 / 2).max(4),
+            ..ServerConfig::default()
+        };
+        let t = std::time::Instant::now();
+        let server = Server::start(db.clone(), config).expect("server starts");
+        recovery_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let addr = server.local_addr();
+
+        // Local mirror: the seed instance plus exactly the acked writes.
+        let mut mirror = db.clone();
+        mirror.insert_relation(
+            "chaos_audit",
+            rel(&["op"], acked.iter().map(|&v| vec![Value::Int(v)]).collect()),
+        );
+        let local = Session::builder(mirror).build();
+
+        let mut client = Client::connect(addr)
+            .expect("client connects")
+            .with_retry(RetryPolicy { seed: seed + round as u64, ..RetryPolicy::default() });
+
+        // Recovered state must match the mirror byte-for-byte in every
+        // certainty mode — acked writes present, rejected ones absent.
+        for (wire, cert) in modes {
+            let want = answer_body(&local.execute(&audit_query, cert).expect("local audit"));
+            let got = client.query(wire, &audit_query).expect("served audit");
+            assert_eq!(
+                got.canonical_bytes(),
+                want.encode(),
+                "recovered audit table diverges from acked writes (round {round}, {wire:?})"
+            );
+            verified_answers += 1;
+        }
+        let want_q3 =
+            answer_body(&local.execute(&q3, Certainty::CertainPlus).expect("local Q3+")).encode();
+        let got_q3 = client.query(WireCertainty::CertainPlus, &q3).expect("served Q3+");
+        assert_eq!(got_q3.canonical_bytes(), want_q3, "Q3+ diverges after recovery");
+        verified_answers += 1;
+
+        if round == rounds {
+            // Final generation is verification-only.
+            client.close().expect("client closes");
+            server.shutdown();
+            break;
+        }
+
+        // Write batch with deterministic faults: odd rounds lose an fsync
+        // mid-batch (the write must be refused and rolled back).
+        for i in 0..writes_per_round {
+            if round % 2 == 1 && i == writes_per_round / 2 {
+                fp.arm(FP_FSYNC, FailAction::Error, 0, 1);
+            }
+            let t = std::time::Instant::now();
+            let outcome = client.insert("chaos_audit", vec![Tuple::new(vec![Value::Int(next_op)])]);
+            insert_wall_s += t.elapsed().as_secs_f64();
+            match outcome {
+                Ok(_) => acked.push(next_op),
+                Err(_) => writes_rejected += 1,
+            }
+            next_op += 1;
+        }
+
+        // Every third round crashes mid-append: a torn record reaches disk
+        // but is never acked, and recovery must truncate it.
+        if round % 3 == 2 {
+            fp.arm(FP_APPEND, FailAction::Torn(6), 0, 1);
+            let outcome = client.insert("chaos_audit", vec![Tuple::new(vec![Value::Int(next_op)])]);
+            assert!(outcome.is_err(), "a torn append must never be acknowledged");
+            torn_injected += 1;
+            writes_rejected += 1;
+            next_op += 1;
+        }
+        fp.disarm_all();
+
+        // Abrupt teardown: no clean close from the client, no checkpoint
+        // request — the next generation gets exactly what the WAL holds.
+        drop(client);
+        server.shutdown();
+    }
+    fp.disarm_all();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mean = recovery_ms.iter().sum::<f64>() / recovery_ms.len().max(1) as f64;
+    let max = recovery_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+    ChaosReport {
+        rounds,
+        writes_acked: acked.len() as u64,
+        writes_rejected,
+        torn_injected,
+        recovery_ms_mean: mean,
+        recovery_ms_max: max,
+        durable_write_qps: acked.len() as f64 / insert_wall_s.max(1e-9),
+        verified_answers,
+    }
+}
+
+/// Print the chaos-run report.
+pub fn print_chaos(r: &ChaosReport) {
+    println!("== Chaos: {} crash/recover rounds under fault injection ==", r.rounds);
+    println!(
+        "writes      : {} acked (all survived recovery), {} refused by injected faults \
+         ({} torn appends truncated)",
+        r.writes_acked, r.writes_rejected, r.torn_injected
+    );
+    println!(
+        "recovery    : {:.2}ms mean, {:.2}ms max (checkpoint + WAL replay)",
+        r.recovery_ms_mean, r.recovery_ms_max
+    );
+    println!("durable qps : {:.1} fsync'd writes/s", r.durable_write_qps);
+    println!(
+        "verified    : {} served answers byte-identical to local execution",
+        r.verified_answers
+    );
+}
+
+/// Amend `BENCH_server.json` with the chaos section (recovery time and
+/// durable write throughput), replacing any previous chaos section. Creates
+/// a minimal document when the serve benchmark has not run yet.
+pub fn append_chaos_json(path: &std::path::Path, r: &ChaosReport) -> std::io::Result<()> {
+    let base = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| "{\n  \"experiment\": \"server_throughput\"\n}\n".to_string());
+    let cut = base.find(",\n  \"chaos\":").or_else(|| base.rfind('}')).unwrap_or(base.len());
+    let mut s = base[..cut].trim_end().to_string();
+    if s.ends_with('}') {
+        s.pop();
+        s.truncate(s.trim_end().len());
+    }
+    if !s.ends_with('{') {
+        s.push(',');
+    }
+    s.push_str(&format!(
+        "\n  \"chaos\": {{\"rounds\": {}, \"writes_acked\": {}, \"writes_rejected\": {}, \
+         \"torn_injected\": {}, \"recovery_ms_mean\": {:.3}, \"recovery_ms_max\": {:.3}, \
+         \"durable_write_qps\": {:.1}, \"verified_answers\": {}}}\n}}\n",
+        r.rounds,
+        r.writes_acked,
+        r.writes_rejected,
+        r.torn_injected,
+        r.recovery_ms_mean,
+        r.recovery_ms_max,
+        r.durable_write_qps,
+        r.verified_answers,
+    ));
+    std::fs::write(path, s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

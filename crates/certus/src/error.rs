@@ -38,6 +38,15 @@ pub enum CertusError {
     },
 }
 
+impl CertusError {
+    /// Whether this error is a cooperative cancellation (deadline expiry or
+    /// an explicit cancel), as opposed to a genuine failure. The server maps
+    /// these to its `DeadlineExceeded` wire code.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, CertusError::Algebra(AlgebraError::Cancelled))
+    }
+}
+
 impl fmt::Display for CertusError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

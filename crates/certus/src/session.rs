@@ -101,6 +101,7 @@ pub struct SessionBuilder {
     cache_capacity: usize,
     cache: Option<SharedPlanCache>,
     pool: Option<Arc<certus_exec::Pool>>,
+    cancel: Option<certus_exec::CancelToken>,
 }
 
 impl SessionBuilder {
@@ -164,6 +165,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Cooperative cancellation for every execution this session runs. The
+    /// engine checks the token at morsel boundaries (operator entries and
+    /// parallel partition starts) and surfaces
+    /// [`CertusError`] wrapping
+    /// `AlgebraError::Cancelled` once it trips. The server builds one
+    /// session per request and derives the token from the request's
+    /// deadline; embedders can share a token across sessions to cancel a
+    /// whole batch.
+    pub fn cancel_token(mut self, token: certus_exec::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Session {
         let dialect = match self.semantics {
@@ -179,6 +193,7 @@ impl SessionBuilder {
             cache: self.cache.unwrap_or_else(|| SharedPlanCache::new(self.cache_capacity)),
             stats: Mutex::new(None),
             pool: self.pool,
+            cancel: self.cancel,
         }
     }
 }
@@ -347,6 +362,7 @@ pub struct Session {
     cache: SharedPlanCache,
     stats: Mutex<Option<(u64, Arc<StatisticsCatalog>)>>,
     pool: Option<Arc<certus_exec::Pool>>,
+    cancel: Option<certus_exec::CancelToken>,
 }
 
 impl Session {
@@ -378,6 +394,7 @@ impl Session {
             cache_capacity: PlanCache::<()>::DEFAULT_CAPACITY,
             cache: None,
             pool: None,
+            cancel: None,
         }
     }
 
@@ -575,11 +592,14 @@ impl Session {
     /// An engine over the session's database, configuration, and (when one
     /// was injected via [`SessionBuilder::worker_pool`]) private worker pool.
     fn engine(&self) -> Engine<'_> {
-        let engine = Engine::configured(&self.db, self.semantics, self.config.clone());
-        match &self.pool {
-            Some(pool) => engine.with_worker_pool(pool.clone()),
-            None => engine,
+        let mut engine = Engine::configured(&self.db, self.semantics, self.config.clone());
+        if let Some(pool) = &self.pool {
+            engine = engine.with_worker_pool(pool.clone());
         }
+        if let Some(token) = &self.cancel {
+            engine = engine.with_cancel_token(token.clone());
+        }
+        engine
     }
 
     /// Prepare (or fetch from the cache) and execute in one call.

@@ -145,6 +145,26 @@ impl Database {
         self.epoch += 1;
     }
 
+    /// Install a table definition together with its instance, replacing any
+    /// existing entry under that name. Bumps the schema epoch like every
+    /// mutating accessor. Unlike [`Database::insert_relation`] this keeps
+    /// the definition's primary key — it is the restore path checkpoint
+    /// recovery ([`crate::wal`]) rebuilds databases through.
+    pub fn install_table(&mut self, def: TableDef, relation: Relation) {
+        self.tables.insert(def.name.clone(), Arc::new(relation));
+        self.defs.insert(def.name.clone(), def);
+        self.epoch += 1;
+    }
+
+    /// Overwrite the schema epoch. Only for the durability layer
+    /// ([`crate::wal`]): recovery rebuilds a database table by table (each
+    /// install bumps the epoch) and then restores the epoch recorded in the
+    /// checkpoint so recovered state never *rewinds* the epoch clock that
+    /// plan caches and prepared statements are keyed on.
+    pub fn set_schema_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Look up a relation by name.
     pub fn relation(&self, name: &str) -> Result<&Relation> {
         self.tables

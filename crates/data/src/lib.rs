@@ -24,8 +24,14 @@
 //!   storage and dense ids for cheap hashing/equality on string columns.
 //! * [`inject`] — the null-injection procedure of Section 3 of the paper
 //!   (per-attribute coin flip at a configurable *null rate*).
+//! * [`mod@codec`] — the binary encoding of values, schemas, tuples and
+//!   relations, shared by the server's wire protocol and the durable
+//!   storage layer.
+//! * [`wal`] — durable snapshot storage: a checksummed write-ahead log with
+//!   full-snapshot checkpoints and crash recovery ([`wal::DurableStore`]).
 
 pub mod builder;
+pub mod codec;
 pub mod column;
 pub mod compare;
 pub mod database;
@@ -44,6 +50,7 @@ pub mod types;
 pub mod unify;
 pub mod valuation;
 pub mod value;
+pub mod wal;
 
 pub use column::{Batch, Column, ColumnData, NullMask, TruthMask};
 pub use database::{ActiveDomain, Database, TableDef};

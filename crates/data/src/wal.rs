@@ -1,0 +1,955 @@
+//! Durable snapshot storage: a write-ahead log with full-snapshot
+//! checkpoints and crash recovery.
+//!
+//! The in-memory [`SnapshotStore`] gives readers torn-free snapshots and
+//! writers atomic publication — but a process crash loses everything. This
+//! module adds the missing durability half:
+//!
+//! * **WAL.** Every write is encoded with the workspace codec
+//!   ([`crate::codec`] — the same bytes the server's wire protocol uses),
+//!   wrapped in a checksummed envelope (`u32` length, `u32` CRC-32,
+//!   payload), appended to the live `wal-<seq>` file and `fsync`'d *before*
+//!   the write is acknowledged. An acknowledged write therefore survives
+//!   any subsequent crash.
+//! * **Checkpoints.** Every `checkpoint_every` records the
+//!   full database is written to `checkpoint-<seq+1>.tmp`, `fsync`'d,
+//!   atomically renamed to `checkpoint-<seq+1>`, and a fresh empty WAL is
+//!   started; only then are the previous checkpoint and WAL deleted.
+//!   Recovery never observes a state with no valid checkpoint on disk.
+//! * **Recovery.** [`recover`] loads the newest checkpoint whose checksum
+//!   validates (falling back to an older one if the newest is damaged) and
+//!   replays its WAL record by record. A torn or corrupt record — a crash
+//!   mid-append leaves exactly that — *truncates* the log at that point
+//!   instead of failing: the tail beyond the first invalid record was never
+//!   acknowledged, so dropping it is the correct (and only safe) reading of
+//!   the log.
+//!
+//! The recovery invariant, which the fault-injection tests below and the
+//! `experiments chaos` harness check end to end: after a crash at any
+//! moment, recovery yields a database containing **every acknowledged
+//! write and no torn one**, at a schema epoch no older than the one the
+//! crash interrupted.
+//!
+//! Fault-prone boundaries check the named failpoints [`FP_APPEND`],
+//! [`FP_FSYNC`] and [`FP_CHECKPOINT`] (see [`certus_obs::failpoint`]), so
+//! tests can force torn appends, fsync failures and crashed checkpoints
+//! deterministically.
+
+use crate::codec::{self, Reader};
+use crate::database::{Database, TableDef};
+use crate::snapshot::SnapshotStore;
+use crate::tuple::Tuple;
+use certus_obs::failpoint::{apply_delay, failpoints, FailAction};
+use certus_obs::metrics::registry;
+use certus_obs::{names, Timer};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Failpoint checked before writing a WAL record ([`FailAction::Torn`]
+/// leaves a torn tail behind, modeling a crash mid-append).
+pub const FP_APPEND: &str = "wal.append";
+/// Failpoint checked before the durability `fsync` of an append.
+pub const FP_FSYNC: &str = "wal.fsync";
+/// Failpoint checked while writing a checkpoint (before the atomic rename).
+pub const FP_CHECKPOINT: &str = "wal.checkpoint";
+
+/// Upper bound on one record's payload (matches the server's frame cap):
+/// a corrupt length prefix fails fast instead of allocating gigabytes.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// Envelope overhead per record: `u32` length + `u32` CRC-32.
+const ENVELOPE: usize = 8;
+
+/// Magic + version prefix of a checkpoint payload.
+const CHECKPOINT_MAGIC: u32 = 0x434b_5054; // "CKPT"
+const CHECKPOINT_VERSION: u8 = 1;
+
+/// Errors surfaced by the durability layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying filesystem failed.
+    Io(std::io::Error),
+    /// A write was rejected before touching the log (unknown table, arity
+    /// mismatch, …) — the database and the log are unchanged.
+    Data(String),
+    /// An armed failpoint forced this operation to fail.
+    Injected(&'static str),
+    /// A previous torn append poisoned the log; the store must be reopened
+    /// (recovering from disk) before accepting further writes.
+    Poisoned,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o: {e}"),
+            WalError::Data(m) => write!(f, "{m}"),
+            WalError::Injected(p) => write!(f, "injected fault at {p}"),
+            WalError::Poisoned => write!(f, "wal poisoned by a torn append; reopen the store"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Result alias for durability operations.
+pub type WalResult<T> = Result<T, WalError>;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven — no external dependency.
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Record envelopes.
+
+/// Wrap a payload in the on-disk envelope: `u32` LE length, `u32` LE
+/// CRC-32 of the payload, payload bytes.
+fn envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One step of scanning a buffer of envelope records.
+enum Scan<'a> {
+    /// A complete, checksum-valid record; `next` is the offset after it.
+    Ok { payload: &'a [u8], next: usize },
+    /// The buffer ends exactly at a record boundary.
+    End,
+    /// The bytes from the current offset on are torn or corrupt (short
+    /// header, short payload, length over the cap, checksum mismatch).
+    Torn,
+}
+
+/// Scan one envelope record at `at`.
+fn scan_record(buf: &[u8], at: usize) -> Scan<'_> {
+    if at == buf.len() {
+        return Scan::End;
+    }
+    if buf.len() - at < ENVELOPE {
+        return Scan::Torn;
+    }
+    let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+    let crc = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return Scan::Torn;
+    }
+    let start = at + ENVELOPE;
+    let end = match start.checked_add(len as usize) {
+        Some(end) if end <= buf.len() => end,
+        _ => return Scan::Torn,
+    };
+    let payload = &buf[start..end];
+    if crc32(payload) != crc {
+        return Scan::Torn;
+    }
+    Scan::Ok { payload, next: end }
+}
+
+// ---------------------------------------------------------------------------
+// WAL record payloads.
+
+/// A logical WAL record. Encoded with the workspace codec; the only kind
+/// today is the server's row append.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Append `rows` to `table` (the already-validated form of the server's
+    /// `Insert` request).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows appended, each matching the table's arity.
+        rows: Vec<Tuple>,
+    },
+}
+
+impl WalRecord {
+    /// Encode to the codec byte form (tag, then fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Insert { table, rows } => {
+                codec::put_u8(&mut out, 0);
+                codec::put_str(&mut out, table);
+                codec::put_u32(&mut out, rows.len() as u32);
+                for row in rows {
+                    codec::put_tuple(&mut out, row);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`WalRecord::encode`].
+    pub fn decode(payload: &[u8]) -> codec::CodecResult<WalRecord> {
+        let mut r = Reader::new(payload);
+        let record = match r.u8()? {
+            0 => {
+                let table = r.str()?;
+                let n = r.len()?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(codec::get_tuple(&mut r)?);
+                }
+                WalRecord::Insert { table, rows }
+            }
+            other => return Err(codec::CodecError(format!("unknown wal record tag {other}"))),
+        };
+        r.finish()?;
+        Ok(record)
+    }
+
+    /// Apply this record to a database (the replay half of recovery).
+    fn apply(&self, db: &mut Database) -> crate::Result<()> {
+        match self {
+            WalRecord::Insert { table, rows } => {
+                let rel = db.relation_mut(table)?;
+                for row in rows {
+                    rel.insert_values(row.values().to_vec())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint encoding.
+
+/// Encode the full database: magic, version, schema epoch, then every
+/// table's definition (name, schema, primary key) and instance.
+fn encode_database(db: &Database) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u32(&mut out, CHECKPOINT_MAGIC);
+    codec::put_u8(&mut out, CHECKPOINT_VERSION);
+    codec::put_u64(&mut out, db.schema_epoch());
+    let defs: Vec<&TableDef> = db.table_defs().collect();
+    codec::put_u32(&mut out, defs.len() as u32);
+    for def in defs {
+        codec::put_str(&mut out, &def.name);
+        codec::put_schema(&mut out, &def.schema);
+        codec::put_u32(&mut out, def.primary_key.len() as u32);
+        for col in &def.primary_key {
+            codec::put_str(&mut out, col);
+        }
+        let rel = db.relation(&def.name).expect("definition implies instance");
+        codec::put_relation(&mut out, rel);
+    }
+    out
+}
+
+/// Decode a checkpoint payload back into a database (epoch included).
+fn decode_database(payload: &[u8]) -> codec::CodecResult<Database> {
+    let mut r = Reader::new(payload);
+    if r.u32()? != CHECKPOINT_MAGIC {
+        return Err(codec::CodecError("bad checkpoint magic".into()));
+    }
+    let version = r.u8()?;
+    if version != CHECKPOINT_VERSION {
+        return Err(codec::CodecError(format!("unknown checkpoint version {version}")));
+    }
+    let epoch = r.u64()?;
+    let tables = r.len()?;
+    let mut db = Database::new();
+    for _ in 0..tables {
+        let name = r.str()?;
+        let schema = codec::get_schema(&mut r)?;
+        let keys = r.len()?;
+        let mut primary_key = Vec::with_capacity(keys);
+        for _ in 0..keys {
+            primary_key.push(r.str()?);
+        }
+        let rel = codec::get_relation(&mut r)?;
+        let def = TableDef { name, schema: schema.shared(), primary_key };
+        db.install_table(def, rel);
+    }
+    r.finish()?;
+    db.set_schema_epoch(epoch);
+    Ok(db)
+}
+
+// ---------------------------------------------------------------------------
+// File naming.
+
+fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{seq:016x}"))
+}
+
+fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:016x}"))
+}
+
+/// Parse `<prefix>-<seq:016x>` file names back to sequence numbers.
+fn parse_seq(name: &str, prefix: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?.strip_prefix('-')?;
+    u64::from_str_radix(rest, 16).ok()
+}
+
+/// Best-effort directory fsync so renames and creations are themselves
+/// durable (a no-op error on filesystems that refuse to sync directories).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+
+/// The outcome of [`recover`].
+pub struct Recovery {
+    /// The recovered database: newest valid checkpoint + replayed WAL.
+    pub db: Database,
+    /// Sequence of the checkpoint recovery started from.
+    pub seq: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Valid byte length of the WAL (the torn tail beyond it, if any, has
+    /// been truncated away on disk).
+    pub wal_len: u64,
+    /// Whether a torn/corrupt tail was found and truncated.
+    pub truncated: bool,
+}
+
+/// Recover the newest consistent database state from `dir`, truncating any
+/// torn WAL tail in place. Returns `Ok(None)` when the directory holds no
+/// checksum-valid checkpoint (fresh directory, or every checkpoint file is
+/// damaged). Never panics on corrupt input: damaged checkpoints fall back
+/// to older ones, damaged WAL suffixes are dropped.
+pub fn recover(dir: &Path) -> WalResult<Option<Recovery>> {
+    let reg = registry();
+    let mut checkpoints: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Some(seq) = parse_seq(name, "checkpoint") {
+                checkpoints.push(seq);
+            }
+        }
+    }
+    checkpoints.sort_unstable();
+
+    // Newest valid checkpoint wins; a damaged one (torn tmp never renamed
+    // cannot occur, but bit rot can) falls back to its predecessor.
+    let mut base: Option<(u64, Database)> = None;
+    for &seq in checkpoints.iter().rev() {
+        let bytes = fs::read(checkpoint_path(dir, seq))?;
+        if let Scan::Ok { payload, next } = scan_record(&bytes, 0) {
+            if next == bytes.len() {
+                if let Ok(db) = decode_database(payload) {
+                    base = Some((seq, db));
+                    break;
+                }
+            }
+        }
+    }
+    let Some((seq, mut db)) = base else {
+        return Ok(None);
+    };
+
+    // Replay the checkpoint's WAL, stopping (and truncating) at the first
+    // torn or undecodable record — everything beyond it was never
+    // acknowledged.
+    let path = wal_path(dir, seq);
+    let (mut replayed, mut wal_len, mut truncated) = (0u64, 0u64, false);
+    if path.exists() {
+        let bytes = fs::read(&path)?;
+        let mut at = 0usize;
+        loop {
+            match scan_record(&bytes, at) {
+                Scan::Ok { payload, next } => match WalRecord::decode(payload) {
+                    Ok(record) if record.apply(&mut db).is_ok() => {
+                        replayed += 1;
+                        at = next;
+                    }
+                    _ => {
+                        truncated = true;
+                        break;
+                    }
+                },
+                Scan::End => break,
+                Scan::Torn => {
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        wal_len = at as u64;
+        if truncated {
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(wal_len)?;
+            file.sync_data()?;
+            reg.counter(names::WAL_TORN_TAILS).incr();
+        }
+    }
+
+    reg.counter(names::WAL_RECOVERIES).incr();
+    reg.counter(names::WAL_RECOVERED_RECORDS).add(replayed);
+    Ok(Some(Recovery { db, seq, replayed, wal_len, truncated }))
+}
+
+// ---------------------------------------------------------------------------
+// The live WAL handle.
+
+struct Wal {
+    file: File,
+    /// Bytes of durable, checksum-valid records (the append offset).
+    len: u64,
+    /// A torn append happened; no further writes until reopen.
+    poisoned: bool,
+}
+
+impl Wal {
+    fn open(path: &Path, valid_len: u64) -> WalResult<Wal> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .append(false)
+            .write(true)
+            .read(true)
+            .open(path)?;
+        // Recovery already truncated torn tails, but be defensive: never
+        // append after bytes we have not validated.
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(Wal { file, len: valid_len, poisoned: false })
+    }
+
+    /// Append one payload and make it durable. On any failure the log is
+    /// restored to its previous length when possible; a torn write that
+    /// cannot be cleaned (modeling a crash) poisons the handle.
+    fn append(&mut self, payload: &[u8]) -> WalResult<()> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        let reg = registry();
+        let record = envelope(payload);
+
+        match apply_delay(failpoints().check(FP_APPEND)) {
+            FailAction::Off => {}
+            FailAction::Error => return Err(WalError::Injected(FP_APPEND)),
+            FailAction::Torn(keep) => {
+                // A crash mid-write: part of the record reaches the file and
+                // nothing can clean it up. The handle is dead; recovery must
+                // truncate this tail.
+                let keep = keep.min(record.len());
+                let _ = self.file.write_all(&record[..keep]);
+                let _ = self.file.sync_data();
+                self.poisoned = true;
+                return Err(WalError::Injected(FP_APPEND));
+            }
+            FailAction::SlowMs(_) => unreachable!("apply_delay resolves slow actions"),
+        }
+
+        if let Err(e) = self.file.write_all(&record) {
+            self.rewind();
+            return Err(WalError::Io(e));
+        }
+
+        let fsync_ok = match apply_delay(failpoints().check(FP_FSYNC)) {
+            FailAction::Off => self.file.sync_data().map_err(WalError::Io),
+            _ => Err(WalError::Injected(FP_FSYNC)),
+        };
+        if let Err(e) = fsync_ok {
+            // The record reached the OS but was never durable: take it back
+            // out so an unacknowledged write can never resurface.
+            self.rewind();
+            return Err(e);
+        }
+
+        self.len += record.len() as u64;
+        reg.counter(names::WAL_APPENDS).incr();
+        reg.counter(names::WAL_APPEND_BYTES).add(record.len() as u64);
+        reg.counter(names::WAL_FSYNCS).incr();
+        Ok(())
+    }
+
+    /// Truncate back to the last durable record boundary after a failed
+    /// append; if even that fails, poison the handle.
+    fn rewind(&mut self) {
+        let ok = self.file.set_len(self.len).is_ok()
+            && self.file.seek(SeekFrom::Start(self.len)).is_ok();
+        if !ok {
+            self.poisoned = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The durable store.
+
+/// [`SnapshotStore`] plus durability: writes go through the WAL (fsync'd
+/// before acknowledgement), checkpoints bound replay time, and
+/// [`DurableStore::open`] recovers the pre-crash state from disk.
+///
+/// Readers are untouched: they pin snapshots from
+/// [`DurableStore::snapshots`] exactly as before, wait-free with respect to
+/// writers — durability adds cost to the write path only.
+pub struct DurableStore {
+    dir: PathBuf,
+    store: Arc<SnapshotStore>,
+    inner: Mutex<Inner>,
+    checkpoint_every: u64,
+}
+
+struct Inner {
+    wal: Wal,
+    seq: u64,
+    since_checkpoint: u64,
+}
+
+impl DurableStore {
+    /// Open (or create) a durable store in `dir`. When the directory holds
+    /// a valid checkpoint the on-disk state wins and `fallback` is ignored;
+    /// a fresh (or unrecoverable) directory starts from `fallback`, which
+    /// is checkpointed immediately so the no-valid-checkpoint window closes
+    /// before any write is accepted. `checkpoint_every` is the number of
+    /// WAL records after which the store folds the log into a fresh
+    /// checkpoint (0 = never, for tests).
+    pub fn open(dir: &Path, fallback: Database, checkpoint_every: u64) -> WalResult<DurableStore> {
+        fs::create_dir_all(dir)?;
+        // Sweep stale temp files from checkpoints interrupted mid-write.
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_name().to_str().is_some_and(|n| n.ends_with(".tmp")) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+
+        let (db, seq, replayed, wal_len) = match recover(dir)? {
+            Some(r) => (r.db, r.seq, r.replayed, r.wal_len),
+            None => (fallback, 0, 0, 0),
+        };
+
+        let checkpoint = checkpoint_path(dir, seq);
+        if !checkpoint.exists() {
+            write_checkpoint(dir, seq, &db)?;
+        }
+        let wal = Wal::open(&wal_path(dir, seq), wal_len)?;
+        Ok(DurableStore {
+            dir: dir.to_path_buf(),
+            store: Arc::new(SnapshotStore::new(db)),
+            inner: Mutex::new(Inner { wal, seq, since_checkpoint: replayed }),
+            checkpoint_every,
+        })
+    }
+
+    /// The snapshot store readers pin from (and the server executes over).
+    pub fn snapshots(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// The directory holding the checkpoint and WAL files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Durably append `rows` to `table` and publish the new snapshot.
+    /// Returns the schema epoch after the write. The sequence is strict:
+    /// validate (a bad row never reaches the log), WAL append + fsync (the
+    /// write is now crash-proof), publish, acknowledge — so a returned
+    /// `Ok` epoch *is* the durability guarantee.
+    pub fn insert(&self, table: &str, rows: &[Tuple]) -> WalResult<u64> {
+        let timer = Timer::start();
+        let mut inner = self.inner.lock().expect("durable store poisoned");
+
+        // Validate against the current snapshot; writers are serialized by
+        // the lock above, so nothing can invalidate this between the check
+        // and the publish below.
+        let snapshot = self.store.pin();
+        let mut scratch =
+            snapshot.relation(table).map_err(|e| WalError::Data(e.to_string()))?.clone();
+        for row in rows {
+            scratch
+                .insert_values(row.values().to_vec())
+                .map_err(|e| WalError::Data(e.to_string()))?;
+        }
+
+        let record = WalRecord::Insert { table: table.to_string(), rows: rows.to_vec() };
+        inner.wal.append(&record.encode())?;
+
+        let epoch = self.store.update(|db| {
+            *db.relation_mut(table).expect("validated above") = scratch;
+            db.schema_epoch()
+        });
+
+        inner.since_checkpoint += 1;
+        if self.checkpoint_every > 0 && inner.since_checkpoint >= self.checkpoint_every {
+            // Checkpoint failure is not a write failure: the record above is
+            // durable in the current WAL either way; the fold just retries
+            // after the next write.
+            let _ = self.fold_into_checkpoint(&mut inner);
+        }
+        registry().histogram(names::WAL_APPEND_NS).record(timer.elapsed_ns());
+        Ok(epoch)
+    }
+
+    /// Force a checkpoint now (folds the WAL into a fresh full snapshot).
+    pub fn checkpoint(&self) -> WalResult<()> {
+        let mut inner = self.inner.lock().expect("durable store poisoned");
+        self.fold_into_checkpoint(&mut inner)
+    }
+
+    /// Current WAL length in bytes (diagnostics and tests).
+    pub fn wal_len(&self) -> u64 {
+        self.inner.lock().expect("durable store poisoned").wal.len
+    }
+
+    fn fold_into_checkpoint(&self, inner: &mut Inner) -> WalResult<()> {
+        let next = inner.seq + 1;
+        let snapshot = self.store.pin();
+        write_checkpoint(&self.dir, next, &snapshot)?;
+        // The new checkpoint is durable; start its (empty) WAL and only then
+        // retire the previous generation.
+        let wal = Wal::open(&wal_path(&self.dir, next), 0)?;
+        sync_dir(&self.dir);
+        let _ = fs::remove_file(checkpoint_path(&self.dir, inner.seq));
+        let _ = fs::remove_file(wal_path(&self.dir, inner.seq));
+        inner.wal = wal;
+        inner.seq = next;
+        inner.since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+/// Write `db` as `checkpoint-<seq>`: envelope to a temp file, fsync,
+/// atomic rename, directory fsync. A crash at any offset leaves either the
+/// previous state (temp never renamed) or the complete new checkpoint.
+fn write_checkpoint(dir: &Path, seq: u64, db: &Database) -> WalResult<()> {
+    let payload = encode_database(db);
+    let record = envelope(&payload);
+    let tmp = dir.join(format!("checkpoint-{seq:016x}.tmp"));
+
+    let mut file = File::create(&tmp)?;
+    match apply_delay(failpoints().check(FP_CHECKPOINT)) {
+        FailAction::Off => file.write_all(&record)?,
+        FailAction::Torn(keep) => {
+            // Crash mid-checkpoint: a torn temp file that never gets
+            // renamed. Recovery ignores it entirely.
+            let keep = keep.min(record.len());
+            let _ = file.write_all(&record[..keep]);
+            let _ = file.sync_data();
+            return Err(WalError::Injected(FP_CHECKPOINT));
+        }
+        FailAction::Error => return Err(WalError::Injected(FP_CHECKPOINT)),
+        FailAction::SlowMs(_) => unreachable!("apply_delay resolves slow actions"),
+    }
+    file.sync_data()?;
+    drop(file);
+    fs::rename(&tmp, checkpoint_path(dir, seq))?;
+    sync_dir(dir);
+    let reg = registry();
+    reg.counter(names::WAL_CHECKPOINTS).incr();
+    reg.counter(names::WAL_FSYNCS).add(2);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::rel;
+    use crate::value::Value;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("certus-wal-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed_db() -> Database {
+        let mut db = Database::new();
+        db.insert_relation("r", rel(&["a", "b"], vec![vec![Value::Int(1), Value::str("x")]]));
+        db
+    }
+
+    fn row(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i), Value::str("w")])
+    }
+
+    fn rows_of(db: &Database) -> usize {
+        db.relation("r").unwrap().len()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn acked_writes_survive_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+            for i in 0..5 {
+                store.insert("r", &[row(i)]).unwrap();
+            }
+            assert_eq!(rows_of(&store.snapshots().pin()), 6);
+            // Dropped without checkpointing: reopen replays the WAL.
+        }
+        let store = DurableStore::open(&dir, Database::new(), 0).unwrap();
+        let snap = store.snapshots().pin();
+        assert_eq!(rows_of(&snap), 6, "all five acked inserts recovered");
+        assert!(snap.epoch() > 0, "recovered epoch never rewinds to zero");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_fold_the_wal_and_retire_old_generations() {
+        let dir = temp_dir("ckpt");
+        let store = DurableStore::open(&dir, seed_db(), 2).unwrap();
+        for i in 0..5 {
+            store.insert("r", &[row(i)]).unwrap();
+        }
+        // Two checkpoints happened (after records 2 and 4); only the newest
+        // generation's files remain, and the live WAL holds one record.
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 2, "one checkpoint + one wal, got {names:?}");
+        drop(store);
+        let store = DurableStore::open(&dir, Database::new(), 2).unwrap();
+        assert_eq!(rows_of(&store.snapshots().pin()), 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejected_writes_leave_log_and_state_untouched() {
+        let dir = temp_dir("reject");
+        let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+        let before = store.wal_len();
+        // Wrong arity: validation fails before the WAL sees anything.
+        let err = store.insert("r", &[Tuple::new(vec![Value::Int(1)])]);
+        assert!(matches!(err, Err(WalError::Data(_))));
+        let err = store.insert("missing", &[row(1)]);
+        assert!(matches!(err, Err(WalError::Data(_))));
+        assert_eq!(store.wal_len(), before);
+        assert_eq!(rows_of(&store.snapshots().pin()), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_append_is_unacked_and_never_resurfaces() {
+        let dir = temp_dir("torn");
+        let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+        store.insert("r", &[row(1)]).unwrap();
+        // The next append tears after 5 bytes — a crash mid-write.
+        failpoints().arm(FP_APPEND, FailAction::Torn(5), 0, 1);
+        let err = store.insert("r", &[row(2)]);
+        failpoints().disarm(FP_APPEND);
+        assert!(matches!(err, Err(WalError::Injected(_))));
+        // The handle is poisoned: further writes refuse instead of stacking
+        // records after a torn tail.
+        assert!(matches!(store.insert("r", &[row(3)]), Err(WalError::Poisoned)));
+        drop(store);
+        let store = DurableStore::open(&dir, Database::new(), 0).unwrap();
+        let snap = store.snapshots().pin();
+        assert_eq!(rows_of(&snap), 2, "acked write present, torn write gone");
+        // And the store keeps working after recovery truncated the tail.
+        store.insert("r", &[row(4)]).unwrap();
+        drop(store);
+        let store = DurableStore::open(&dir, Database::new(), 0).unwrap();
+        assert_eq!(rows_of(&store.snapshots().pin()), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_rolls_the_record_back() {
+        let dir = temp_dir("fsync");
+        let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+        failpoints().arm(FP_FSYNC, FailAction::Error, 0, 1);
+        let err = store.insert("r", &[row(1)]);
+        failpoints().disarm(FP_FSYNC);
+        assert!(matches!(err, Err(WalError::Injected(_))));
+        // The un-fsync'd record was rolled back: the log is clean and the
+        // store accepts the retry.
+        store.insert("r", &[row(1)]).unwrap();
+        drop(store);
+        let store = DurableStore::open(&dir, Database::new(), 0).unwrap();
+        assert_eq!(rows_of(&store.snapshots().pin()), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_checkpoint_keeps_the_previous_generation() {
+        let dir = temp_dir("ckpt-crash");
+        let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+        for i in 0..3 {
+            store.insert("r", &[row(i)]).unwrap();
+        }
+        failpoints().arm(FP_CHECKPOINT, FailAction::Torn(10), 0, 1);
+        let err = store.checkpoint();
+        failpoints().disarm(FP_CHECKPOINT);
+        assert!(matches!(err, Err(WalError::Injected(_))));
+        // Writes continue against the old generation…
+        store.insert("r", &[row(9)]).unwrap();
+        drop(store);
+        // …and recovery sees checkpoint-0 + the full WAL (the torn temp
+        // file is swept and ignored).
+        let store = DurableStore::open(&dir, Database::new(), 0).unwrap();
+        assert_eq!(rows_of(&store.snapshots().pin()), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The satellite fuzz: recovery over every truncation offset and every
+    /// flipped byte of a real checkpoint + WAL directory must never panic,
+    /// never lose an earlier record to a later corruption, and never
+    /// resurrect bytes beyond the damage.
+    #[test]
+    fn recovery_survives_every_truncation_and_bit_flip() {
+        let dir = temp_dir("fuzz-src");
+        let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+        for i in 0..4 {
+            store.insert("r", &[row(i)]).unwrap();
+        }
+        drop(store);
+        let wal_file = wal_path(&dir, 0);
+        let ckpt_file = checkpoint_path(&dir, 0);
+        let wal_bytes = fs::read(&wal_file).unwrap();
+        let ckpt_bytes = fs::read(&ckpt_file).unwrap();
+
+        // Record boundaries, for asserting prefix semantics.
+        let mut boundaries = vec![0usize];
+        let mut at = 0usize;
+        while let Scan::Ok { next, .. } = scan_record(&wal_bytes, at) {
+            boundaries.push(next);
+            at = next;
+        }
+        assert_eq!(boundaries.len(), 5, "four records + origin");
+
+        let scratch = temp_dir("fuzz-run");
+        fs::create_dir_all(&scratch).unwrap();
+        let run = |wal: &[u8], ckpt: &[u8]| -> Option<usize> {
+            fs::write(checkpoint_path(&scratch, 0), ckpt).unwrap();
+            fs::write(wal_path(&scratch, 0), wal).unwrap();
+            let recovered = recover(&scratch).unwrap();
+            recovered.map(|r| rows_of(&r.db))
+        };
+
+        // Every truncation of the WAL recovers the longest whole-record
+        // prefix — never an error, never a panic, never a partial record.
+        for cut in 0..=wal_bytes.len() {
+            let rows = run(&wal_bytes[..cut], &ckpt_bytes).expect("checkpoint is intact");
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(rows, 1 + whole, "truncation at {cut}");
+        }
+
+        // Every single-byte corruption of the WAL yields a prefix of the
+        // records before the damaged one (CRC catches the flip).
+        for i in 0..wal_bytes.len() {
+            let mut bad = wal_bytes.clone();
+            bad[i] ^= 0xFF;
+            let rows = run(&bad, &ckpt_bytes).expect("checkpoint is intact");
+            let damaged_record = boundaries.iter().filter(|&&b| b <= i).count() - 1;
+            assert!(
+                rows <= 1 + damaged_record,
+                "flip at {i}: {rows} rows resurrected past record {damaged_record}"
+            );
+        }
+
+        // Every single-byte corruption of the only checkpoint makes
+        // recovery refuse (None) — cleanly, without panicking.
+        for i in 0..ckpt_bytes.len() {
+            let mut bad = ckpt_bytes.clone();
+            bad[i] ^= 0xFF;
+            assert!(run(&wal_bytes, &bad).is_none(), "corrupt checkpoint at byte {i}");
+        }
+
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&scratch).unwrap();
+    }
+
+    #[test]
+    fn damaged_newest_checkpoint_falls_back_to_its_predecessor() {
+        let dir = temp_dir("fallback");
+        let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+        store.insert("r", &[row(1)]).unwrap();
+        drop(store);
+        // Forge a newer, corrupt checkpoint next to the valid generation 0.
+        fs::write(checkpoint_path(&dir, 1), b"garbage that is not a checkpoint").unwrap();
+        let recovered = recover(&dir).unwrap().expect("falls back");
+        assert_eq!(recovered.seq, 0);
+        assert_eq!(rows_of(&recovered.db), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_records_round_trip_and_reject_malformed() {
+        let record = WalRecord::Insert { table: "r".into(), rows: vec![row(1), row(2)] };
+        let bytes = record.encode();
+        assert_eq!(WalRecord::decode(&bytes).unwrap(), record);
+        for cut in 0..bytes.len() {
+            assert!(WalRecord::decode(&bytes[..cut]).is_err(), "truncation at {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(WalRecord::decode(&trailing).is_err());
+        let mut bad_tag = bytes;
+        bad_tag[0] = 9;
+        assert!(WalRecord::decode(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn checkpoint_encoding_preserves_defs_and_epoch() {
+        let mut db = Database::new();
+        db.create_table(
+            TableDef::new("keyed", crate::schema::Schema::of_names(&["k", "v"])).with_key(&["k"]),
+        )
+        .unwrap();
+        db.relation_mut("keyed")
+            .unwrap()
+            .insert_values(vec![Value::Int(1), Value::str("a")])
+            .unwrap();
+        let payload = encode_database(&db);
+        let back = decode_database(&payload).unwrap();
+        assert_eq!(back.schema_epoch(), db.schema_epoch());
+        assert_eq!(back.table_def("keyed").unwrap().primary_key, vec!["k"]);
+        assert_eq!(back.relation("keyed").unwrap(), db.relation("keyed").unwrap());
+    }
+}

@@ -187,6 +187,9 @@ pub struct Engine<'a> {
     /// process-wide [`certus_exec::global`] pool; tests and embedders that
     /// want an isolated width inject a private pool.
     pool: Option<Arc<certus_exec::Pool>>,
+    /// Cooperative cancellation, checked at morsel boundaries (operator
+    /// entry and parallel partition starts). `None` means uncancellable.
+    cancel: Option<certus_exec::CancelToken>,
 }
 
 impl<'a> Engine<'a> {
@@ -198,7 +201,7 @@ impl<'a> Engine<'a> {
     /// caches the compiled plans, and constructs engines like this one
     /// internally per execution.
     pub fn configured(db: &'a Database, semantics: NullSemantics, config: EngineConfig) -> Self {
-        Engine { db, semantics, config, pool: None }
+        Engine { db, semantics, config, pool: None, cancel: None }
     }
 
     /// Submit this engine's parallel tasks to `pool` instead of the
@@ -208,6 +211,39 @@ impl<'a> Engine<'a> {
     pub fn with_worker_pool(mut self, pool: Arc<certus_exec::Pool>) -> Self {
         self.pool = Some(pool);
         self
+    }
+
+    /// Check `token` at morsel boundaries and abandon execution with
+    /// [`AlgebraError::Cancelled`] once it trips. Cancellation is
+    /// cooperative: a running query stops at the next operator entry or
+    /// partition start, so a tripped token bounds wasted work by roughly
+    /// one morsel. Tokens carry the server's per-request deadline.
+    pub fn with_cancel_token(mut self, token: certus_exec::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The morsel-boundary cancellation check.
+    #[inline]
+    fn check_cancelled(&self) -> Result<()> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(AlgebraError::Cancelled),
+            _ => Ok(()),
+        }
+    }
+
+    /// Periodic cancellation check for long operator loops: every
+    /// `MORSEL_ROWS`-th outer row of a quadratic scan. Operator-entry checks
+    /// alone are too coarse — one nested-loop node over large inputs can run
+    /// for seconds without crossing another entry.
+    #[inline]
+    fn check_cancelled_every(&self, outer_row: usize) -> Result<()> {
+        const MORSEL_ROWS: usize = 256;
+        if outer_row.is_multiple_of(MORSEL_ROWS) {
+            self.check_cancelled()
+        } else {
+            Ok(())
+        }
     }
 
     /// The worker pool parallel regions run on.
@@ -414,6 +450,9 @@ impl<'a> Engine<'a> {
         scalars: &ScalarCtx<'_>,
         prof: Option<&ProfNode>,
     ) -> Result<Relation> {
+        // Operator entry is a morsel boundary: a cancelled query stops here
+        // instead of descending into more work.
+        self.check_cancelled()?;
         // The profile node for the i-th child (indices follow the skeleton:
         // binary operators are [left, right], unions are arms in order).
         let pc = |i: usize| prof.and_then(|p| p.child(i));
@@ -1527,6 +1566,7 @@ impl<'a> Engine<'a> {
                 self.parallel_flat(&ranges, |range| {
                     let mut out = Vec::new();
                     for i in range.clone() {
+                        self.check_cancelled_every(i)?;
                         pair_row(i, &mut out);
                     }
                     Ok(out)
@@ -1534,6 +1574,7 @@ impl<'a> Engine<'a> {
             } else {
                 let mut out = Vec::new();
                 for i in 0..l.len() {
+                    self.check_cancelled_every(i)?;
                     pair_row(i, &mut out);
                 }
                 out
@@ -1545,7 +1586,8 @@ impl<'a> Engine<'a> {
             let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
             let out = self.parallel_tuples(&morsels, |chunk| {
                 let mut out = Vec::new();
-                for lt in *chunk {
+                for (i, lt) in chunk.iter().enumerate() {
+                    self.check_cancelled_every(i)?;
                     for rt in r.iter() {
                         if pred
                             .eval(RowView::pair(lt, rt), &scalars.values, self.semantics)
@@ -1560,7 +1602,8 @@ impl<'a> Engine<'a> {
             return Ok(Relation::from_parts(schema.clone(), out));
         }
         let mut out = Vec::new();
-        for lt in l.iter() {
+        for (i, lt) in l.iter().enumerate() {
+            self.check_cancelled_every(i)?;
             for rt in r.iter() {
                 if pred.eval(RowView::pair(lt, rt), &scalars.values, self.semantics).is_true() {
                     out.push(lt.concat(rt));
@@ -1619,9 +1662,21 @@ impl<'a> Engine<'a> {
             };
             let keep: Vec<bool> = if n > 1 {
                 let ranges = index_ranges(l.len(), n);
-                self.parallel_flat(&ranges, |range| Ok(range.clone().map(decide).collect()))?
+                self.parallel_flat(&ranges, |range| {
+                    let mut keep = Vec::new();
+                    for i in range.clone() {
+                        self.check_cancelled_every(i)?;
+                        keep.push(decide(i));
+                    }
+                    Ok(keep)
+                })?
             } else {
-                (0..l.len()).map(decide).collect()
+                let mut keep = Vec::with_capacity(l.len());
+                for i in 0..l.len() {
+                    self.check_cancelled_every(i)?;
+                    keep.push(decide(i));
+                }
+                keep
             };
             return Ok(semi_result(l, keep));
         }
@@ -1629,7 +1684,8 @@ impl<'a> Engine<'a> {
             let morsels: Vec<&[Tuple]> = chunks_of(l.tuples(), n);
             let out = self.parallel_tuples(&morsels, |chunk| {
                 let mut out = Vec::new();
-                for lt in *chunk {
+                for (i, lt) in chunk.iter().enumerate() {
+                    self.check_cancelled_every(i)?;
                     let matched = r.iter().any(|rt| {
                         pred.eval(RowView::pair(lt, rt), &scalars.values, self.semantics).is_true()
                     });
@@ -1641,14 +1697,15 @@ impl<'a> Engine<'a> {
             })?;
             return Ok(Relation::from_parts(l.schema().clone(), out));
         }
-        let keep: Vec<bool> = l
-            .iter()
-            .map(|lt| {
+        let mut keep = Vec::with_capacity(l.len());
+        for (i, lt) in l.iter().enumerate() {
+            self.check_cancelled_every(i)?;
+            keep.push(
                 r.iter().any(|rt| {
                     pred.eval(RowView::pair(lt, rt), &scalars.values, self.semantics).is_true()
-                }) == keep_matching
-            })
-            .collect();
+                }) == keep_matching,
+            );
+        }
         Ok(semi_result(l, keep))
     }
 
@@ -2010,7 +2067,15 @@ impl<'a> Engine<'a> {
         self.pool().scope(|s| {
             for (item, slot) in items.iter().zip(slots.iter_mut()) {
                 let worker = &worker;
-                s.spawn(move || *slot = Some(worker(item)));
+                // A partition start is a morsel boundary: once the token
+                // trips, remaining partitions fail fast instead of running.
+                let cancel = self.cancel.as_ref();
+                s.spawn(move || {
+                    *slot = Some(match cancel {
+                        Some(token) if token.is_cancelled() => Err(AlgebraError::Cancelled),
+                        _ => worker(item),
+                    });
+                });
             }
         });
         for slot in slots {

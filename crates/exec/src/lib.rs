@@ -29,6 +29,10 @@
 //! Private pools via [`Pool::new`] are for tests and embedders that want an
 //! isolated width.
 
+pub mod cancel;
+
+pub use cancel::CancelToken;
+
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;

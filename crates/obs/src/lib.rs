@@ -18,6 +18,11 @@
 //!   measured actuals side by side for every plan node, with text and JSON
 //!   renderers.
 //!
+//! Plus [`failpoint`] — deterministic fault injection for crash-safety
+//! testing: named points production code checks at fault-prone boundaries,
+//! armed by tests or `CERTUS_FAILPOINTS`, costing one relaxed atomic load
+//! when disarmed.
+//!
 //! ```
 //! use certus_obs::metrics::registry;
 //!
@@ -29,6 +34,7 @@
 //! ```
 
 pub mod analyzed;
+pub mod failpoint;
 pub mod json;
 pub mod metrics;
 pub mod names;
@@ -36,6 +42,7 @@ pub mod profile;
 pub mod time;
 
 pub use analyzed::AnalyzedPlan;
+pub use failpoint::{failpoints, FailAction, FailpointRegistry};
 pub use metrics::{registry, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use profile::{NodeStats, ProfNode, QueryProfile, StepProfile};
 pub use time::Timer;

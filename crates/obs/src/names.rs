@@ -53,3 +53,27 @@ pub const SERVER_CONNECTIONS: &str = "server.connections";
 pub const SERVER_STALE_REPLANS: &str = "server.stale_replans";
 /// Latency histogram (nanoseconds) of server request handling.
 pub const SERVER_REQUEST_NS: &str = "server.request_ns";
+/// Idle connections the server closed after `idle_timeout_ms`.
+pub const SERVER_IDLE_CLOSED: &str = "server.idle_closed";
+/// Requests that failed because their deadline expired (queued or running).
+pub const SERVER_DEADLINE_EXCEEDED: &str = "server.deadline_exceeded";
+
+/// Records appended to the write-ahead log.
+pub const WAL_APPENDS: &str = "wal.appends";
+/// Bytes appended to the write-ahead log (payload + envelope).
+pub const WAL_APPEND_BYTES: &str = "wal.append_bytes";
+/// `fsync` calls issued by the durability layer (appends and checkpoints).
+pub const WAL_FSYNCS: &str = "wal.fsyncs";
+/// Full-snapshot checkpoints written.
+pub const WAL_CHECKPOINTS: &str = "wal.checkpoints";
+/// Crash recoveries performed (checkpoint load + WAL replay).
+pub const WAL_RECOVERIES: &str = "wal.recoveries";
+/// WAL records replayed during recovery.
+pub const WAL_RECOVERED_RECORDS: &str = "wal.recovered_records";
+/// Torn or corrupt WAL tails truncated during recovery.
+pub const WAL_TORN_TAILS: &str = "wal.torn_tails";
+/// Latency histogram (nanoseconds) of durable appends (encode+write+fsync).
+pub const WAL_APPEND_NS: &str = "wal.append_ns";
+
+/// Client-side request retries (overload backoff and timeout resends).
+pub const CLIENT_RETRIES: &str = "client.retries";

@@ -9,6 +9,13 @@
 //!   next response off the wire. The server may answer out of order, so
 //!   match responses to requests by id.
 //!
+//! Closed-loop calls can retry transparently under a [`RetryPolicy`]:
+//! `Overloaded` responses (shed before execution, so always safe to resend)
+//! and read timeouts on idempotent requests are retried with exponential
+//! backoff, seeded jitter, and the server's retry-after hint honored as a
+//! floor. Inserts are **never** retried on a timeout — the server may have
+//! durably applied the write even though the ack was lost.
+//!
 //! ```no_run
 //! use certus_server::client::Client;
 //! use certus_server::protocol::WireCertainty;
@@ -28,7 +35,14 @@ use crate::protocol::{
 };
 use certus_algebra::RaExpr;
 use certus_data::Tuple;
+use certus_obs::metrics::registry;
+use certus_obs::names;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::io::ErrorKind;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
 
 /// An error surfaced by the client: either a transport/encoding failure or
 /// an error response from the server.
@@ -68,6 +82,36 @@ impl From<WireError> for ClientError {
 /// Result alias for client calls.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// Retry behavior for closed-loop calls.
+///
+/// Retries apply to `Overloaded` responses for every request type (the
+/// server sheds those before touching any state) and to read timeouts for
+/// idempotent requests only. Every resend uses a fresh request id.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt; `0` disables retrying.
+    pub max_retries: u32,
+    /// First backoff step; doubles each attempt.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling (the server's retry-after hint is also clamped here).
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter RNG, so harness runs are reproducible.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retrying at all: every failure surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, base_backoff_ms: 0, max_backoff_ms: 0, seed: 0 }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_retries: 4, base_backoff_ms: 10, max_backoff_ms: 500, seed: 0x5eed }
+    }
+}
+
 /// Answers as received off the wire, plus the canonical body bytes for
 /// differential comparison against local execution.
 #[derive(Debug, Clone)]
@@ -91,16 +135,66 @@ impl WireAnswers {
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    retry: RetryPolicy,
+    rng: StdRng,
+    retries: u64,
+}
+
+/// Whether a lost response for this request is safe to resend: reads and
+/// plan management are; `Insert` is not (the write may have been durably
+/// applied even though its ack never arrived), and `Close`/`Shutdown`
+/// change connection state.
+fn idempotent(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Ping
+            | Request::Stats
+            | Request::Prepare { .. }
+            | Request::Execute { .. }
+            | Request::Query { .. }
+    )
+}
+
+fn is_timeout(e: &WireError) -> bool {
+    matches!(e, WireError::Io(io)
+        if io.kind() == ErrorKind::WouldBlock || io.kind() == ErrorKind::TimedOut)
 }
 
 impl Client {
-    /// Connect and verify liveness with a ping handshake.
+    /// Connect and verify liveness with a ping handshake. Retrying is off;
+    /// opt in with [`Client::with_retry`].
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
         let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
         let _ = stream.set_nodelay(true);
-        let mut client = Client { stream, next_id: 1 };
+        let mut client = Client {
+            stream,
+            next_id: 1,
+            retry: RetryPolicy::none(),
+            rng: StdRng::seed_from_u64(0),
+            retries: 0,
+        };
         client.ping()?;
         Ok(client)
+    }
+
+    /// Enable retrying for closed-loop calls under `policy`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.rng = StdRng::seed_from_u64(policy.seed);
+        self.retry = policy;
+        self
+    }
+
+    /// Bound how long closed-loop calls wait for any single response frame.
+    /// A `None` waits forever (the default). With a retry policy attached,
+    /// timed-out idempotent requests are resent instead of surfacing.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) -> ClientResult<()> {
+        self.stream.set_read_timeout(timeout).map_err(WireError::Io)?;
+        Ok(())
+    }
+
+    /// Retries performed by this client so far (for harness assertions).
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     fn send(&mut self, req: &Request) -> ClientResult<u64> {
@@ -130,18 +224,55 @@ impl Client {
             // refusals (connection cap, broken framing) — surface those
             // instead of waiting for a response that will never come.
             if got == 0 {
-                if let Response::Error { code, message } = resp {
+                if let Response::Error { code, message, .. } = resp {
                     return Err(ClientError::Server { code, message });
                 }
             }
         }
     }
 
+    /// Sleep before a retry: exponential in the attempt number, floored by
+    /// the server's retry-after hint, capped by the policy ceiling, with
+    /// seeded jitter in `[target/2, target]` so synchronized clients do not
+    /// retry in lockstep.
+    fn backoff(&mut self, attempt: u32, server_hint_ms: u64) {
+        self.retries += 1;
+        registry().counter(names::CLIENT_RETRIES).incr();
+        let exp = self.retry.base_backoff_ms.saturating_mul(1u64 << attempt.min(16));
+        let target = exp.max(server_hint_ms).min(self.retry.max_backoff_ms).max(1);
+        let span = target - target / 2;
+        let jittered = target / 2 + self.rng.next_u64() % (span + 1);
+        thread::sleep(Duration::from_millis(jittered));
+    }
+
+    /// One request/response exchange, retrying per the policy: `Overloaded`
+    /// for any request type, read timeouts for idempotent ones. Each resend
+    /// is a brand-new request with a fresh id.
     fn rpc(&mut self, req: &Request) -> ClientResult<Response> {
-        let id = self.send(req)?;
-        match self.wait_for(id)? {
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            resp => Ok(resp),
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = self.send(req).and_then(|id| self.wait_for(id));
+            match outcome {
+                Ok(Response::Error { code: ErrorCode::Overloaded, message, retry_after_ms }) => {
+                    if attempt < self.retry.max_retries {
+                        self.backoff(attempt, retry_after_ms);
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(ClientError::Server { code: ErrorCode::Overloaded, message });
+                }
+                Ok(Response::Error { code, message, .. }) => {
+                    return Err(ClientError::Server { code, message });
+                }
+                Ok(resp) => return Ok(resp),
+                Err(ClientError::Wire(e))
+                    if is_timeout(&e) && idempotent(req) && attempt < self.retry.max_retries =>
+                {
+                    self.backoff(attempt, 0);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -169,7 +300,18 @@ impl Client {
 
     /// Execute a prepared statement.
     pub fn execute(&mut self, prepared: u64) -> ClientResult<WireAnswers> {
-        match self.rpc(&Request::Execute { prepared })? {
+        self.execute_with_deadline(prepared, 0)
+    }
+
+    /// Execute a prepared statement under a deadline (milliseconds from the
+    /// server reading the request; `0` means none). Past it the server
+    /// answers `DeadlineExceeded` instead of results.
+    pub fn execute_with_deadline(
+        &mut self,
+        prepared: u64,
+        deadline_ms: u64,
+    ) -> ClientResult<WireAnswers> {
+        match self.rpc(&Request::Execute { prepared, deadline_ms })? {
             Response::Answers { body, reprepared } => Ok(WireAnswers { body, reprepared }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
@@ -177,14 +319,27 @@ impl Client {
 
     /// One-shot prepare + execute.
     pub fn query(&mut self, certainty: WireCertainty, query: &RaExpr) -> ClientResult<WireAnswers> {
-        let req = Request::Query { certainty, query: query.clone() };
+        self.query_with_deadline(certainty, query, 0)
+    }
+
+    /// One-shot query under a deadline (milliseconds from the server reading
+    /// the request; `0` means none).
+    pub fn query_with_deadline(
+        &mut self,
+        certainty: WireCertainty,
+        query: &RaExpr,
+        deadline_ms: u64,
+    ) -> ClientResult<WireAnswers> {
+        let req = Request::Query { certainty, query: query.clone(), deadline_ms };
         match self.rpc(&req)? {
             Response::Answers { body, reprepared } => Ok(WireAnswers { body, reprepared }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
 
-    /// Append rows to a table; returns the schema epoch after the write.
+    /// Append rows to a table; returns the schema epoch after the write. On
+    /// a durable server the returned epoch means the rows are fsync'd to the
+    /// WAL and will survive a crash.
     pub fn insert(&mut self, table: &str, rows: Vec<Tuple>) -> ClientResult<u64> {
         let req = Request::Insert { table: table.to_string(), rows };
         match self.rpc(&req)? {
@@ -222,12 +377,12 @@ impl Client {
 
     /// Send a one-shot query without waiting; returns its request id.
     pub fn send_query(&mut self, certainty: WireCertainty, query: &RaExpr) -> ClientResult<u64> {
-        self.send(&Request::Query { certainty, query: query.clone() })
+        self.send(&Request::Query { certainty, query: query.clone(), deadline_ms: 0 })
     }
 
     /// Send an execute without waiting; returns its request id.
     pub fn send_execute(&mut self, prepared: u64) -> ClientResult<u64> {
-        self.send(&Request::Execute { prepared })
+        self.send(&Request::Execute { prepared, deadline_ms: 0 })
     }
 
     /// Send an insert without waiting; returns its request id.
@@ -241,7 +396,9 @@ impl Client {
             (id, Response::Answers { body, reprepared }) => {
                 Ok((id, WireAnswers { body, reprepared }))
             }
-            (_, Response::Error { code, message }) => Err(ClientError::Server { code, message }),
+            (_, Response::Error { code, message, .. }) => {
+                Err(ClientError::Server { code, message })
+            }
             (_, other) => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

@@ -1,6 +1,7 @@
 //! Server tuning knobs.
 
 use certus_algebra::NullSemantics;
+use std::path::PathBuf;
 
 /// Configuration for a [`crate::Server`].
 #[derive(Debug, Clone)]
@@ -29,6 +30,23 @@ pub struct ServerConfig {
     /// milliseconds. Smaller is more responsive to shutdown; larger burns
     /// less idle CPU.
     pub poll_interval_ms: u64,
+    /// Close a connection that has sent nothing for this long (and has no
+    /// in-flight requests), announcing the close with a clean `Ack` on the
+    /// server channel (request id 0) first. `0` disables idle reaping.
+    pub idle_timeout_ms: u64,
+    /// Write timeout applied to accepted sockets so one stalled peer can
+    /// never wedge an executor mid-response. `0` means no timeout.
+    pub write_timeout_ms: u64,
+    /// Durability: when set, the server opens a
+    /// [`certus_data::wal::DurableStore`] in this directory — recovering
+    /// any state a previous process left there — and every `Insert` is
+    /// WAL-logged and fsync'd *before* it is acknowledged. `None` serves
+    /// from memory only (the pre-durability behavior).
+    pub data_dir: Option<PathBuf>,
+    /// In durable mode, fold the WAL into a fresh full checkpoint after
+    /// this many logged records (bounds recovery replay time). `0` never
+    /// checkpoints automatically.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +60,10 @@ impl Default for ServerConfig {
             semantics: NullSemantics::Sql,
             cache_capacity: 128,
             poll_interval_ms: 20,
+            idle_timeout_ms: 300_000,
+            write_timeout_ms: 10_000,
+            data_dir: None,
+            checkpoint_every: 1024,
         }
     }
 }

@@ -41,7 +41,7 @@ pub mod queue;
 pub mod server;
 
 pub use certus_algebra::RaExpr;
-pub use client::{Client, ClientError, WireAnswers};
+pub use client::{Client, ClientError, RetryPolicy, WireAnswers};
 pub use config::ServerConfig;
 pub use protocol::{ErrorCode, Request, Response, ServerStats, WireCertainty};
 pub use server::{answer_body, Server};

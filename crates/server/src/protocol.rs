@@ -6,13 +6,22 @@
 //! the response) and a `u8` message tag. Integers are little-endian, floats
 //! travel as normalized IEEE-754 bits, strings as `u32` length + UTF-8
 //! bytes. See `PROTOCOL.md` at the repository root for the full grammar.
+//!
+//! The primitive and data-level encoders (values, tuples, schemas,
+//! relations) live in [`certus_data::codec`] and are shared with the
+//! write-ahead log ([`certus_data::wal`]) — the bytes a WAL record holds
+//! for a row are exactly the bytes an `Insert` request carried. This module
+//! adds the algebra-level encoders (conditions, expressions) and the
+//! request/response envelopes.
 
 use certus_algebra::{AggExpr, AggFunc, Condition, Operand, ProjCol, RaExpr};
+use certus_data::codec::{
+    self, get_relation, get_schema, get_tuple, get_value, put_bool, put_opt, put_relation,
+    put_schema, put_str, put_tuple, put_u32, put_u64, put_u8, put_value, Reader,
+};
 use certus_data::compare::CmpOp;
-use certus_data::null::NullId;
-use certus_data::{Attribute, Relation, Schema, Tuple, Value, ValueType};
+use certus_data::{Relation, Tuple};
 use std::io::{Read, Write};
-use std::sync::Arc;
 
 /// Upper bound on a frame payload (64 MiB): malformed or hostile length
 /// prefixes fail fast instead of attempting a giant allocation.
@@ -45,6 +54,12 @@ impl From<std::io::Error> for WireError {
     }
 }
 
+impl From<codec::CodecError> for WireError {
+    fn from(e: codec::CodecError) -> Self {
+        WireError::Malformed(e.0)
+    }
+}
+
 /// Result alias for protocol operations.
 pub type WireResult<T> = Result<T, WireError>;
 
@@ -71,6 +86,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// An internal invariant failed server-side.
     Internal,
+    /// The request's deadline expired before (or while) it executed. The
+    /// work was abandoned at the next morsel boundary; no write happened.
+    DeadlineExceeded,
 }
 
 impl ErrorCode {
@@ -83,6 +101,7 @@ impl ErrorCode {
             ErrorCode::QueryError => 4,
             ErrorCode::ShuttingDown => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::DeadlineExceeded => 7,
         }
     }
 
@@ -95,6 +114,7 @@ impl ErrorCode {
             4 => ErrorCode::QueryError,
             5 => ErrorCode::ShuttingDown,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::DeadlineExceeded,
             other => return Err(bad(format!("unknown error code {other}"))),
         })
     }
@@ -152,6 +172,12 @@ pub enum Request {
     Execute {
         /// Statement id from [`Response::Prepared`].
         prepared: u64,
+        /// Milliseconds the client is willing to wait, measured from the
+        /// moment the server reads the request; `0` means no deadline. Past
+        /// it the server abandons the work (queued requests are dropped,
+        /// running ones cancel at the next morsel boundary) and answers
+        /// [`ErrorCode::DeadlineExceeded`].
+        deadline_ms: u64,
     },
     /// One-shot prepare + execute.
     Query {
@@ -159,6 +185,9 @@ pub enum Request {
         certainty: WireCertainty,
         /// The query.
         query: RaExpr,
+        /// Deadline in milliseconds from arrival; `0` means none (see
+        /// [`Request::Execute::deadline_ms`]).
+        deadline_ms: u64,
     },
     /// Append rows to a table; bumps the schema epoch.
     Insert {
@@ -229,9 +258,9 @@ impl AnswerBody {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
         Ok(AnswerBody {
             certainty: WireCertainty::from_tag(r.u8()?)?,
-            plain: get_opt(r, get_relation)?,
-            certain: get_opt(r, get_relation)?,
-            possible: get_opt(r, get_relation)?,
+            plain: get_opt(r, |r| Ok(get_relation(r)?))?,
+            certain: get_opt(r, |r| Ok(get_relation(r)?))?,
+            possible: get_opt(r, |r| Ok(get_relation(r)?))?,
             breakdown: get_opt(r, |r| Ok((r.u64()?, r.u64()?, r.u64()?)))?,
         })
     }
@@ -298,6 +327,10 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// For [`ErrorCode::Overloaded`]: how long (milliseconds) the
+        /// server suggests waiting before a retry, derived from the current
+        /// queue depth. `0` means no hint; other codes always send `0`.
+        retry_after_ms: u64,
     },
     /// Server counters.
     Stats(ServerStats),
@@ -317,129 +350,12 @@ impl Response {
 }
 
 // ---------------------------------------------------------------------------
-// Primitive encoders/decoders.
+// Algebra-level encoders/decoders. Primitives and data-level forms (values,
+// tuples, schemas, relations) come from `certus_data::codec`; codec errors
+// convert into `WireError::Malformed` at the `?` sites below.
 
-fn put_u8(out: &mut Vec<u8>, v: u8) {
-    out.push(v);
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_i64(out: &mut Vec<u8>, v: i64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_i32(out: &mut Vec<u8>, v: i32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-fn put_bool(out: &mut Vec<u8>, v: bool) {
-    out.push(v as u8);
-}
-
-fn put_opt<T>(out: &mut Vec<u8>, v: Option<&T>, put: impl FnOnce(&mut Vec<u8>, &T)) {
-    match v {
-        Some(v) => {
-            out.push(1);
-            put(out, v);
-        }
-        None => out.push(0),
-    }
-}
-
-/// A cursor over a received payload with bounds-checked reads.
-struct Reader<'a> {
-    buf: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, at: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
-        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
-        match end {
-            Some(end) => {
-                let s = &self.buf[self.at..end];
-                self.at = end;
-                Ok(s)
-            }
-            None => Err(bad(format!(
-                "truncated payload: wanted {n} bytes at offset {} of {}",
-                self.at,
-                self.buf.len()
-            ))),
-        }
-    }
-
-    fn u8(&mut self) -> WireResult<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> WireResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> WireResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn i64(&mut self) -> WireResult<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn i32(&mut self) -> WireResult<i32> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn str(&mut self) -> WireResult<String> {
-        let n = self.u32()? as usize;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| bad("string is not UTF-8"))
-    }
-
-    fn bool(&mut self) -> WireResult<bool> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            other => Err(bad(format!("bad bool byte {other}"))),
-        }
-    }
-
-    /// A collection length, sanity-capped by the bytes actually remaining
-    /// (every element takes ≥ 1 byte) so hostile lengths cannot force huge
-    /// allocations.
-    fn len(&mut self) -> WireResult<usize> {
-        let n = self.u32()? as usize;
-        let left = self.buf.len() - self.at;
-        if n > left {
-            return Err(bad(format!("length {n} exceeds remaining {left} bytes")));
-        }
-        Ok(n)
-    }
-
-    fn finish(&self) -> WireResult<()> {
-        if self.at == self.buf.len() {
-            Ok(())
-        } else {
-            Err(bad(format!("{} trailing bytes", self.buf.len() - self.at)))
-        }
-    }
-}
-
+/// Wire-level optional: like [`codec::get_opt`] but over closures that may
+/// fail with algebra-level [`WireError`]s.
 fn get_opt<T>(
     r: &mut Reader<'_>,
     get: impl FnOnce(&mut Reader<'_>) -> WireResult<T>,
@@ -449,138 +365,6 @@ fn get_opt<T>(
         1 => Ok(Some(get(r)?)),
         other => Err(bad(format!("bad option byte {other}"))),
     }
-}
-
-// ---------------------------------------------------------------------------
-// Domain encoders/decoders.
-
-fn put_value(out: &mut Vec<u8>, v: &Value) {
-    match v {
-        Value::Null(NullId(id)) => {
-            put_u8(out, 0);
-            put_u64(out, *id);
-        }
-        Value::Int(i) => {
-            put_u8(out, 1);
-            put_i64(out, *i);
-        }
-        Value::Float(f) => {
-            put_u8(out, 2);
-            put_u64(out, f.to_bits());
-        }
-        Value::Decimal(d) => {
-            put_u8(out, 3);
-            put_i64(out, *d);
-        }
-        Value::Str(s) => {
-            put_u8(out, 4);
-            put_str(out, s);
-        }
-        Value::Bool(b) => {
-            put_u8(out, 5);
-            put_bool(out, *b);
-        }
-        Value::Date(d) => {
-            put_u8(out, 6);
-            put_i32(out, *d);
-        }
-    }
-}
-
-fn get_value(r: &mut Reader<'_>) -> WireResult<Value> {
-    Ok(match r.u8()? {
-        0 => Value::Null(NullId(r.u64()?)),
-        1 => Value::Int(r.i64()?),
-        2 => Value::Float(f64::from_bits(r.u64()?)),
-        3 => Value::Decimal(r.i64()?),
-        4 => Value::str(r.str()?),
-        5 => Value::Bool(r.bool()?),
-        6 => Value::Date(r.i32()?),
-        other => return Err(bad(format!("unknown value tag {other}"))),
-    })
-}
-
-fn put_value_type(out: &mut Vec<u8>, ty: ValueType) {
-    put_u8(
-        out,
-        match ty {
-            ValueType::Int => 0,
-            ValueType::Float => 1,
-            ValueType::Decimal => 2,
-            ValueType::Str => 3,
-            ValueType::Bool => 4,
-            ValueType::Date => 5,
-            ValueType::Any => 6,
-        },
-    );
-}
-
-fn get_value_type(r: &mut Reader<'_>) -> WireResult<ValueType> {
-    Ok(match r.u8()? {
-        0 => ValueType::Int,
-        1 => ValueType::Float,
-        2 => ValueType::Decimal,
-        3 => ValueType::Str,
-        4 => ValueType::Bool,
-        5 => ValueType::Date,
-        6 => ValueType::Any,
-        other => return Err(bad(format!("unknown value type {other}"))),
-    })
-}
-
-fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
-    put_u32(out, schema.attrs().len() as u32);
-    for a in schema.attrs() {
-        put_str(out, &a.name);
-        put_value_type(out, a.ty);
-        put_bool(out, a.nullable);
-    }
-}
-
-fn get_schema(r: &mut Reader<'_>) -> WireResult<Schema> {
-    let n = r.len()?;
-    let mut attrs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let name = r.str()?;
-        let ty = get_value_type(r)?;
-        let nullable = r.bool()?;
-        attrs.push(Attribute { name, ty, nullable });
-    }
-    Ok(Schema::new(attrs))
-}
-
-fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
-    put_u32(out, t.values().len() as u32);
-    for v in t.values() {
-        put_value(out, v);
-    }
-}
-
-fn get_tuple(r: &mut Reader<'_>) -> WireResult<Tuple> {
-    let n = r.len()?;
-    let mut values = Vec::with_capacity(n);
-    for _ in 0..n {
-        values.push(get_value(r)?);
-    }
-    Ok(Tuple::new(values))
-}
-
-fn put_relation(out: &mut Vec<u8>, rel: &Relation) {
-    put_schema(out, rel.schema());
-    put_u32(out, rel.len() as u32);
-    for t in rel.tuples() {
-        put_tuple(out, t);
-    }
-}
-
-fn get_relation(r: &mut Reader<'_>) -> WireResult<Relation> {
-    let schema = Arc::new(get_schema(r)?);
-    let n = r.len()?;
-    let mut tuples = Vec::with_capacity(n);
-    for _ in 0..n {
-        tuples.push(get_tuple(r)?);
-    }
-    Ok(Relation::from_parts(schema, tuples))
 }
 
 fn put_cmp_op(out: &mut Vec<u8>, op: CmpOp) {
@@ -849,7 +633,7 @@ fn put_expr(out: &mut Vec<u8>, e: &RaExpr) {
 
 fn get_expr(r: &mut Reader<'_>) -> WireResult<RaExpr> {
     Ok(match r.u8()? {
-        0 => RaExpr::Relation { name: r.str()?, alias: get_opt(r, |r| r.str())? },
+        0 => RaExpr::Relation { name: r.str()?, alias: get_opt(r, |r| Ok(r.str()?))? },
         1 => {
             let schema = get_schema(r)?;
             let n = r.len()?;
@@ -866,7 +650,7 @@ fn get_expr(r: &mut Reader<'_>) -> WireResult<RaExpr> {
             let mut columns = Vec::with_capacity(n);
             for _ in 0..n {
                 let column = r.str()?;
-                let alias = get_opt(r, |r| r.str())?;
+                let alias = get_opt(r, |r| Ok(r.str()?))?;
                 columns.push(ProjCol { column, alias });
             }
             RaExpr::Project { input, columns }
@@ -917,7 +701,7 @@ fn get_expr(r: &mut Reader<'_>) -> WireResult<RaExpr> {
             let mut aggregates = Vec::with_capacity(n);
             for _ in 0..n {
                 let func = get_agg_func(r)?;
-                let column = get_opt(r, |r| r.str())?;
+                let column = get_opt(r, |r| Ok(r.str()?))?;
                 let alias = r.str()?;
                 aggregates.push(AggExpr { func, column, alias });
             }
@@ -938,11 +722,19 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
     put_u8(&mut out, req.tag());
     match req {
         Request::Ping | Request::Close | Request::Stats | Request::Shutdown => {}
-        Request::Prepare { certainty, query } | Request::Query { certainty, query } => {
+        Request::Prepare { certainty, query } => {
             put_u8(&mut out, certainty.tag());
             put_expr(&mut out, query);
         }
-        Request::Execute { prepared } => put_u64(&mut out, *prepared),
+        Request::Query { certainty, query, deadline_ms } => {
+            put_u8(&mut out, certainty.tag());
+            put_expr(&mut out, query);
+            put_u64(&mut out, *deadline_ms);
+        }
+        Request::Execute { prepared, deadline_ms } => {
+            put_u64(&mut out, *prepared);
+            put_u64(&mut out, *deadline_ms);
+        }
         Request::Insert { table, rows } => {
             put_str(&mut out, table);
             put_u32(&mut out, rows.len() as u32);
@@ -967,10 +759,10 @@ pub fn decode_request(payload: &[u8]) -> WireResult<(u64, Request)> {
             if tag == 1 {
                 Request::Prepare { certainty, query }
             } else {
-                Request::Query { certainty, query }
+                Request::Query { certainty, query, deadline_ms: r.u64()? }
             }
         }
-        2 => Request::Execute { prepared: r.u64()? },
+        2 => Request::Execute { prepared: r.u64()?, deadline_ms: r.u64()? },
         4 => {
             let table = r.str()?;
             let n = r.len()?;
@@ -1005,9 +797,10 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             out.extend_from_slice(&body.encode());
             put_bool(&mut out, *reprepared);
         }
-        Response::Error { code, message } => {
+        Response::Error { code, message, retry_after_ms } => {
             put_u8(&mut out, code.tag());
             put_str(&mut out, message);
+            put_u64(&mut out, *retry_after_ms);
         }
         Response::Stats(s) => {
             for v in [
@@ -1038,7 +831,11 @@ pub fn decode_response(payload: &[u8]) -> WireResult<(u64, Response)> {
         1 => Response::Prepared { prepared: r.u64()?, epoch: r.u64()? },
         2 => Response::Answers { body: AnswerBody::decode(&mut r)?, reprepared: r.bool()? },
         3 => Response::Ack { epoch: r.u64()? },
-        4 => Response::Error { code: ErrorCode::from_tag(r.u8()?)?, message: r.str()? },
+        4 => Response::Error {
+            code: ErrorCode::from_tag(r.u8()?)?,
+            message: r.str()?,
+            retry_after_ms: r.u64()?,
+        },
         5 => Response::Stats(ServerStats {
             requests: r.u64()?,
             rejected: r.u64()?,
@@ -1086,6 +883,8 @@ pub fn read_frame(r: &mut impl Read) -> WireResult<Vec<u8>> {
 mod tests {
     use super::*;
     use certus_algebra::builder::eq;
+    use certus_data::null::NullId;
+    use certus_data::{Attribute, Schema, Value, ValueType};
 
     fn sample_exprs() -> Vec<RaExpr> {
         let base = RaExpr::relation("r");
@@ -1159,7 +958,8 @@ mod tests {
             Request::Close,
             Request::Stats,
             Request::Shutdown,
-            Request::Execute { prepared: 42 },
+            Request::Execute { prepared: 42, deadline_ms: 0 },
+            Request::Execute { prepared: 42, deadline_ms: 2_500 },
             Request::Insert {
                 table: "r".into(),
                 rows: vec![Tuple::new(vec![Value::Int(1), Value::Null(NullId(9))])],
@@ -1173,7 +973,7 @@ mod tests {
                 _ => WireCertainty::Both,
             };
             requests.push(Request::Prepare { certainty, query: q.clone() });
-            requests.push(Request::Query { certainty, query: q });
+            requests.push(Request::Query { certainty, query: q, deadline_ms: i as u64 * 100 });
         }
         for (i, req) in requests.into_iter().enumerate() {
             let bytes = encode_request(i as u64, &req);
@@ -1193,7 +993,16 @@ mod tests {
             Response::Pong { epoch: 3 },
             Response::Prepared { prepared: 5, epoch: 3 },
             Response::Ack { epoch: 4 },
-            Response::Error { code: ErrorCode::Overloaded, message: "queue full".into() },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+                retry_after_ms: 40,
+            },
+            Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: "deadline of 10ms expired".into(),
+                retry_after_ms: 0,
+            },
             Response::Stats(ServerStats { requests: 10, epoch: 2, ..Default::default() }),
             Response::Answers {
                 body: AnswerBody {
@@ -1247,7 +1056,11 @@ mod tests {
         // Truncations of a valid request must all fail cleanly.
         let good = encode_request(
             7,
-            &Request::Query { certainty: WireCertainty::Both, query: sample_exprs().remove(1) },
+            &Request::Query {
+                certainty: WireCertainty::Both,
+                query: sample_exprs().remove(1),
+                deadline_ms: 250,
+            },
         );
         for cut in 0..good.len() {
             assert!(decode_request(&good[..cut]).is_err(), "truncation at {cut}");

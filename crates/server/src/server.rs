@@ -17,8 +17,23 @@
 //!   pinned snapshots are never blocked and never observe partial writes.
 //!
 //! Admission control is two-layered: a connection cap (refused with
-//! `TooManyConnections`) and a bounded queue (refused with `Overloaded`).
-//! Rejections are immediate protocol responses, not silent drops.
+//! `TooManyConnections`) and a bounded queue (refused with `Overloaded`,
+//! carrying a retry-after hint derived from the current queue depth).
+//!
+//! Robustness additions on top of that model:
+//!
+//! * **Durability** — with [`ServerConfig::data_dir`] set, the server opens
+//!   a [`DurableStore`]: state left by a previous process is recovered from
+//!   its newest valid checkpoint plus WAL suffix, and every `Insert` is
+//!   appended to the WAL and fsync'd *before* the `Ack` is written back.
+//!   An acknowledged write therefore survives a crash at any instant.
+//! * **Deadlines** — `Query`/`Execute` requests may carry a deadline;
+//!   requests still queued past it are dropped without executing, and
+//!   running requests are cancelled cooperatively at morsel boundaries.
+//! * **Idle reaping / write timeouts** — connections silent past
+//!   [`ServerConfig::idle_timeout_ms`] are closed with a clean `Ack` on the
+//!   server channel, and sockets carry a write timeout so one stalled peer
+//!   cannot wedge an executor mid-response.
 
 use crate::config::ServerConfig;
 use crate::protocol::{
@@ -29,6 +44,8 @@ use crate::queue::Queue;
 use certus::{Certainty, CertusError, Database, PreparedQuery, Session, SharedPlanCache};
 use certus_algebra::RaExpr;
 use certus_data::snapshot::{Snapshot, SnapshotStore};
+use certus_data::wal::{DurableStore, WalError};
+use certus_exec::CancelToken;
 use certus_obs::metrics::{registry, Counter, Gauge, Histogram};
 use certus_obs::{names, Timer};
 use std::collections::HashMap;
@@ -37,7 +54,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 impl From<WireCertainty> for Certainty {
     fn from(c: WireCertainty) -> Certainty {
@@ -112,12 +129,17 @@ struct Work {
     conn: Arc<Conn>,
     request_id: u64,
     request: Request,
+    /// When the reader finished decoding the request; deadlines are measured
+    /// from here, so time spent queued counts against them.
+    arrival: Instant,
 }
 
 /// Everything the acceptor, readers and executors share.
 struct State {
     config: ServerConfig,
-    store: SnapshotStore,
+    store: Arc<SnapshotStore>,
+    /// WAL-backed durability; `None` when serving from memory only.
+    durable: Option<Arc<DurableStore>>,
     cache: SharedPlanCache,
     pool: Arc<certus_exec::Pool>,
     queue: Queue<Work>,
@@ -127,6 +149,8 @@ struct State {
     requests: Arc<Counter>,
     rejected: Arc<Counter>,
     stale_replans: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    idle_closed: Arc<Counter>,
     connections_gauge: Arc<Gauge>,
     request_ns: Arc<Histogram>,
 }
@@ -136,15 +160,30 @@ impl State {
         self.shutdown.load(Ordering::Relaxed)
     }
 
-    /// A session over one pinned snapshot, wired to the shared plan cache
-    /// and the shared engine worker pool.
-    fn session_over(&self, snapshot: &Snapshot) -> Session {
-        Session::builder_over(snapshot.database())
+    /// A session over one pinned snapshot, wired to the shared plan cache,
+    /// the shared engine worker pool, and (for deadline-bearing requests)
+    /// a cancellation token checked at morsel boundaries.
+    fn session_over(&self, snapshot: &Snapshot, cancel: Option<CancelToken>) -> Session {
+        let mut builder = Session::builder_over(snapshot.database())
             .semantics(self.config.semantics)
             .threads(self.config.engine_threads)
             .plan_cache(self.cache.clone())
-            .worker_pool(Arc::clone(&self.pool))
-            .build()
+            .worker_pool(Arc::clone(&self.pool));
+        if let Some(token) = cancel {
+            builder = builder.cancel_token(token);
+        }
+        builder.build()
+    }
+
+    /// How long an `Overloaded` client should wait before retrying: the
+    /// current backlog divided across the executors, in poll-interval
+    /// granules. Deep queues push retries further out; an almost-empty
+    /// queue suggests an immediate retry will succeed.
+    fn retry_after_ms(&self) -> u64 {
+        let depth = self.queue.depth() as u64;
+        let executors = self.config.executors.max(1) as u64;
+        let granule = self.config.poll_interval_ms.max(1);
+        ((depth * granule) / executors).clamp(granule, 2_000)
     }
 
     fn stats(&self) -> ServerStats {
@@ -175,14 +214,30 @@ pub struct Server {
 
 impl Server {
     /// Bind and start serving `db` under `config`.
+    ///
+    /// With [`ServerConfig::data_dir`] set, any state a previous process
+    /// left in that directory is recovered first and `db` is used only to
+    /// seed an empty directory; without it the server serves `db` from
+    /// memory.
     pub fn start(db: Database, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let (store, durable) = match &config.data_dir {
+            Some(dir) => {
+                let durable = DurableStore::open(dir, db, config.checkpoint_every)
+                    .map_err(|e| std::io::Error::other(format!("durable store: {e}")))?;
+                let durable = Arc::new(durable);
+                (Arc::clone(durable.snapshots()), Some(durable))
+            }
+            None => (Arc::new(SnapshotStore::new(db)), None),
+        };
+
         let reg = registry();
         let state = Arc::new(State {
-            store: SnapshotStore::new(db),
+            store,
+            durable,
             cache: SharedPlanCache::new(config.cache_capacity),
             pool: Arc::new(certus_exec::Pool::new(config.engine_threads)),
             queue: Queue::new(config.queue_capacity, reg.gauge(names::SERVER_QUEUE_DEPTH)),
@@ -192,6 +247,8 @@ impl Server {
             requests: reg.counter(names::SERVER_REQUESTS),
             rejected: reg.counter(names::SERVER_REJECTED),
             stale_replans: reg.counter(names::SERVER_STALE_REPLANS),
+            deadline_exceeded: reg.counter(names::SERVER_DEADLINE_EXCEEDED),
+            idle_closed: reg.counter(names::SERVER_IDLE_CLOSED),
             connections_gauge: reg.gauge(names::SERVER_CONNECTIONS),
             request_ns: reg.histogram(names::SERVER_REQUEST_NS),
             config,
@@ -219,6 +276,11 @@ impl Server {
     /// Schema epoch of the current snapshot.
     pub fn epoch(&self) -> u64 {
         self.state.store.epoch()
+    }
+
+    /// The durable store backing this server, when one was configured.
+    pub fn durable(&self) -> Option<&Arc<DurableStore>> {
+        self.state.durable.as_ref()
     }
 
     /// Whether a protocol-level `Shutdown` request has been received.
@@ -268,7 +330,12 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
                 let open = state.open_connections.load(Ordering::Relaxed);
                 if open >= state.config.max_connections {
                     state.rejected.incr();
-                    refuse(stream, ErrorCode::TooManyConnections, "connection cap reached");
+                    refuse(
+                        stream,
+                        ErrorCode::TooManyConnections,
+                        "connection cap reached",
+                        state.config.poll_interval_ms.max(1) * 5,
+                    );
                     continue;
                 }
                 state.open_connections.fetch_add(1, Ordering::Relaxed);
@@ -288,8 +355,8 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
 }
 
 /// Reject a connection with a single error frame (request id 0) and close.
-fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str) {
-    let resp = Response::Error { code, message: message.to_string() };
+fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str, retry_after_ms: u64) {
+    let resp = Response::Error { code, message: message.to_string(), retry_after_ms };
     let _ = write_frame(&mut stream, &encode_response(0, &resp));
 }
 
@@ -354,6 +421,12 @@ impl FrameBuffer {
 fn reader_loop(stream: TcpStream, state: &Arc<State>) {
     let poll = Duration::from_millis(state.config.poll_interval_ms.max(1));
     let _ = stream.set_read_timeout(Some(poll));
+    if state.config.write_timeout_ms > 0 {
+        // Applies to the shared socket, so the executors' write half is
+        // covered too: a peer that stops draining cannot wedge an executor.
+        let _ =
+            stream.set_write_timeout(Some(Duration::from_millis(state.config.write_timeout_ms)));
+    }
     let _ = stream.set_nodelay(true);
     let writer = match stream.try_clone() {
         Ok(w) => w,
@@ -367,14 +440,31 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
     });
     let mut stream = stream;
     let mut frames = FrameBuffer::new();
+    let idle_limit = (state.config.idle_timeout_ms > 0)
+        .then(|| Duration::from_millis(state.config.idle_timeout_ms));
+    let mut last_activity = Instant::now();
 
     loop {
         let payload = match frames.fill(&mut stream) {
-            Ok(Some(payload)) => payload,
+            Ok(Some(payload)) => {
+                last_activity = Instant::now();
+                payload
+            }
             Ok(None) => {
                 if state.shutting_down() {
                     drain_outstanding(&conn);
                     return;
+                }
+                if let Some(limit) = idle_limit {
+                    // Only reap truly quiet connections: nothing in flight
+                    // and nothing received for the whole idle window.
+                    if conn.outstanding.load(Ordering::Acquire) == 0
+                        && last_activity.elapsed() >= limit
+                    {
+                        state.idle_closed.incr();
+                        conn.send(0, &Response::Ack { epoch: state.store.epoch() });
+                        return;
+                    }
                 }
                 continue;
             }
@@ -384,6 +474,7 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
                     &Response::Error {
                         code: ErrorCode::Malformed,
                         message: "frame length exceeds maximum".into(),
+                        retry_after_ms: 0,
                     },
                 );
                 drain_outstanding(&conn);
@@ -406,7 +497,11 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
                     .unwrap_or(0);
                 conn.send(
                     id,
-                    &Response::Error { code: ErrorCode::Malformed, message: e.to_string() },
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                        retry_after_ms: 0,
+                    },
                 );
                 continue;
             }
@@ -440,12 +535,18 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
                         &Response::Error {
                             code: ErrorCode::ShuttingDown,
                             message: "server is shutting down".into(),
+                            retry_after_ms: 0,
                         },
                     );
                     continue;
                 }
                 conn.outstanding.fetch_add(1, Ordering::AcqRel);
-                let work = Work { conn: Arc::clone(&conn), request_id, request: req };
+                let work = Work {
+                    conn: Arc::clone(&conn),
+                    request_id,
+                    request: req,
+                    arrival: Instant::now(),
+                };
                 if state.queue.push_try(work).is_err() {
                     conn.outstanding.fetch_sub(1, Ordering::AcqRel);
                     state.rejected.incr();
@@ -454,6 +555,7 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
                         &Response::Error {
                             code: ErrorCode::Overloaded,
                             message: "request queue is full".into(),
+                            retry_after_ms: state.retry_after_ms(),
                         },
                     );
                 }
@@ -481,15 +583,46 @@ fn executor_loop(state: &Arc<State>) {
     }
 }
 
-fn query_error(e: &CertusError) -> Response {
-    Response::Error { code: ErrorCode::QueryError, message: e.to_string() }
+fn query_error(state: &State, e: &CertusError) -> Response {
+    if e.is_cancelled() {
+        return deadline_error(state);
+    }
+    Response::Error { code: ErrorCode::QueryError, message: e.to_string(), retry_after_ms: 0 }
+}
+
+fn deadline_error(state: &State) -> Response {
+    state.deadline_exceeded.incr();
+    Response::Error {
+        code: ErrorCode::DeadlineExceeded,
+        message: "request deadline exceeded".into(),
+        retry_after_ms: 0,
+    }
+}
+
+/// Resolve a request's deadline field against its arrival time. Returns
+/// `Err` with the ready-made error response when the deadline has already
+/// passed (the request spent too long queued), `Ok(None)` when no deadline
+/// was set.
+fn resolve_deadline(
+    state: &State,
+    work: &Work,
+    deadline_ms: u64,
+) -> Result<Option<CancelToken>, Box<Response>> {
+    if deadline_ms == 0 {
+        return Ok(None);
+    }
+    let deadline = work.arrival + Duration::from_millis(deadline_ms);
+    if Instant::now() >= deadline {
+        return Err(Box::new(deadline_error(state)));
+    }
+    Ok(Some(CancelToken::with_deadline(deadline)))
 }
 
 fn respond(state: &Arc<State>, work: &Work) -> Response {
     match &work.request {
         Request::Prepare { certainty, query } => {
             let snapshot = state.store.pin();
-            let session = state.session_over(&snapshot);
+            let session = state.session_over(&snapshot, None);
             let certainty = Certainty::from(*certainty);
             match session.prepare(query, certainty) {
                 Ok(prepared) => {
@@ -502,17 +635,22 @@ fn respond(state: &Arc<State>, work: &Work) -> Response {
                         .insert(id, PreparedEntry { query: query.clone(), certainty, prepared });
                     Response::Prepared { prepared: id, epoch }
                 }
-                Err(e) => query_error(&e),
+                Err(e) => query_error(state, &e),
             }
         }
-        Request::Execute { prepared } => {
+        Request::Execute { prepared, deadline_ms } => {
+            let cancel = match resolve_deadline(state, work, *deadline_ms) {
+                Ok(cancel) => cancel,
+                Err(resp) => return *resp,
+            };
             let snapshot = state.store.pin();
-            let session = state.session_over(&snapshot);
+            let session = state.session_over(&snapshot, cancel);
             let mut entries = work.conn.prepared.lock().expect("prepared map poisoned");
             let Some(entry) = entries.get_mut(prepared) else {
                 return Response::Error {
                     code: ErrorCode::UnknownPrepared,
                     message: format!("no prepared statement {prepared} on this connection"),
+                    retry_after_ms: 0,
                 };
             };
             match session.execute_prepared(&entry.prepared) {
@@ -530,43 +668,67 @@ fn respond(state: &Arc<State>, work: &Work) -> Response {
                                     body: answer_body(&answers),
                                     reprepared: true,
                                 },
-                                Err(e) => query_error(&e),
+                                Err(e) => query_error(state, &e),
                             }
                         }
-                        Err(e) => query_error(&e),
+                        Err(e) => query_error(state, &e),
                     }
                 }
-                Err(e) => query_error(&e),
+                Err(e) => query_error(state, &e),
             }
         }
-        Request::Query { certainty, query } => {
+        Request::Query { certainty, query, deadline_ms } => {
+            let cancel = match resolve_deadline(state, work, *deadline_ms) {
+                Ok(cancel) => cancel,
+                Err(resp) => return *resp,
+            };
             let snapshot = state.store.pin();
-            let session = state.session_over(&snapshot);
+            let session = state.session_over(&snapshot, cancel);
             match session.execute(query, Certainty::from(*certainty)) {
                 Ok(answers) => Response::Answers { body: answer_body(&answers), reprepared: false },
-                Err(e) => query_error(&e),
+                Err(e) => query_error(state, &e),
             }
         }
-        Request::Insert { table, rows } => {
-            let outcome = state.store.update(|db| -> Result<u64, String> {
-                // Validate against a scratch copy first so a bad row leaves
-                // the published database (and its epoch) untouched.
-                let mut scratch = db.relation(table).map_err(|e| e.to_string())?.clone();
-                for row in rows {
-                    scratch.insert_values(row.values().to_vec()).map_err(|e| e.to_string())?;
-                }
-                *db.relation_mut(table).map_err(|e| e.to_string())? = scratch;
-                Ok(db.schema_epoch())
-            });
-            match outcome {
+        Request::Insert { table, rows } => match &state.durable {
+            // Durable path: the row is validated against the pinned
+            // snapshot, WAL-appended and fsync'd, and only then published
+            // and acknowledged. The Ack *is* the durability guarantee.
+            Some(durable) => match durable.insert(table, rows) {
                 Ok(epoch) => Response::Ack { epoch },
-                Err(message) => Response::Error { code: ErrorCode::QueryError, message },
+                Err(WalError::Data(message)) => {
+                    Response::Error { code: ErrorCode::QueryError, message, retry_after_ms: 0 }
+                }
+                Err(e) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("durable write failed: {e}"),
+                    retry_after_ms: 0,
+                },
+            },
+            None => {
+                let outcome = state.store.update(|db| -> Result<u64, String> {
+                    // Validate against a scratch copy first so a bad row
+                    // leaves the published database (and its epoch)
+                    // untouched.
+                    let mut scratch = db.relation(table).map_err(|e| e.to_string())?.clone();
+                    for row in rows {
+                        scratch.insert_values(row.values().to_vec()).map_err(|e| e.to_string())?;
+                    }
+                    *db.relation_mut(table).map_err(|e| e.to_string())? = scratch;
+                    Ok(db.schema_epoch())
+                });
+                match outcome {
+                    Ok(epoch) => Response::Ack { epoch },
+                    Err(message) => {
+                        Response::Error { code: ErrorCode::QueryError, message, retry_after_ms: 0 }
+                    }
+                }
             }
-        }
+        },
         // Inline requests never reach the executors.
         Request::Ping | Request::Stats | Request::Close | Request::Shutdown => Response::Error {
             code: ErrorCode::Internal,
             message: "inline request routed to executor".into(),
+            retry_after_ms: 0,
         },
     }
 }
