@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|profile|serve|chaos|bench-check|all] [--quick|--smoke] [--strict]
+//! experiments [fig1|fig4|table1|sec5|precision|ablation|planner|parallel|prepared|pipeline|profile|serve|chaos|bench-check|all] [--quick|--smoke] [--strict] [--replicated]
 //! ```
 //!
 //! `--quick` (alias `--smoke`) shrinks instance counts and scale factors so
@@ -155,13 +155,27 @@ fn main() {
         // byte-checks it against a local mirror of the acknowledged writes,
         // then injects WAL faults (failed fsyncs, torn appends) before the
         // next crash. Amends BENCH_server.json with recovery-time and
-        // durable-write-throughput figures.
-        let (rounds, writes) = if quick { (3, 16) } else { (9, 64) };
-        let report = chaos_experiment(0.001, 0.02, 909, rounds, writes);
-        print_chaos(&report);
+        // durable-write-throughput figures. `--replicated` runs the
+        // kill/promote loop over a sync primary/replica pair instead:
+        // stream faults (severed sends, torn segments, apply refusals,
+        // withheld acks), one promotion per round, every quorum-acked
+        // write asserted present on the promoted node, and failover-time
+        // plus replication-lag figures amended alongside.
+        let replicated = args.iter().any(|a| a == "--replicated");
         let path = std::path::Path::new("BENCH_server.json");
-        append_chaos_json(path, &report).expect("amend BENCH_server.json");
-        println!("amended {} with chaos figures", path.display());
+        if replicated {
+            let (rounds, writes) = if quick { (1, 16) } else { (7, 48) };
+            let report = replicated_chaos_experiment(0.001, 0.02, 910, rounds, writes);
+            print_repl_chaos(&report);
+            append_repl_chaos_json(path, &report).expect("amend BENCH_server.json");
+            println!("amended {} with replication figures", path.display());
+        } else {
+            let (rounds, writes) = if quick { (3, 16) } else { (9, 64) };
+            let report = chaos_experiment(0.001, 0.02, 909, rounds, writes);
+            print_chaos(&report);
+            append_chaos_json(path, &report).expect("amend BENCH_server.json");
+            println!("amended {} with chaos figures", path.display());
+        }
         println!();
     }
     if what == "profile" || what == "all" {

@@ -1714,25 +1714,38 @@ pub fn print_chaos(r: &ChaosReport) {
     );
 }
 
+/// Splice `section` (a flat JSON object rendered as `{...}`) into the
+/// document at `path` under `key`, replacing any previous copy of that key
+/// and leaving every other section untouched. Creates a minimal document
+/// when the serve benchmark has not run yet.
+fn amend_json_section(path: &std::path::Path, key: &str, section: &str) -> std::io::Result<()> {
+    let mut s = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| "{\n  \"experiment\": \"server_throughput\"\n}\n".to_string());
+    let marker = format!(",\n  \"{key}\":");
+    if let Some(start) = s.find(&marker) {
+        // Amended sections are rendered flat, so the first '}' after the
+        // marker closes the object.
+        if let Some(close) = s[start..].find('}') {
+            s.replace_range(start..start + close + 1, "");
+        }
+    }
+    let cut = s.rfind('}').unwrap_or(s.len());
+    let mut out = s[..cut].trim_end().to_string();
+    if !out.ends_with('{') {
+        out.push(',');
+    }
+    out.push_str(&format!("\n  \"{key}\": {section}\n}}\n"));
+    std::fs::write(path, out)
+}
+
 /// Amend `BENCH_server.json` with the chaos section (recovery time and
 /// durable write throughput), replacing any previous chaos section. Creates
 /// a minimal document when the serve benchmark has not run yet.
 pub fn append_chaos_json(path: &std::path::Path, r: &ChaosReport) -> std::io::Result<()> {
-    let base = std::fs::read_to_string(path)
-        .unwrap_or_else(|_| "{\n  \"experiment\": \"server_throughput\"\n}\n".to_string());
-    let cut = base.find(",\n  \"chaos\":").or_else(|| base.rfind('}')).unwrap_or(base.len());
-    let mut s = base[..cut].trim_end().to_string();
-    if s.ends_with('}') {
-        s.pop();
-        s.truncate(s.trim_end().len());
-    }
-    if !s.ends_with('{') {
-        s.push(',');
-    }
-    s.push_str(&format!(
-        "\n  \"chaos\": {{\"rounds\": {}, \"writes_acked\": {}, \"writes_rejected\": {}, \
+    let section = format!(
+        "{{\"rounds\": {}, \"writes_acked\": {}, \"writes_rejected\": {}, \
          \"torn_injected\": {}, \"recovery_ms_mean\": {:.3}, \"recovery_ms_max\": {:.3}, \
-         \"durable_write_qps\": {:.1}, \"verified_answers\": {}}}\n}}\n",
+         \"durable_write_qps\": {:.1}, \"verified_answers\": {}}}",
         r.rounds,
         r.writes_acked,
         r.writes_rejected,
@@ -1741,13 +1754,432 @@ pub fn append_chaos_json(path: &std::path::Path, r: &ChaosReport) -> std::io::Re
         r.recovery_ms_max,
         r.durable_write_qps,
         r.verified_answers,
-    ));
-    std::fs::write(path, s)
+    );
+    amend_json_section(path, "chaos", &section)
+}
+
+/// The report of the `experiments chaos --replicated` run: a kill/promote
+/// loop over a sync-replicated primary/replica pair under stream fault
+/// injection, with every quorum-acked write asserted present on the
+/// promoted node and every served answer byte-checked against a local
+/// mirror.
+#[derive(Debug, Clone)]
+pub struct ReplChaosReport {
+    /// Kill/promote rounds (each one fails over to the replica).
+    pub rounds: usize,
+    /// Quorum-acked inserts; every one must survive every failover.
+    pub writes_acked: u64,
+    /// Inserts that errored with replication state unknown (quorum
+    /// timeouts, injected publish faults); resolved after each promote.
+    pub writes_indeterminate: u64,
+    /// Indeterminate writes the promoted node turned out to hold.
+    pub indeterminate_present: u64,
+    /// Injected `repl.send` stream severs.
+    pub send_faults: u64,
+    /// Injected torn `WalSegment` frames (partial frame on the wire).
+    pub torn_segments: u64,
+    /// Injected `repl.apply` refusals on the replica.
+    pub apply_faults: u64,
+    /// Injected `server.publish` faults (durable but unacknowledged).
+    pub publish_faults: u64,
+    /// Promotions performed (one per round).
+    pub promotions: u64,
+    /// Mean time from killing the primary to the promoted node
+    /// acknowledging its first write.
+    pub failover_ms_mean: f64,
+    /// Worst failover across all rounds.
+    pub failover_ms_max: f64,
+    /// Mean replication lag: the sync-quorum wait from locally-durable to
+    /// replica-acked, including fault-triggered re-subscribes.
+    pub repl_lag_ms_mean: f64,
+    /// p99 replication lag (bucketed histogram resolution).
+    pub repl_lag_ms_p99: f64,
+    /// Served answers compared byte-for-byte against local execution.
+    pub verified_answers: u64,
+}
+
+/// Kill/promote loop over a replicated pair: each round starts a sync-mode
+/// primary (quorum 1) over the previous round's promoted state and a fresh
+/// replica that bootstraps over the wire, byte-checks the recovered audit
+/// table and a real TPC-H query against a local mirror of the acknowledged
+/// writes, then issues a write batch with deterministic stream faults
+/// (severed sends, torn segments, apply refusals, withheld acks) before
+/// killing the primary and promoting the replica. Invariants under test:
+/// every quorum-acked write is on the promoted node, a write that was
+/// never durable anywhere never resurfaces, and errored writes are honest
+/// indeterminates that resolve to exactly present-or-absent after failover.
+pub fn replicated_chaos_experiment(
+    scale_factor: f64,
+    null_rate: f64,
+    seed: u64,
+    rounds: usize,
+    writes_per_round: usize,
+) -> ReplChaosReport {
+    use certus::obs::{failpoints, names, registry, FailAction};
+    use certus::{Certainty, Session};
+    use certus_data::Tuple;
+    use certus_server::client::Client;
+    use certus_server::protocol::WireCertainty;
+    use certus_server::replication::{FP_REPL_APPLY, FP_REPL_SEND};
+    use certus_server::server::FP_PUBLISH;
+    use certus_server::{answer_body, ReplMode, ReplicationConfig, Server, ServerConfig};
+
+    let w = Workload::new(scale_factor, null_rate, seed);
+    let mut db = w.incomplete_instance();
+    let params = w.params(&db, 0);
+    let q3 = query_by_number(3, &params).expect("query exists");
+    db.insert_relation("chaos_audit", rel(&["op"], Vec::new()));
+
+    let pid = std::process::id();
+    let dirs = [
+        std::env::temp_dir().join(format!("certus-replchaos-a-{pid}-{seed}")),
+        std::env::temp_dir().join(format!("certus-replchaos-b-{pid}-{seed}")),
+    ];
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    let modes = [
+        (WireCertainty::Plain, Certainty::Plain),
+        (WireCertainty::CertainPlus, Certainty::CertainPlus),
+        (WireCertainty::PossibleStar, Certainty::PossibleStar),
+        (WireCertainty::Both, Certainty::Both),
+    ];
+    let audit_query = RaExpr::relation("chaos_audit");
+    let fp = failpoints();
+    fp.disarm_all();
+    let lag_before = registry().histogram(names::REPL_QUORUM_WAIT_NS).snapshot();
+
+    let node_config = |dir: &std::path::Path, repl: ReplicationConfig| ServerConfig {
+        executors: 2,
+        engine_threads: 1,
+        poll_interval_ms: 5,
+        data_dir: Some(dir.to_path_buf()),
+        // Small enough that batches cross folds, so the stream exercises
+        // mid-load re-bootstraps and quiescent rotations too.
+        checkpoint_every: (writes_per_round as u64 / 2).max(4),
+        replication: Some(repl),
+        ..ServerConfig::default()
+    };
+    // Generous ack budget: injected stream faults force a re-subscribe
+    // (reconnect + re-ship) inside the quorum wait of a single insert.
+    let primary_repl = || ReplicationConfig {
+        ack_timeout_ms: 5_000,
+        ..ReplicationConfig::primary(ReplMode::Sync { quorum: 1 })
+    };
+    let replica_repl = |addr: &str| ReplicationConfig {
+        reconnect_ms: 5,
+        ..ReplicationConfig::replica(addr, ReplMode::Async)
+    };
+
+    let mut acked: Vec<i64> = Vec::new();
+    let mut next_op = 0i64;
+    let mut writes_indeterminate = 0u64;
+    let mut indeterminate_present = 0u64;
+    let mut send_faults = 0u64;
+    let mut torn_segments = 0u64;
+    let mut apply_faults = 0u64;
+    let mut publish_faults = 0u64;
+    let mut promotions = 0u64;
+    let mut verified_answers = 0u64;
+    let mut failover_ms: Vec<f64> = Vec::new();
+
+    let verify = |client: &mut Client, local: &Session, round: usize, tag: &str| -> u64 {
+        let mut n = 0u64;
+        for (wire, cert) in modes {
+            let want = answer_body(&local.execute(&audit_query, cert).expect("local audit"));
+            let got = client.query(wire, &audit_query).expect("served audit");
+            assert_eq!(
+                got.canonical_bytes(),
+                want.encode(),
+                "audit table diverges from acked writes ({tag}, round {round}, {wire:?})"
+            );
+            n += 1;
+        }
+        let want_q3 =
+            answer_body(&local.execute(&q3, Certainty::CertainPlus).expect("local Q3+")).encode();
+        let got_q3 = client.query(WireCertainty::CertainPlus, &q3).expect("served Q3+");
+        assert_eq!(got_q3.canonical_bytes(), want_q3, "Q3+ diverges ({tag}, round {round})");
+        n + 1
+    };
+    let mirror_session = |db: &certus_data::Database, acked: &[i64]| {
+        let mut mirror = db.clone();
+        mirror.insert_relation(
+            "chaos_audit",
+            rel(&["op"], acked.iter().map(|&v| vec![Value::Int(v)]).collect()),
+        );
+        Session::builder(mirror).build()
+    };
+
+    for round in 0..rounds {
+        // Ping-pong the roles: this round's primary recovers the state the
+        // previous round's promotion left behind; the replica dir is stale
+        // by two rounds and is overwritten by its wire bootstrap.
+        let primary_dir = &dirs[round % 2];
+        let replica_dir = &dirs[(round + 1) % 2];
+        let primary =
+            Server::start(db.clone(), node_config(primary_dir, primary_repl())).expect("primary");
+        let paddr = primary.local_addr().to_string();
+        let replica = Server::start(db.clone(), node_config(replica_dir, replica_repl(&paddr)))
+            .expect("replica");
+
+        let mut client = Client::connect(&paddr).expect("client connects");
+        // The recovered chain: everything acked in previous rounds survived
+        // the promotion(s) and restart(s), byte-for-byte in every mode.
+        let local = mirror_session(&db, &acked);
+        verified_answers += verify(&mut client, &local, round, "recovered primary");
+
+        // Write batch under deterministic stream faults. Sync quorum 1:
+        // an Ok here means the record is applied and fsync'd on the replica.
+        let mut pending: Vec<(i64, bool)> = Vec::new(); // (op, publish fault armed)
+        for i in 0..writes_per_round {
+            let mut published_fault = false;
+            if i == writes_per_round / 4 {
+                fp.arm(FP_REPL_SEND, FailAction::Error, 0, 1);
+                send_faults += 1;
+            } else if i == writes_per_round / 2 {
+                fp.arm(FP_REPL_SEND, FailAction::Torn(10), 0, 1);
+                torn_segments += 1;
+            } else if i == (writes_per_round * 3) / 4 {
+                fp.arm(FP_REPL_APPLY, FailAction::Error, 0, 1);
+                apply_faults += 1;
+            } else if round % 2 == 1 && i == writes_per_round / 3 {
+                fp.arm(FP_PUBLISH, FailAction::Error, 0, 1);
+                publish_faults += 1;
+                published_fault = true;
+            }
+            let outcome = client.insert("chaos_audit", vec![Tuple::new(vec![Value::Int(next_op)])]);
+            match outcome {
+                Ok(_) => acked.push(next_op),
+                Err(_) => {
+                    // Replication state unknown: durable locally (publish
+                    // fault) or possibly shipped (quorum timeout). Resolved
+                    // against the promoted node below.
+                    writes_indeterminate += 1;
+                    pending.push((next_op, published_fault));
+                }
+            }
+            next_op += 1;
+        }
+        fp.disarm_all();
+
+        // Kill the primary: no clean client close, then promote the replica
+        // and require it to take a write. The failover clock runs from the
+        // kill to that first post-promotion ack.
+        drop(client);
+        let t = std::time::Instant::now();
+        primary.shutdown();
+        let mut rc = Client::connect(replica.local_addr()).expect("replica client");
+        rc.promote().expect("promote");
+        promotions += 1;
+        let first = next_op;
+        rc.insert("chaos_audit", vec![Tuple::new(vec![Value::Int(first)])])
+            .expect("promoted node takes writes");
+        failover_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        acked.push(first);
+        next_op += 1;
+
+        // Resolve this round's indeterminates against the promoted node:
+        // present ones join the mirror, absent ones are gone for good (the
+        // apply loop is sealed — nothing can land later).
+        if !pending.is_empty() {
+            let have = rc.query(WireCertainty::Plain, &audit_query).expect("audit");
+            let present: std::collections::HashSet<i64> = have
+                .body
+                .plain
+                .as_ref()
+                .expect("plain answers")
+                .iter()
+                .map(|t| match t.values()[0] {
+                    Value::Int(v) => v,
+                    ref other => panic!("unexpected audit value {other:?}"),
+                })
+                .collect();
+            for (op, published) in pending {
+                if present.contains(&op) {
+                    acked.push(op);
+                    indeterminate_present += 1;
+                } else {
+                    // A write the primary published (it was durable there)
+                    // ships with the stream; it must not vanish.
+                    assert!(!published, "a published write disappeared on failover (op {op})");
+                }
+            }
+            acked.sort_unstable();
+        }
+
+        // The promoted node serves the merged history, byte-for-byte.
+        let local = mirror_session(&db, &acked);
+        verified_answers += verify(&mut rc, &local, round, "promoted replica");
+        drop(rc);
+        replica.shutdown();
+    }
+
+    // Final generation: recover the last promoted state standalone and
+    // verify it one more time without any replication in play.
+    let last = Server::start(
+        db.clone(),
+        ServerConfig {
+            executors: 2,
+            engine_threads: 1,
+            data_dir: Some(dirs[rounds % 2].clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("final recovery");
+    let mut client = Client::connect(last.local_addr()).expect("final client");
+    let local = mirror_session(&db, &acked);
+    verified_answers += verify(&mut client, &local, rounds, "final standalone");
+    client.close().expect("client closes");
+    last.shutdown();
+    fp.disarm_all();
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    let lag_after = registry().histogram(names::REPL_QUORUM_WAIT_NS).snapshot();
+    let lag_count = lag_after.count.saturating_sub(lag_before.count).max(1);
+    let lag_sum = lag_after.sum.saturating_sub(lag_before.sum);
+    let mean = failover_ms.iter().sum::<f64>() / failover_ms.len().max(1) as f64;
+    let max = failover_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+    ReplChaosReport {
+        rounds,
+        writes_acked: acked.len() as u64,
+        writes_indeterminate,
+        indeterminate_present,
+        send_faults,
+        torn_segments,
+        apply_faults,
+        publish_faults,
+        promotions,
+        failover_ms_mean: mean,
+        failover_ms_max: max,
+        repl_lag_ms_mean: lag_sum as f64 / lag_count as f64 / 1e6,
+        repl_lag_ms_p99: lag_after.quantile(0.99) as f64 / 1e6,
+        verified_answers,
+    }
+}
+
+/// Print the replicated-chaos report.
+pub fn print_repl_chaos(r: &ReplChaosReport) {
+    println!("== Replicated chaos: {} kill/promote rounds under stream faults ==", r.rounds);
+    println!(
+        "writes      : {} acked (all survived failover), {} indeterminate \
+         ({} resolved present on the promoted node)",
+        r.writes_acked, r.writes_indeterminate, r.indeterminate_present
+    );
+    println!(
+        "faults      : {} severed sends, {} torn segments, {} apply refusals, \
+         {} withheld acks",
+        r.send_faults, r.torn_segments, r.apply_faults, r.publish_faults
+    );
+    println!(
+        "failover    : {:.2}ms mean, {:.2}ms max (kill -> promoted node acks a write; \
+         {} promotions)",
+        r.failover_ms_mean, r.failover_ms_max, r.promotions
+    );
+    println!(
+        "repl lag    : {:.3}ms mean, {:.3}ms p99 (locally-durable -> replica-acked)",
+        r.repl_lag_ms_mean, r.repl_lag_ms_p99
+    );
+    println!(
+        "verified    : {} served answers byte-identical to local execution",
+        r.verified_answers
+    );
+}
+
+/// Amend `BENCH_server.json` with the replication section (failover time
+/// and replication lag), replacing any previous replication section and
+/// preserving the serve/chaos sections.
+pub fn append_repl_chaos_json(path: &std::path::Path, r: &ReplChaosReport) -> std::io::Result<()> {
+    let section = format!(
+        "{{\"rounds\": {}, \"writes_acked\": {}, \"writes_indeterminate\": {}, \
+         \"indeterminate_present\": {}, \"send_faults\": {}, \"torn_segments\": {}, \
+         \"apply_faults\": {}, \"publish_faults\": {}, \"promotions\": {}, \
+         \"failover_ms_mean\": {:.3}, \"failover_ms_max\": {:.3}, \
+         \"repl_lag_ms_mean\": {:.3}, \"repl_lag_ms_p99\": {:.3}, \"verified_answers\": {}}}",
+        r.rounds,
+        r.writes_acked,
+        r.writes_indeterminate,
+        r.indeterminate_present,
+        r.send_faults,
+        r.torn_segments,
+        r.apply_faults,
+        r.publish_faults,
+        r.promotions,
+        r.failover_ms_mean,
+        r.failover_ms_max,
+        r.repl_lag_ms_mean,
+        r.repl_lag_ms_p99,
+        r.verified_answers,
+    );
+    amend_json_section(path, "replication", &section)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn replicated_chaos_smoke_survives_one_failover() {
+        let r = replicated_chaos_experiment(0.0003, 0.02, 911, 1, 8);
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.promotions, 1);
+        // Stream faults were injected and every ack still held: the
+        // byte-checks inside the experiment are the real assertions.
+        assert_eq!(r.send_faults, 1);
+        assert_eq!(r.torn_segments, 1);
+        assert_eq!(r.apply_faults, 1);
+        assert!(r.writes_acked >= 5, "{r:?}");
+        assert!(r.failover_ms_max > 0.0);
+        assert_eq!(r.verified_answers, 15, "3 verification points x 5 checks");
+        print_repl_chaos(&r);
+    }
+
+    #[test]
+    fn chaos_json_sections_amend_without_clobbering_each_other() {
+        let path = std::env::temp_dir().join("BENCH_server_amend_test.json");
+        let _ = std::fs::remove_file(&path);
+        let chaos = ChaosReport {
+            rounds: 3,
+            writes_acked: 40,
+            writes_rejected: 2,
+            torn_injected: 1,
+            recovery_ms_mean: 1.5,
+            recovery_ms_max: 2.5,
+            durable_write_qps: 100.0,
+            verified_answers: 20,
+        };
+        let repl = ReplChaosReport {
+            rounds: 5,
+            writes_acked: 80,
+            writes_indeterminate: 3,
+            indeterminate_present: 2,
+            send_faults: 5,
+            torn_segments: 5,
+            apply_faults: 5,
+            publish_faults: 2,
+            promotions: 5,
+            failover_ms_mean: 4.0,
+            failover_ms_max: 9.0,
+            repl_lag_ms_mean: 0.8,
+            repl_lag_ms_p99: 2.0,
+            verified_answers: 55,
+        };
+        // Create from nothing, then amend in both orders, twice each: every
+        // pass must keep the document balanced and keep both sections.
+        append_chaos_json(&path, &chaos).expect("creates");
+        append_repl_chaos_json(&path, &repl).expect("amends");
+        append_chaos_json(&path, &chaos).expect("replaces chaos");
+        append_repl_chaos_json(&path, &repl).expect("replaces replication");
+        let text = std::fs::read_to_string(&path).expect("reads back");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(text.matches('{').count(), text.matches('}').count(), "{text}");
+        assert_eq!(text.matches("\"chaos\":").count(), 1, "{text}");
+        assert_eq!(text.matches("\"replication\":").count(), 1, "{text}");
+        assert!(text.contains("\"failover_ms_mean\": 4.000"), "{text}");
+        assert!(text.contains("\"durable_write_qps\": 100.0"), "{text}");
+    }
 
     #[test]
     fn paper_null_rates_match_the_sweep() {

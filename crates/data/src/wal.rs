@@ -34,6 +34,15 @@
 //! [`FP_FSYNC`] and [`FP_CHECKPOINT`] (see [`certus_obs::failpoint`]), so
 //! tests can force torn appends, fsync failures and crashed checkpoints
 //! deterministically.
+//!
+//! **Replication hooks.** The same checksummed log doubles as a replication
+//! stream: a primary reads record-aligned byte chunks with
+//! [`DurableStore::read_chunk`] (plus [`DurableStore::checkpoint_data`] for
+//! bootstraps and [`DurableStore::last_rotation`] for fold hand-off), and a
+//! replica ingests them with [`DurableStore::apply_records`],
+//! [`DurableStore::install_checkpoint`] and [`DurableStore::rotate_to`] —
+//! every applied batch is fsync'd locally before it is acknowledged, so
+//! fsync-before-ack extends across the wire.
 
 use crate::codec::{self, Reader};
 use crate::database::{Database, TableDef};
@@ -43,8 +52,9 @@ use certus_obs::failpoint::{apply_delay, failpoints, FailAction};
 use certus_obs::metrics::registry;
 use certus_obs::{names, Timer};
 use std::fs::{self, File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Failpoint checked before writing a WAL record ([`FailAction::Torn`]
@@ -79,6 +89,10 @@ pub enum WalError {
     /// A previous torn append poisoned the log; the store must be reopened
     /// (recovering from disk) before accepting further writes.
     Poisoned,
+    /// The directory holds checkpoint files but none of them validates.
+    /// Serving a fallback (or partial) database over damaged data would
+    /// silently drop acknowledged writes, so opening refuses instead.
+    Unrecoverable,
 }
 
 impl std::fmt::Display for WalError {
@@ -88,6 +102,11 @@ impl std::fmt::Display for WalError {
             WalError::Data(m) => write!(f, "{m}"),
             WalError::Injected(p) => write!(f, "injected fault at {p}"),
             WalError::Poisoned => write!(f, "wal poisoned by a torn append; reopen the store"),
+            WalError::Unrecoverable => write!(
+                f,
+                "no checkpoint in the data directory validates; refusing to serve a \
+                 partial or fallback database over damaged data"
+            ),
         }
     }
 }
@@ -430,6 +449,39 @@ pub fn recover(dir: &Path) -> WalResult<Option<Recovery>> {
 }
 
 // ---------------------------------------------------------------------------
+// Replication positions and chunks.
+
+/// A position in the durable log: the checkpoint generation (`seq`) plus a
+/// byte offset into that generation's WAL file. Offsets always land on
+/// record boundaries, so positions order totally within a generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReplPosition {
+    /// Checkpoint generation the offset refers to.
+    pub seq: u64,
+    /// Byte offset of durable, checksum-valid records within `wal-<seq>`.
+    pub offset: u64,
+}
+
+impl std::fmt::Display for ReplPosition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:x}:{}", self.seq, self.offset)
+    }
+}
+
+/// Outcome of [`DurableStore::read_chunk`].
+#[derive(Debug)]
+pub enum WalChunk {
+    /// Whole-record-aligned envelope bytes starting at the requested offset.
+    Records(Vec<u8>),
+    /// The requested position is the current durable position; nothing new.
+    UpToDate,
+    /// The requested generation is no longer the live one (the log was
+    /// folded into a newer checkpoint); consult
+    /// [`DurableStore::last_rotation`] or re-bootstrap from a checkpoint.
+    Rotated,
+}
+
+// ---------------------------------------------------------------------------
 // The live WAL handle.
 
 struct Wal {
@@ -505,6 +557,31 @@ impl Wal {
         Ok(())
     }
 
+    /// Append pre-enveloped record bytes (already checksummed by the node
+    /// that produced them) and fsync — the replication ingest path. No
+    /// failpoints here: replica-side faults are injected one level up
+    /// (`repl.apply`), so arming the primary's WAL failpoints in a test
+    /// never cross-fires into an in-process replica.
+    fn append_enveloped(&mut self, bytes: &[u8]) -> WalResult<()> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        if let Err(e) = self.file.write_all(bytes) {
+            self.rewind();
+            return Err(WalError::Io(e));
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.rewind();
+            return Err(WalError::Io(e));
+        }
+        self.len += bytes.len() as u64;
+        let reg = registry();
+        reg.counter(names::WAL_APPENDS).incr();
+        reg.counter(names::WAL_APPEND_BYTES).add(bytes.len() as u64);
+        reg.counter(names::WAL_FSYNCS).incr();
+        Ok(())
+    }
+
     /// Truncate back to the last durable record boundary after a failed
     /// append; if even that fails, poison the handle.
     fn rewind(&mut self) {
@@ -531,12 +608,21 @@ pub struct DurableStore {
     store: Arc<SnapshotStore>,
     inner: Mutex<Inner>,
     checkpoint_every: u64,
+    /// Checkpoints installed over the wire ([`DurableStore::install_checkpoint`]),
+    /// i.e. replica bootstraps — exposed so tests can assert a graceful
+    /// primary restart did not force a re-bootstrap.
+    installed: AtomicU64,
 }
 
 struct Inner {
     wal: Wal,
     seq: u64,
     since_checkpoint: u64,
+    /// The most recent fold, as (final position of the retired generation,
+    /// new generation): a replication sender whose peer sits exactly at the
+    /// retired position can hand it a cheap `rotate` instead of a full
+    /// checkpoint re-bootstrap.
+    last_rotation: Option<(ReplPosition, u64)>,
 }
 
 impl DurableStore {
@@ -559,7 +645,15 @@ impl DurableStore {
 
         let (db, seq, replayed, wal_len) = match recover(dir)? {
             Some(r) => (r.db, r.seq, r.replayed, r.wal_len),
-            None => (fallback, 0, 0, 0),
+            None => {
+                // Distinguish a fresh directory from one whose checkpoints
+                // are all damaged: quietly serving `fallback` over a damaged
+                // directory would drop acknowledged writes.
+                if has_checkpoint_files(dir)? {
+                    return Err(WalError::Unrecoverable);
+                }
+                (fallback, 0, 0, 0)
+            }
         };
 
         let checkpoint = checkpoint_path(dir, seq);
@@ -570,9 +664,40 @@ impl DurableStore {
         Ok(DurableStore {
             dir: dir.to_path_buf(),
             store: Arc::new(SnapshotStore::new(db)),
-            inner: Mutex::new(Inner { wal, seq, since_checkpoint: replayed }),
+            inner: Mutex::new(Inner { wal, seq, since_checkpoint: replayed, last_rotation: None }),
             checkpoint_every,
+            installed: AtomicU64::new(0),
         })
+    }
+
+    /// Re-run recovery on this handle in place: reload the newest valid
+    /// checkpoint + WAL suffix from disk, publish the recovered state, and
+    /// replace the (possibly poisoned) WAL handle with a clean one. This is
+    /// the online healing path after a torn append — everything `recover`
+    /// guarantees across a process restart, without the restart. Acked
+    /// writes were fsync'd before their ack, so they all survive; the torn
+    /// tail (never acked) is truncated away.
+    pub fn reopen(&self) -> WalResult<()> {
+        let mut inner = self.inner.lock().expect("durable store poisoned");
+        let Some(recovery) = recover(&self.dir)? else {
+            // `open` seeded a checkpoint before accepting any write, so an
+            // empty recovery here means the directory is damaged, not fresh.
+            return Err(WalError::Unrecoverable);
+        };
+        let Recovery { db, seq, replayed, wal_len, .. } = recovery;
+        let wal = Wal::open(&wal_path(&self.dir, seq), wal_len)?;
+        self.store.update(|cur| {
+            // Epochs only ever move forward, even if the recovered image
+            // (acked writes only) matches what was already published.
+            let epoch = cur.schema_epoch().max(db.schema_epoch());
+            *cur = db;
+            cur.set_schema_epoch(epoch);
+        });
+        inner.wal = wal;
+        inner.seq = seq;
+        inner.since_checkpoint = replayed;
+        inner.last_rotation = None;
+        Ok(())
     }
 
     /// The snapshot store readers pin from (and the server executes over).
@@ -636,8 +761,180 @@ impl DurableStore {
         self.inner.lock().expect("durable store poisoned").wal.len
     }
 
+    /// The current durable position: generation + byte offset of every
+    /// checksum-valid, fsync'd record. Everything at or before this position
+    /// is exactly the set of acknowledged writes.
+    pub fn position(&self) -> ReplPosition {
+        let inner = self.inner.lock().expect("durable store poisoned");
+        ReplPosition { seq: inner.seq, offset: inner.wal.len }
+    }
+
+    /// How many checkpoints this store installed over the wire
+    /// ([`DurableStore::install_checkpoint`]) — replica bootstraps.
+    pub fn checkpoints_installed(&self) -> u64 {
+        self.installed.load(Ordering::Relaxed)
+    }
+
+    /// The most recent WAL fold, as (final position of the retired
+    /// generation, new generation). A reader that was exactly at the retired
+    /// position can continue via [`DurableStore::rotate_to`] on its own
+    /// copy; any other stale position needs a checkpoint re-bootstrap.
+    pub fn last_rotation(&self) -> Option<(ReplPosition, u64)> {
+        self.inner.lock().expect("durable store poisoned").last_rotation
+    }
+
+    /// Read a record-aligned chunk of durable WAL bytes at `from`, capped
+    /// near `max_bytes` (always at least one whole record). Returns
+    /// [`WalChunk::UpToDate`] at the durable position and
+    /// [`WalChunk::Rotated`] when `from` names a retired generation.
+    pub fn read_chunk(&self, from: ReplPosition, max_bytes: usize) -> WalResult<WalChunk> {
+        let inner = self.inner.lock().expect("durable store poisoned");
+        if from.seq != inner.seq {
+            return Ok(WalChunk::Rotated);
+        }
+        let len = inner.wal.len;
+        if from.offset > len {
+            return Err(WalError::Data(format!(
+                "read at {from} is beyond the durable length {len}"
+            )));
+        }
+        if from.offset == len {
+            return Ok(WalChunk::UpToDate);
+        }
+        // The lock keeps rotation from deleting the file under us; reads go
+        // through a private handle so the append cursor is untouched.
+        let mut file = File::open(wal_path(&self.dir, inner.seq))?;
+        file.seek(SeekFrom::Start(from.offset))?;
+        let mut buf = vec![0u8; (len - from.offset) as usize];
+        file.read_exact(&mut buf)?;
+        let mut end = 0usize;
+        loop {
+            match scan_record(&buf, end) {
+                Scan::Ok { next, .. } if end == 0 || next <= max_bytes => end = next,
+                _ => break,
+            }
+        }
+        if end == 0 {
+            // Everything below `len` was validated before fsync; torn bytes
+            // here mean the file changed underneath us (external damage).
+            return Err(WalError::Data(format!("torn record inside the durable prefix at {from}")));
+        }
+        buf.truncate(end);
+        Ok(WalChunk::Records(buf))
+    }
+
+    /// The current checkpoint generation's file bytes (enveloped, exactly as
+    /// on disk) for bootstrapping a replica.
+    pub fn checkpoint_data(&self) -> WalResult<(u64, Vec<u8>)> {
+        let inner = self.inner.lock().expect("durable store poisoned");
+        let bytes = fs::read(checkpoint_path(&self.dir, inner.seq))?;
+        Ok((inner.seq, bytes))
+    }
+
+    /// Replica ingest: install a checkpoint received over the wire as
+    /// generation `seq`, replacing all local state (disk and published
+    /// snapshot). The bytes are validated (envelope checksum + full decode)
+    /// before anything on disk or in memory changes.
+    pub fn install_checkpoint(&self, seq: u64, bytes: &[u8]) -> WalResult<()> {
+        let payload = match scan_record(bytes, 0) {
+            Scan::Ok { payload, next } if next == bytes.len() => payload,
+            _ => return Err(WalError::Data("received checkpoint fails its checksum".into())),
+        };
+        let db = decode_database(payload)
+            .map_err(|e| WalError::Data(format!("received checkpoint does not decode: {}", e.0)))?;
+
+        let mut inner = self.inner.lock().expect("durable store poisoned");
+        let tmp = self.dir.join(format!("checkpoint-{seq:016x}.tmp"));
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, checkpoint_path(&self.dir, seq))?;
+        let wal = Wal::open(&wal_path(&self.dir, seq), 0)?;
+        sync_dir(&self.dir);
+        // The new generation is durable; retire every other one.
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let Some(name) = entry.file_name().to_str().map(str::to_string) else { continue };
+            let gen = parse_seq(&name, "checkpoint").or_else(|| parse_seq(&name, "wal"));
+            if gen.is_some_and(|g| g != seq) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        self.store.update(|cur| {
+            let epoch = cur.schema_epoch().max(db.schema_epoch());
+            *cur = db;
+            cur.set_schema_epoch(epoch);
+        });
+        inner.wal = wal;
+        inner.seq = seq;
+        inner.since_checkpoint = 0;
+        inner.last_rotation = None;
+        self.installed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Replica ingest: append a chunk of already-enveloped records (as
+    /// produced by [`DurableStore::read_chunk`] on the primary) that extends
+    /// the local log at exactly (`seq`, `offset`), fsync it, and publish the
+    /// applied state as a new snapshot. All records are CRC-checked and
+    /// decoded, and the whole batch is applied to a private copy, before any
+    /// disk write — a bad chunk changes nothing. Returns the new durable
+    /// position.
+    pub fn apply_records(&self, seq: u64, offset: u64, bytes: &[u8]) -> WalResult<ReplPosition> {
+        let mut inner = self.inner.lock().expect("durable store poisoned");
+        if seq != inner.seq || offset != inner.wal.len {
+            return Err(WalError::Data(format!(
+                "segment at {} does not extend the local log at {}",
+                ReplPosition { seq, offset },
+                ReplPosition { seq: inner.seq, offset: inner.wal.len },
+            )));
+        }
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        loop {
+            match scan_record(bytes, at) {
+                Scan::Ok { payload, next } => {
+                    records.push(WalRecord::decode(payload).map_err(|e| WalError::Data(e.0))?);
+                    at = next;
+                }
+                Scan::End => break,
+                Scan::Torn => {
+                    return Err(WalError::Data("torn record inside a replicated segment".into()))
+                }
+            }
+        }
+        let mut next_db = (*self.store.pin().database()).clone();
+        for record in &records {
+            record.apply(&mut next_db).map_err(|e| WalError::Data(e.to_string()))?;
+        }
+        inner.wal.append_enveloped(bytes)?;
+        self.store.update(|db| *db = next_db);
+        inner.since_checkpoint += records.len() as u64;
+        Ok(ReplPosition { seq, offset: inner.wal.len })
+    }
+
+    /// Replica ingest: the primary folded its WAL into generation
+    /// `new_seq`. Having applied the retired generation in full, fold the
+    /// local snapshot into the same generation (writing our own checkpoint —
+    /// byte equality of checkpoints is not required, state equality is).
+    pub fn rotate_to(&self, new_seq: u64) -> WalResult<()> {
+        let mut inner = self.inner.lock().expect("durable store poisoned");
+        if new_seq <= inner.seq {
+            return Err(WalError::Data(format!(
+                "rotate to generation {new_seq:x} does not advance past {:x}",
+                inner.seq
+            )));
+        }
+        self.fold_to(&mut inner, new_seq)
+    }
+
     fn fold_into_checkpoint(&self, inner: &mut Inner) -> WalResult<()> {
         let next = inner.seq + 1;
+        self.fold_to(inner, next)
+    }
+
+    fn fold_to(&self, inner: &mut Inner, next: u64) -> WalResult<()> {
         let snapshot = self.store.pin();
         write_checkpoint(&self.dir, next, &snapshot)?;
         // The new checkpoint is durable; start its (empty) WAL and only then
@@ -646,11 +943,24 @@ impl DurableStore {
         sync_dir(&self.dir);
         let _ = fs::remove_file(checkpoint_path(&self.dir, inner.seq));
         let _ = fs::remove_file(wal_path(&self.dir, inner.seq));
+        inner.last_rotation = Some((ReplPosition { seq: inner.seq, offset: inner.wal.len }, next));
         inner.wal = wal;
         inner.seq = next;
         inner.since_checkpoint = 0;
         Ok(())
     }
+}
+
+/// Whether `dir` contains any `checkpoint-*` file (used to tell a fresh
+/// directory apart from a damaged one when recovery comes back empty).
+fn has_checkpoint_files(dir: &Path) -> WalResult<bool> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_name().to_str().is_some_and(|n| parse_seq(n, "checkpoint").is_some()) {
+            return Ok(true);
+        }
+    }
+    Ok(false)
 }
 
 /// Write `db` as `checkpoint-<seq>`: envelope to a temp file, fsync,
@@ -917,6 +1227,164 @@ mod tests {
         assert_eq!(recovered.seq, 0);
         assert_eq!(rows_of(&recovered.db), 2);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_chunk_streams_record_aligned_bytes() {
+        let dir = temp_dir("chunk");
+        let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+        for i in 0..4 {
+            store.insert("r", &[row(i)]).unwrap();
+        }
+        let end = store.position();
+        assert_eq!(end.seq, 0);
+        assert!(matches!(store.read_chunk(end, 1 << 20).unwrap(), WalChunk::UpToDate));
+
+        // A tiny cap still yields one whole record per read; chaining reads
+        // walks the full log.
+        let mut pos = ReplPosition { seq: 0, offset: 0 };
+        let mut collected = Vec::new();
+        let mut chunks = 0;
+        while pos < end {
+            match store.read_chunk(pos, 1).unwrap() {
+                WalChunk::Records(bytes) => {
+                    pos.offset += bytes.len() as u64;
+                    collected.extend_from_slice(&bytes);
+                    chunks += 1;
+                }
+                other => panic!("expected records, got {other:?}"),
+            }
+        }
+        assert_eq!(chunks, 4, "cap of one byte forces one record per chunk");
+        assert_eq!(collected, fs::read(wal_path(&dir, 0)).unwrap());
+
+        // A generous cap returns everything at once.
+        match store.read_chunk(ReplPosition { seq: 0, offset: 0 }, 1 << 20).unwrap() {
+            WalChunk::Records(bytes) => assert_eq!(bytes.len() as u64, end.offset),
+            other => panic!("expected records, got {other:?}"),
+        }
+
+        // Reading past the durable length is an error, not torn data.
+        let beyond = ReplPosition { seq: 0, offset: end.offset + 8 };
+        assert!(matches!(store.read_chunk(beyond, 1 << 20), Err(WalError::Data(_))));
+
+        // After a fold the old generation reports Rotated and last_rotation
+        // names the hand-off.
+        store.checkpoint().unwrap();
+        assert!(matches!(store.read_chunk(end, 1 << 20).unwrap(), WalChunk::Rotated));
+        assert_eq!(store.last_rotation(), Some((end, 1)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replica_ingest_mirrors_the_primary() {
+        let primary_dir = temp_dir("repl-primary");
+        let replica_dir = temp_dir("repl-replica");
+        let primary = DurableStore::open(&primary_dir, seed_db(), 0).unwrap();
+        for i in 0..3 {
+            primary.insert("r", &[row(i)]).unwrap();
+        }
+
+        // Bootstrap: ship the checkpoint, then the WAL suffix.
+        let replica = DurableStore::open(&replica_dir, Database::new(), 0).unwrap();
+        let (seq, ckpt) = primary.checkpoint_data().unwrap();
+        replica.install_checkpoint(seq, &ckpt).unwrap();
+        assert_eq!(replica.checkpoints_installed(), 1);
+        let mut pos = replica.position();
+        assert_eq!(pos, ReplPosition { seq: 0, offset: 0 });
+        while let WalChunk::Records(bytes) = primary.read_chunk(pos, 1 << 20).unwrap() {
+            pos = replica.apply_records(pos.seq, pos.offset, &bytes).unwrap();
+        }
+        assert_eq!(pos, primary.position());
+        assert_eq!(rows_of(&replica.snapshots().pin()), 4);
+        assert_eq!(replica.snapshots().pin().epoch(), primary.snapshots().pin().epoch());
+
+        // A chunk that does not extend the local log is refused untouched.
+        let chunk = match primary.read_chunk(ReplPosition { seq: 0, offset: 0 }, 1 << 20).unwrap() {
+            WalChunk::Records(bytes) => bytes,
+            other => panic!("expected records, got {other:?}"),
+        };
+        assert!(matches!(replica.apply_records(0, 0, &chunk), Err(WalError::Data(_))));
+        // And a torn chunk is refused before any disk write.
+        let before = replica.wal_len();
+        assert!(matches!(
+            replica.apply_records(pos.seq, pos.offset, &chunk[..chunk.len() - 3]),
+            Err(WalError::Data(_))
+        ));
+        assert_eq!(replica.wal_len(), before);
+
+        // Rotation: primary folds, replica follows with its own fold.
+        primary.checkpoint().unwrap();
+        let (at, new_seq) = primary.last_rotation().unwrap();
+        assert_eq!(at, pos);
+        replica.rotate_to(new_seq).unwrap();
+        assert_eq!(replica.position(), primary.position());
+
+        // Live traffic keeps flowing on the new generation.
+        primary.insert("r", &[row(9)]).unwrap();
+        let mut pos = replica.position();
+        while let WalChunk::Records(bytes) = primary.read_chunk(pos, 1 << 20).unwrap() {
+            pos = replica.apply_records(pos.seq, pos.offset, &bytes).unwrap();
+        }
+        assert_eq!(rows_of(&replica.snapshots().pin()), 5);
+
+        // The replica state is durable in its own right.
+        drop(replica);
+        let back = DurableStore::open(&replica_dir, Database::new(), 0).unwrap();
+        assert_eq!(rows_of(&back.snapshots().pin()), 5);
+        fs::remove_dir_all(&primary_dir).unwrap();
+        fs::remove_dir_all(&replica_dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_heals_a_poisoned_handle_without_losing_acked_writes() {
+        let dir = temp_dir("heal");
+        let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+        store.insert("r", &[row(1)]).unwrap();
+        failpoints().arm(FP_APPEND, FailAction::Torn(5), 0, 1);
+        assert!(store.insert("r", &[row(2)]).is_err());
+        failpoints().disarm(FP_APPEND);
+        assert!(matches!(store.insert("r", &[row(3)]), Err(WalError::Poisoned)));
+
+        // Online healing: same handle, same snapshot store, no restart.
+        let store_arc = Arc::clone(store.snapshots());
+        let epoch_before = store_arc.pin().epoch();
+        store.reopen().unwrap();
+        assert_eq!(rows_of(&store_arc.pin()), 2, "acked write kept, torn write gone");
+        assert!(store_arc.pin().epoch() >= epoch_before, "epoch never rewinds");
+        store.insert("r", &[row(4)]).unwrap();
+        drop(store);
+        let store = DurableStore::open(&dir, Database::new(), 0).unwrap();
+        assert_eq!(rows_of(&store.snapshots().pin()), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_damaged_directory_refuses_to_open_with_a_clean_error() {
+        let dir = temp_dir("double-damage");
+        let store = DurableStore::open(&dir, seed_db(), 0).unwrap();
+        store.insert("r", &[row(1)]).unwrap();
+        store.checkpoint().unwrap();
+        // Forge a fallback generation, then damage both checkpoints.
+        fs::write(checkpoint_path(&dir, 0), b"older generation, also damaged").unwrap();
+        let newest = checkpoint_path(&dir, 1);
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        drop(store);
+
+        assert!(recover(&dir).unwrap().is_none(), "recovery reports no valid checkpoint");
+        let err = DurableStore::open(&dir, seed_db(), 0);
+        assert!(
+            matches!(err, Err(WalError::Unrecoverable)),
+            "open refuses rather than serving the fallback over damaged data"
+        );
+        // A genuinely fresh directory still starts from the fallback.
+        let fresh = temp_dir("double-damage-fresh");
+        assert!(DurableStore::open(&fresh, seed_db(), 0).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&fresh).unwrap();
     }
 
     #[test]

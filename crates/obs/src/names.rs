@@ -75,5 +75,31 @@ pub const WAL_TORN_TAILS: &str = "wal.torn_tails";
 /// Latency histogram (nanoseconds) of durable appends (encode+write+fsync).
 pub const WAL_APPEND_NS: &str = "wal.append_ns";
 
+/// Replication segments a primary pushed to subscribers (all kinds:
+/// records, checkpoints, rotates, heartbeats, closes).
+pub const REPL_SEGMENTS_SENT: &str = "repl.segments_sent";
+/// Payload bytes shipped in replication segments.
+pub const REPL_SEGMENT_BYTES: &str = "repl.segment_bytes";
+/// Replica acknowledgements a primary processed.
+pub const REPL_ACKS: &str = "repl.acks";
+/// Record batches a replica applied (CRC-checked, fsync'd, published).
+pub const REPL_BATCHES_APPLIED: &str = "repl.batches_applied";
+/// Record bytes a replica applied.
+pub const REPL_APPLY_BYTES: &str = "repl.apply_bytes";
+/// Checkpoint bootstraps a replica performed (full state transfer).
+pub const REPL_BOOTSTRAPS: &str = "repl.bootstraps";
+/// `Rotate` segments a replica followed (folding its WAL in lockstep).
+pub const REPL_ROTATIONS: &str = "repl.rotations";
+/// Times a replica re-subscribed after a stream fault or clean close.
+pub const REPL_RESUBSCRIBES: &str = "repl.resubscribes";
+/// Promotions (replica made writable by a `Promote` request).
+pub const REPL_PROMOTIONS: &str = "repl.promotions";
+/// Unacknowledged durable bytes of the laggiest live subscriber (gauge).
+pub const REPL_LAG_BYTES: &str = "repl.lag_bytes";
+/// Nanoseconds sync-mode inserts spent waiting for their replica quorum.
+pub const REPL_QUORUM_WAIT_NS: &str = "repl.quorum_wait_ns";
+/// Sync-mode inserts whose quorum never arrived before the ack timeout.
+pub const REPL_QUORUM_TIMEOUTS: &str = "repl.quorum_timeouts";
+
 /// Client-side request retries (overload backoff and timeout resends).
 pub const CLIENT_RETRIES: &str = "client.retries";

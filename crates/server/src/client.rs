@@ -30,8 +30,8 @@
 //! ```
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, AnswerBody, ErrorCode, Request,
-    Response, ServerStats, WireCertainty, WireError, WireResult,
+    decode_response, encode_request, read_frame, write_frame, AnswerBody, ErrorCode, ReplRole,
+    ReplStatusBody, Request, Response, ServerStats, WireCertainty, WireError, WireResult,
 };
 use certus_algebra::RaExpr;
 use certus_data::Tuple;
@@ -140,10 +140,11 @@ pub struct Client {
     retries: u64,
 }
 
-/// Whether a lost response for this request is safe to resend: reads and
-/// plan management are; `Insert` is not (the write may have been durably
-/// applied even though its ack never arrived), and `Close`/`Shutdown`
-/// change connection state.
+/// Whether a lost response for this request is safe to resend: reads, plan
+/// management and replication introspection are; `Promote` is idempotent by
+/// design (promoting a primary just acks); `Insert` is not (the write may
+/// have been durably applied even though its ack never arrived), and
+/// `Close`/`Shutdown` change connection state.
 fn idempotent(req: &Request) -> bool {
     matches!(
         req,
@@ -152,6 +153,8 @@ fn idempotent(req: &Request) -> bool {
             | Request::Prepare { .. }
             | Request::Execute { .. }
             | Request::Query { .. }
+            | Request::ReplStatus
+            | Request::Promote
     )
 }
 
@@ -348,6 +351,26 @@ impl Client {
         }
     }
 
+    /// Fetch the node's replication status: role, term, durable WAL
+    /// position, mode, and per-replica lag (on primaries).
+    pub fn repl_status(&mut self) -> ClientResult<ReplStatusBody> {
+        match self.rpc(&Request::ReplStatus)? {
+            Response::ReplStatus(body) => Ok(body),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Promote the connected node: seal its apply stream, make it writable,
+    /// and bump the replication term. Operator-initiated failover — no
+    /// consensus; the caller is responsible for stopping the old primary.
+    /// Promoting a node that is already a primary is a no-op ack.
+    pub fn promote(&mut self) -> ClientResult<u64> {
+        match self.rpc(&Request::Promote)? {
+            Response::Ack { epoch } => Ok(epoch),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Fetch server counters.
     pub fn stats(&mut self) -> ClientResult<ServerStats> {
         match self.rpc(&Request::Stats)? {
@@ -408,4 +431,202 @@ impl Client {
 /// by harnesses probing whether a server is up).
 pub fn try_connect(addr: impl ToSocketAddrs) -> WireResult<TcpStream> {
     TcpStream::connect(addr).map_err(WireError::Io)
+}
+
+/// A replica-aware client over a set of node addresses.
+///
+/// * **Reads** (`query`) round-robin across every reachable node — replicas
+///   serve reads from their own pinned snapshots — and fail over to the next
+///   node when one is down or shutting down.
+/// * **Writes** (`insert`) go to the believed primary and follow `NotPrimary`
+///   redirects (the error message carries the primary's address verbatim);
+///   a node that cannot even be *connected* is skipped, but a connection
+///   that dies mid-write surfaces the error — the write is indeterminate
+///   and must never be blindly resent.
+/// * [`ClusterClient::probe_primary`] asks every reachable node for its
+///   replication status and believes the highest-term node reporting
+///   [`ReplRole::Primary`] — how a harness re-finds the cluster head after
+///   a failover.
+///
+/// Connections are opened lazily and dropped on any wire error, so a killed
+/// node is retried with a fresh socket next time around.
+pub struct ClusterClient {
+    endpoints: Vec<String>,
+    conns: Vec<Option<Client>>,
+    retry: RetryPolicy,
+    op_timeout: Option<Duration>,
+    /// Index reads start from next (round-robin cursor).
+    next_read: usize,
+    /// Index writes are sent to until a redirect says otherwise.
+    primary: usize,
+    redirects: u64,
+    read_failovers: u64,
+}
+
+impl ClusterClient {
+    /// A cluster client over `endpoints` (no connections are opened yet).
+    /// The first endpoint is presumed primary until a redirect or a probe
+    /// says otherwise.
+    pub fn new(endpoints: Vec<String>) -> ClusterClient {
+        let n = endpoints.len();
+        ClusterClient {
+            endpoints,
+            conns: (0..n).map(|_| None).collect(),
+            retry: RetryPolicy::none(),
+            op_timeout: None,
+            next_read: 0,
+            primary: 0,
+            redirects: 0,
+            read_failovers: 0,
+        }
+    }
+
+    /// Apply `policy` to every per-node connection.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> ClusterClient {
+        self.retry = policy;
+        self
+    }
+
+    /// Bound how long any single response is waited for, on every node.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) {
+        self.op_timeout = timeout;
+        for conn in self.conns.iter_mut().flatten() {
+            let _ = conn.set_op_timeout(timeout);
+        }
+    }
+
+    /// `NotPrimary` redirects followed so far (for harness assertions).
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Reads that failed over to another node so far.
+    pub fn read_failovers(&self) -> u64 {
+        self.read_failovers
+    }
+
+    /// The endpoint currently believed to be the primary.
+    pub fn primary_endpoint(&self) -> &str {
+        &self.endpoints[self.primary]
+    }
+
+    fn conn(&mut self, idx: usize) -> ClientResult<&mut Client> {
+        if self.conns[idx].is_none() {
+            let mut client = Client::connect(&self.endpoints[idx])?.with_retry(self.retry.clone());
+            client.set_op_timeout(self.op_timeout)?;
+            self.conns[idx] = Some(client);
+        }
+        Ok(self.conns[idx].as_mut().expect("connection just opened"))
+    }
+
+    /// Whether a per-node failure should move a *read* to the next node.
+    fn read_should_failover(e: &ClientError) -> bool {
+        matches!(e, ClientError::Wire(_))
+            || matches!(e, ClientError::Server { code: ErrorCode::ShuttingDown, .. })
+    }
+
+    /// Run a one-shot query, round-robining across nodes and failing over
+    /// past dead or draining ones. Errors only when every node failed.
+    pub fn query(&mut self, certainty: WireCertainty, query: &RaExpr) -> ClientResult<WireAnswers> {
+        let n = self.endpoints.len().max(1);
+        let mut last_err: Option<ClientError> = None;
+        for attempt in 0..n {
+            let idx = (self.next_read + attempt) % n;
+            let outcome = self.conn(idx).and_then(|c| c.query(certainty, query));
+            match outcome {
+                Ok(answers) => {
+                    self.next_read = (idx + 1) % n;
+                    if attempt > 0 {
+                        self.read_failovers += 1;
+                    }
+                    return Ok(answers);
+                }
+                Err(e) if Self::read_should_failover(&e) => {
+                    self.conns[idx] = None;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Unexpected("no endpoints configured".into())))
+    }
+
+    /// Resolve a redirect target to an endpoint index, learning brand-new
+    /// addresses (a promoted node we were not configured with).
+    fn endpoint_index(&mut self, addr: &str) -> usize {
+        if let Some(idx) = self.endpoints.iter().position(|e| e == addr) {
+            return idx;
+        }
+        self.endpoints.push(addr.to_string());
+        self.conns.push(None);
+        self.endpoints.len() - 1
+    }
+
+    /// Insert rows, following `NotPrimary` redirects to wherever the
+    /// primary actually is. Nodes that cannot be connected at all are
+    /// skipped (no request was ever sent), but a write that *was* sent and
+    /// then failed surfaces its error — it is indeterminate and following
+    /// the write-safety rules must not be blindly resent.
+    pub fn insert(&mut self, table: &str, rows: Vec<Tuple>) -> ClientResult<u64> {
+        let mut tried = 0usize;
+        let mut hops = 0usize;
+        let mut last_err: Option<ClientError> = None;
+        let mut idx = self.primary;
+        // Bounded by: one hop per configured endpoint (connect failures
+        // rotate through them) plus a couple of genuine redirects.
+        while tried < self.endpoints.len() && hops < self.endpoints.len() + 2 {
+            hops += 1;
+            match self.conn(idx) {
+                Err(e) => {
+                    // Never connected: nothing was sent, safe to try the
+                    // next node as a primary candidate.
+                    self.conns[idx] = None;
+                    last_err = Some(e);
+                    tried += 1;
+                    idx = (idx + 1) % self.endpoints.len();
+                    continue;
+                }
+                Ok(conn) => match conn.insert(table, rows.clone()) {
+                    Ok(epoch) => {
+                        self.primary = idx;
+                        return Ok(epoch);
+                    }
+                    Err(ClientError::Server { code: ErrorCode::NotPrimary, message }) => {
+                        // The message is the primary's address verbatim.
+                        self.redirects += 1;
+                        idx = self.endpoint_index(&message);
+                        self.primary = idx;
+                    }
+                    Err(e) => return Err(e),
+                },
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Unexpected("no primary reachable".into())))
+    }
+
+    /// Ask every reachable node for its replication status and believe the
+    /// highest-term one reporting [`ReplRole::Primary`]. Returns its
+    /// endpoint, also adopting it as the write target.
+    pub fn probe_primary(&mut self) -> ClientResult<String> {
+        let mut best: Option<(u64, usize)> = None;
+        for idx in 0..self.endpoints.len() {
+            let status = match self.conn(idx).and_then(|c| c.repl_status()) {
+                Ok(status) => status,
+                Err(_) => {
+                    self.conns[idx] = None;
+                    continue;
+                }
+            };
+            if status.role == ReplRole::Primary && best.is_none_or(|(term, _)| status.term > term) {
+                best = Some((status.term, idx));
+            }
+        }
+        match best {
+            Some((_, idx)) => {
+                self.primary = idx;
+                Ok(self.endpoints[idx].clone())
+            }
+            None => Err(ClientError::Unexpected("no reachable primary".into())),
+        }
+    }
 }

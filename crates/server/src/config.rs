@@ -1,5 +1,6 @@
 //! Server tuning knobs.
 
+use crate::replication::ReplicationConfig;
 use certus_algebra::NullSemantics;
 use std::path::PathBuf;
 
@@ -47,6 +48,12 @@ pub struct ServerConfig {
     /// this many logged records (bounds recovery replay time). `0` never
     /// checkpoints automatically.
     pub checkpoint_every: u64,
+    /// WAL-shipping replication (requires [`ServerConfig::data_dir`] —
+    /// replication ships the durable log). `None` runs standalone;
+    /// [`ReplicationConfig::primary`] / [`ReplicationConfig::replica`]
+    /// build the two roles. See the `replication` module docs for the
+    /// failover model.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +71,7 @@ impl Default for ServerConfig {
             write_timeout_ms: 10_000,
             data_dir: None,
             checkpoint_every: 1024,
+            replication: None,
         }
     }
 }

@@ -18,7 +18,12 @@
 //!   planner, schema epoch, threads).
 //! * [`client`] — `certus-client`, a blocking client with closed-loop and
 //!   pipelined (open-loop) request styles, used by the `experiments serve`
-//!   benchmark.
+//!   benchmark; [`ClusterClient`] adds replica-aware read distribution,
+//!   read failover and write redirect-following.
+//! * [`replication`] — WAL-shipping replication: a primary streams its
+//!   durable log to read replicas over `Subscribe`/`WalSegment`/`ReplicaAck`
+//!   frames, with sync-quorum or async-lag modes and operator-driven
+//!   `Promote` failover (log shipping, not consensus — see the module docs).
 //!
 //! ```no_run
 //! use certus_server::{Server, ServerConfig};
@@ -38,10 +43,12 @@ pub mod client;
 pub mod config;
 pub mod protocol;
 pub mod queue;
+pub mod replication;
 pub mod server;
 
 pub use certus_algebra::RaExpr;
-pub use client::{Client, ClientError, RetryPolicy, WireAnswers};
+pub use client::{Client, ClientError, ClusterClient, RetryPolicy, WireAnswers};
 pub use config::ServerConfig;
-pub use protocol::{ErrorCode, Request, Response, ServerStats, WireCertainty};
+pub use protocol::{ErrorCode, ReplRole, Request, Response, ServerStats, WireCertainty};
+pub use replication::{ReplMode, ReplicationConfig};
 pub use server::{answer_body, Server};

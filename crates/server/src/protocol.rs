@@ -89,6 +89,10 @@ pub enum ErrorCode {
     /// The request's deadline expired before (or while) it executed. The
     /// work was abandoned at the next morsel boundary; no write happened.
     DeadlineExceeded,
+    /// A write (or `Subscribe`) reached a replica. The message is exactly
+    /// the primary's address (`host:port`) so clients can follow the
+    /// redirect; empty when the replica has not learned it.
+    NotPrimary,
 }
 
 impl ErrorCode {
@@ -102,6 +106,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 5,
             ErrorCode::Internal => 6,
             ErrorCode::DeadlineExceeded => 7,
+            ErrorCode::NotPrimary => 8,
         }
     }
 
@@ -115,6 +120,7 @@ impl ErrorCode {
             5 => ErrorCode::ShuttingDown,
             6 => ErrorCode::Internal,
             7 => ErrorCode::DeadlineExceeded,
+            8 => ErrorCode::NotPrimary,
             other => return Err(bad(format!("unknown error code {other}"))),
         })
     }
@@ -202,6 +208,33 @@ pub enum Request {
     Stats,
     /// Ask the whole server to shut down gracefully.
     Shutdown,
+    /// Replication: turn this connection into a WAL subscription starting
+    /// at the sender's durable position (`seq`/`offset`). A replica that
+    /// has never synced sends `u64::MAX` for both to request a checkpoint
+    /// bootstrap. The server pushes [`Response::WalSegment`] frames under
+    /// this request's id for the life of the connection.
+    Subscribe {
+        /// Checkpoint generation of the subscriber's durable position.
+        seq: u64,
+        /// Byte offset within that generation's WAL.
+        offset: u64,
+    },
+    /// Replication: the subscriber's new durable (fsync'd) position after
+    /// applying segments. Sent on the subscription connection; never
+    /// answered.
+    ReplicaAck {
+        /// Generation of the acknowledged position.
+        seq: u64,
+        /// Byte offset of the acknowledged position.
+        offset: u64,
+    },
+    /// Operator-initiated failover: stop applying the replication stream,
+    /// bump the term, and start accepting writes. Idempotent on a node
+    /// that is already primary. Answered with [`Response::Ack`].
+    Promote,
+    /// Replication status of any node (role, term, durable position,
+    /// per-replica lag); answered inline with [`Response::ReplStatus`].
+    ReplStatus,
 }
 
 impl Request {
@@ -215,6 +248,10 @@ impl Request {
             Request::Close => 5,
             Request::Stats => 6,
             Request::Shutdown => 7,
+            Request::Subscribe { .. } => 8,
+            Request::ReplicaAck { .. } => 9,
+            Request::Promote => 10,
+            Request::ReplStatus => 11,
         }
     }
 }
@@ -264,6 +301,120 @@ impl AnswerBody {
             breakdown: get_opt(r, |r| Ok((r.u64()?, r.u64()?, r.u64()?)))?,
         })
     }
+}
+
+/// What a [`Response::WalSegment`] frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Checksummed WAL record bytes of generation `seq` starting at
+    /// `offset`. The replica fsyncs them locally, applies them, and acks.
+    Records,
+    /// A complete checkpoint file for generation `seq` (`offset` is 0). The
+    /// replica installs it, replacing all local state — the bootstrap (and
+    /// re-sync) path.
+    Checkpoint,
+    /// The primary folded its WAL into generation `seq`. A replica that has
+    /// applied the previous generation in full folds its own snapshot into
+    /// the same generation; no bytes travel.
+    Rotate,
+    /// Position report, no payload: sent once on subscribe (confirming the
+    /// stream and carrying the primary's term + durable position).
+    Heartbeat,
+    /// Clean end of stream: the primary is shutting down and has flushed
+    /// everything up to `seq`/`offset`. The replica is caught up and should
+    /// reconnect later; no re-bootstrap will be needed.
+    Close,
+}
+
+impl SegmentKind {
+    fn tag(self) -> u8 {
+        match self {
+            SegmentKind::Records => 0,
+            SegmentKind::Checkpoint => 1,
+            SegmentKind::Rotate => 2,
+            SegmentKind::Heartbeat => 3,
+            SegmentKind::Close => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> WireResult<Self> {
+        Ok(match t {
+            0 => SegmentKind::Records,
+            1 => SegmentKind::Checkpoint,
+            2 => SegmentKind::Rotate,
+            3 => SegmentKind::Heartbeat,
+            4 => SegmentKind::Close,
+            other => return Err(bad(format!("unknown segment kind {other}"))),
+        })
+    }
+}
+
+/// A node's replication role, as reported by [`Response::ReplStatus`].
+/// Standalone durable nodes report `Primary` (they accept writes and
+/// subscribers); only an un-promoted replica reports `Replica`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Accepts writes and WAL subscriptions.
+    Primary,
+    /// Applies a primary's stream; refuses writes with
+    /// [`ErrorCode::NotPrimary`].
+    Replica,
+}
+
+impl ReplRole {
+    fn tag(self) -> u8 {
+        match self {
+            ReplRole::Primary => 0,
+            ReplRole::Replica => 1,
+        }
+    }
+
+    fn from_tag(t: u8) -> WireResult<Self> {
+        Ok(match t {
+            0 => ReplRole::Primary,
+            1 => ReplRole::Replica,
+            other => return Err(bad(format!("unknown replication role {other}"))),
+        })
+    }
+}
+
+/// Per-replica progress reported by a primary in [`Response::ReplStatus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaLag {
+    /// The subscriber's peer address.
+    pub addr: String,
+    /// Generation of the last position the replica acknowledged.
+    pub acked_seq: u64,
+    /// Offset of the last position the replica acknowledged.
+    pub acked_offset: u64,
+    /// Durable bytes the replica has not yet acknowledged. Within one
+    /// generation this is exact; across a fold it counts the live
+    /// generation's bytes (the replica also owes a rotate or re-bootstrap).
+    pub lag_bytes: u64,
+}
+
+/// The body of [`Response::ReplStatus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplStatusBody {
+    /// This node's current role.
+    pub role: ReplRole,
+    /// The replication term: starts at the configured initial term, bumped
+    /// by every `Promote`. Operator-managed — see PROTOCOL.md for the
+    /// (consensus-free) failover model.
+    pub term: u64,
+    /// Generation of this node's durable position.
+    pub seq: u64,
+    /// Offset of this node's durable position.
+    pub offset: u64,
+    /// Replication mode: 0 = replication not configured, 1 = async,
+    /// 2 = sync (see `quorum`).
+    pub mode: u8,
+    /// In sync mode, how many replica acks an `Insert` waits for.
+    pub quorum: u32,
+    /// For replicas: the primary address this node applies from.
+    pub primary_addr: Option<String>,
+    /// For primaries: progress of every live subscriber.
+    pub replicas: Vec<ReplicaLag>,
 }
 
 /// Counters reported by [`Response::Stats`].
@@ -334,6 +485,24 @@ pub enum Response {
     },
     /// Server counters.
     Stats(ServerStats),
+    /// One pushed replication frame on a subscription (see [`SegmentKind`]
+    /// for what each kind carries). Always sent under the `Subscribe`
+    /// request's id.
+    WalSegment {
+        /// The sender's current term (replicas adopt the maximum seen).
+        term: u64,
+        /// What this frame carries.
+        kind: SegmentKind,
+        /// Generation the frame refers to.
+        seq: u64,
+        /// Byte offset the frame refers to (kind-dependent; see
+        /// [`SegmentKind`]).
+        offset: u64,
+        /// Payload bytes (records or a checkpoint file; empty otherwise).
+        bytes: Vec<u8>,
+    },
+    /// Replication status of this node.
+    ReplStatus(ReplStatusBody),
 }
 
 impl Response {
@@ -345,6 +514,8 @@ impl Response {
             Response::Ack { .. } => 3,
             Response::Error { .. } => 4,
             Response::Stats(_) => 5,
+            Response::WalSegment { .. } => 6,
+            Response::ReplStatus(_) => 7,
         }
     }
 }
@@ -721,7 +892,16 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
     put_u64(&mut out, request_id);
     put_u8(&mut out, req.tag());
     match req {
-        Request::Ping | Request::Close | Request::Stats | Request::Shutdown => {}
+        Request::Ping
+        | Request::Close
+        | Request::Stats
+        | Request::Shutdown
+        | Request::Promote
+        | Request::ReplStatus => {}
+        Request::Subscribe { seq, offset } | Request::ReplicaAck { seq, offset } => {
+            put_u64(&mut out, *seq);
+            put_u64(&mut out, *offset);
+        }
         Request::Prepare { certainty, query } => {
             put_u8(&mut out, certainty.tag());
             put_expr(&mut out, query);
@@ -775,6 +955,10 @@ pub fn decode_request(payload: &[u8]) -> WireResult<(u64, Request)> {
         5 => Request::Close,
         6 => Request::Stats,
         7 => Request::Shutdown,
+        8 => Request::Subscribe { seq: r.u64()?, offset: r.u64()? },
+        9 => Request::ReplicaAck { seq: r.u64()?, offset: r.u64()? },
+        10 => Request::Promote,
+        11 => Request::ReplStatus,
         other => return Err(bad(format!("unknown request tag {other}"))),
     };
     r.finish()?;
@@ -818,6 +1002,30 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
                 put_u64(&mut out, v);
             }
         }
+        Response::WalSegment { term, kind, seq, offset, bytes } => {
+            put_u64(&mut out, *term);
+            put_u8(&mut out, kind.tag());
+            put_u64(&mut out, *seq);
+            put_u64(&mut out, *offset);
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
+        Response::ReplStatus(s) => {
+            put_u8(&mut out, s.role.tag());
+            put_u64(&mut out, s.term);
+            put_u64(&mut out, s.seq);
+            put_u64(&mut out, s.offset);
+            put_u8(&mut out, s.mode);
+            put_u32(&mut out, s.quorum);
+            put_opt(&mut out, s.primary_addr.as_ref(), |b, a| put_str(b, a));
+            put_u32(&mut out, s.replicas.len() as u32);
+            for rep in &s.replicas {
+                put_str(&mut out, &rep.addr);
+                put_u64(&mut out, rep.acked_seq);
+                put_u64(&mut out, rep.acked_offset);
+                put_u64(&mut out, rep.lag_bytes);
+            }
+        }
     }
     out
 }
@@ -848,6 +1056,44 @@ pub fn decode_response(payload: &[u8]) -> WireResult<(u64, Response)> {
             cache_entries: r.u64()?,
             epoch: r.u64()?,
         }),
+        6 => {
+            let term = r.u64()?;
+            let kind = SegmentKind::from_tag(r.u8()?)?;
+            let seq = r.u64()?;
+            let offset = r.u64()?;
+            let n = r.len()?;
+            let bytes = r.take(n)?.to_vec();
+            Response::WalSegment { term, kind, seq, offset, bytes }
+        }
+        7 => {
+            let role = ReplRole::from_tag(r.u8()?)?;
+            let term = r.u64()?;
+            let seq = r.u64()?;
+            let offset = r.u64()?;
+            let mode = r.u8()?;
+            let quorum = r.u32()?;
+            let primary_addr = get_opt(&mut r, |r| Ok(r.str()?))?;
+            let n = r.len()?;
+            let mut replicas = Vec::with_capacity(n);
+            for _ in 0..n {
+                replicas.push(ReplicaLag {
+                    addr: r.str()?,
+                    acked_seq: r.u64()?,
+                    acked_offset: r.u64()?,
+                    lag_bytes: r.u64()?,
+                });
+            }
+            Response::ReplStatus(ReplStatusBody {
+                role,
+                term,
+                seq,
+                offset,
+                mode,
+                quorum,
+                primary_addr,
+                replicas,
+            })
+        }
         other => return Err(bad(format!("unknown response tag {other}"))),
     };
     r.finish()?;
@@ -964,6 +1210,11 @@ mod tests {
                 table: "r".into(),
                 rows: vec![Tuple::new(vec![Value::Int(1), Value::Null(NullId(9))])],
             },
+            Request::Subscribe { seq: 3, offset: 4096 },
+            Request::Subscribe { seq: u64::MAX, offset: u64::MAX },
+            Request::ReplicaAck { seq: 3, offset: 8192 },
+            Request::Promote,
+            Request::ReplStatus,
         ];
         for (i, q) in sample_exprs().into_iter().enumerate() {
             let certainty = match i % 4 {
@@ -1004,6 +1255,57 @@ mod tests {
                 retry_after_ms: 0,
             },
             Response::Stats(ServerStats { requests: 10, epoch: 2, ..Default::default() }),
+            Response::Error {
+                code: ErrorCode::NotPrimary,
+                message: "127.0.0.1:7878".into(),
+                retry_after_ms: 0,
+            },
+            Response::WalSegment {
+                term: 2,
+                kind: SegmentKind::Records,
+                seq: 1,
+                offset: 64,
+                bytes: vec![1, 2, 3, 255, 0, 7],
+            },
+            Response::WalSegment {
+                term: 1,
+                kind: SegmentKind::Heartbeat,
+                seq: 0,
+                offset: 0,
+                bytes: Vec::new(),
+            },
+            Response::WalSegment {
+                term: 3,
+                kind: SegmentKind::Close,
+                seq: 5,
+                offset: 1024,
+                bytes: Vec::new(),
+            },
+            Response::ReplStatus(ReplStatusBody {
+                role: ReplRole::Primary,
+                term: 4,
+                seq: 2,
+                offset: 512,
+                mode: 2,
+                quorum: 1,
+                primary_addr: None,
+                replicas: vec![ReplicaLag {
+                    addr: "127.0.0.1:9000".into(),
+                    acked_seq: 2,
+                    acked_offset: 256,
+                    lag_bytes: 256,
+                }],
+            }),
+            Response::ReplStatus(ReplStatusBody {
+                role: ReplRole::Replica,
+                term: 1,
+                seq: 0,
+                offset: 0,
+                mode: 1,
+                quorum: 0,
+                primary_addr: Some("127.0.0.1:7878".into()),
+                replicas: Vec::new(),
+            }),
             Response::Answers {
                 body: AnswerBody {
                     certainty: WireCertainty::Both,
@@ -1074,6 +1376,51 @@ mod tests {
         let mut hostile = encode_request(1, &Request::Ping);
         hostile[8] = 99;
         assert!(decode_request(&hostile).is_err());
+    }
+
+    #[test]
+    fn malformed_replication_frames_are_rejected_not_panicked() {
+        let seg = encode_response(
+            9,
+            &Response::WalSegment {
+                term: 1,
+                kind: SegmentKind::Records,
+                seq: 0,
+                offset: 16,
+                bytes: vec![7; 32],
+            },
+        );
+        for cut in 0..seg.len() {
+            assert!(decode_response(&seg[..cut]).is_err(), "segment truncation at {cut}");
+        }
+        let status = encode_response(
+            9,
+            &Response::ReplStatus(ReplStatusBody {
+                role: ReplRole::Primary,
+                term: 1,
+                seq: 0,
+                offset: 0,
+                mode: 2,
+                quorum: 1,
+                primary_addr: None,
+                replicas: vec![ReplicaLag {
+                    addr: "a:1".into(),
+                    acked_seq: 0,
+                    acked_offset: 0,
+                    lag_bytes: 0,
+                }],
+            }),
+        );
+        for cut in 0..status.len() {
+            assert!(decode_response(&status[..cut]).is_err(), "status truncation at {cut}");
+        }
+        // Unknown segment kinds and roles fail cleanly.
+        let mut bad_kind = seg.clone();
+        bad_kind[8 + 1 + 8] = 99; // id + tag + term, then the kind byte
+        assert!(decode_response(&bad_kind).is_err());
+        let mut bad_role = status.clone();
+        bad_role[8 + 1] = 99; // id + tag, then the role byte
+        assert!(decode_response(&bad_role).is_err());
     }
 
     #[test]

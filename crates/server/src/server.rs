@@ -37,15 +37,17 @@
 
 use crate::config::ServerConfig;
 use crate::protocol::{
-    decode_request, encode_response, write_frame, AnswerBody, ErrorCode, Request, Response,
-    ServerStats, WireCertainty, MAX_FRAME_LEN,
+    decode_request, encode_response, write_frame, AnswerBody, ErrorCode, ReplStatusBody, Request,
+    Response, ServerStats, WireCertainty, MAX_FRAME_LEN,
 };
 use crate::queue::Queue;
+use crate::replication::{self, ReplState, Subscription};
 use certus::{Certainty, CertusError, Database, PreparedQuery, Session, SharedPlanCache};
 use certus_algebra::RaExpr;
 use certus_data::snapshot::{Snapshot, SnapshotStore};
-use certus_data::wal::{DurableStore, WalError};
+use certus_data::wal::{DurableStore, ReplPosition, WalError};
 use certus_exec::CancelToken;
+use certus_obs::failpoint::{apply_delay, failpoints, FailAction};
 use certus_obs::metrics::{registry, Counter, Gauge, Histogram};
 use certus_obs::{names, Timer};
 use std::collections::HashMap;
@@ -55,6 +57,20 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Failpoint checked before handing a request to the executor queue:
+/// non-`Off` sheds the request exactly as if the queue were full
+/// (`Overloaded` with a retry hint), exercising admission control above
+/// the storage layer.
+pub const FP_ENQUEUE: &str = "server.enqueue";
+/// Failpoint checked before any response frame is written: non-`Off` drops
+/// the response on the floor, modeling a lost ack or a peer that died
+/// mid-reply. Clients must treat the resulting timeout as indeterminate.
+pub const FP_RESPOND: &str = "server.respond";
+/// Failpoint checked *after* a durable insert is applied, fsync'd and
+/// published but *before* its ack: the write is durable (and replicating)
+/// yet the client sees an error — the canonical indeterminate write.
+pub const FP_PUBLISH: &str = "server.publish";
 
 impl From<WireCertainty> for Certainty {
     fn from(c: WireCertainty) -> Certainty {
@@ -103,10 +119,12 @@ struct PreparedEntry {
     prepared: PreparedQuery,
 }
 
-/// Per-connection state shared between its reader thread and the executors.
-struct Conn {
-    /// Write half; executors and the reader both respond through it.
-    writer: Mutex<TcpStream>,
+/// Per-connection state shared between its reader thread, the executors,
+/// and (for subscriber connections) the replication sender thread.
+pub(crate) struct Conn {
+    /// Write half; executors, the reader and replication senders all
+    /// respond through it.
+    pub(crate) writer: Mutex<TcpStream>,
     /// Requests handed to the executors and not yet responded to.
     outstanding: AtomicUsize,
     /// Prepared statements, keyed by connection-scoped id.
@@ -115,12 +133,20 @@ struct Conn {
 }
 
 impl Conn {
-    /// Serialize and send one response; errors are swallowed because a dead
-    /// peer is detected (and cleaned up) by the reader thread.
-    fn send(&self, request_id: u64, resp: &Response) {
+    /// Serialize and send one response, reporting whether the write
+    /// succeeded. A dead peer is detected (and cleaned up) by the reader
+    /// thread, so most callers ignore the result; the replication sender
+    /// uses it to stop streaming into a closed socket.
+    pub(crate) fn send(&self, request_id: u64, resp: &Response) -> bool {
+        match apply_delay(failpoints().check(FP_RESPOND)) {
+            FailAction::Off => {}
+            // Injected: the response vanishes as if the socket died after
+            // the request was processed.
+            _ => return false,
+        }
         let payload = encode_response(request_id, resp);
         let mut w = self.writer.lock().expect("connection writer poisoned");
-        let _ = write_frame(&mut *w, &payload);
+        write_frame(&mut *w, &payload).is_ok()
     }
 }
 
@@ -134,12 +160,16 @@ struct Work {
     arrival: Instant,
 }
 
-/// Everything the acceptor, readers and executors share.
-struct State {
-    config: ServerConfig,
+/// Everything the acceptor, readers, executors and replication threads
+/// share.
+pub(crate) struct State {
+    pub(crate) config: ServerConfig,
     store: Arc<SnapshotStore>,
     /// WAL-backed durability; `None` when serving from memory only.
-    durable: Option<Arc<DurableStore>>,
+    pub(crate) durable: Option<Arc<DurableStore>>,
+    /// Replication role, term and subscriber hub (present on every server;
+    /// a standalone node is a primary with no subscribers).
+    pub(crate) repl: ReplState,
     cache: SharedPlanCache,
     pool: Arc<certus_exec::Pool>,
     queue: Queue<Work>,
@@ -156,8 +186,17 @@ struct State {
 }
 
 impl State {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// The node's durable WAL position (default when serving from memory).
+    fn durable_position(&self) -> ReplPosition {
+        self.durable.as_ref().map(|d| d.position()).unwrap_or_default()
+    }
+
+    fn repl_status(&self) -> ReplStatusBody {
+        self.repl.status(self.durable_position())
     }
 
     /// A session over one pinned snapshot, wired to the shared plan cache,
@@ -210,6 +249,8 @@ pub struct Server {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     executors: Vec<JoinHandle<()>>,
+    /// The replica apply loop, when this node started as a replica.
+    replica: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -220,6 +261,11 @@ impl Server {
     /// seed an empty directory; without it the server serves `db` from
     /// memory.
     pub fn start(db: Database, config: ServerConfig) -> std::io::Result<Server> {
+        if config.replication.is_some() && config.data_dir.is_none() {
+            return Err(std::io::Error::other(
+                "replication ships the durable log: set ServerConfig::data_dir on both ends",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -235,9 +281,14 @@ impl Server {
         };
 
         let reg = registry();
+        let repl = ReplState::new(config.replication.clone());
+        if let Some(d) = &durable {
+            repl.publish(d.position());
+        }
         let state = Arc::new(State {
             store,
             durable,
+            repl,
             cache: SharedPlanCache::new(config.cache_capacity),
             pool: Arc::new(certus_exec::Pool::new(config.engine_threads)),
             queue: Queue::new(config.queue_capacity, reg.gauge(names::SERVER_QUEUE_DEPTH)),
@@ -264,8 +315,12 @@ impl Server {
             let state = Arc::clone(&state);
             thread::spawn(move || accept_loop(&listener, &state))
         };
+        let replica = state.repl.starts_as_replica().then(|| {
+            let state = Arc::clone(&state);
+            thread::spawn(move || replication::replica_loop(&state))
+        });
 
-        Ok(Server { state, addr, acceptor: Some(acceptor), executors })
+        Ok(Server { state, addr, acceptor: Some(acceptor), executors, replica })
     }
 
     /// The address the server actually bound (resolves port 0).
@@ -296,12 +351,17 @@ impl Server {
 
     fn teardown(&mut self) {
         self.state.shutdown.store(true, Ordering::Relaxed);
+        // Wake replication senders parked on the hub so they notice the
+        // flag, drain whatever is durable, and close their streams cleanly.
+        self.state.repl.wake_all();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
         // Readers exit on the shutdown flag once their in-flight work has
-        // been answered; join them before closing the queue so everything
-        // they enqueued is still drained by the executors.
+        // been answered (subscriber readers additionally wait for their
+        // sender thread to finish draining); join them before closing the
+        // queue so everything they enqueued is still drained by the
+        // executors.
         let readers = std::mem::take(&mut *self.state.readers.lock().unwrap());
         for r in readers {
             let _ = r.join();
@@ -309,6 +369,9 @@ impl Server {
         self.state.queue.close();
         for e in self.executors.drain(..) {
             let _ = e.join();
+        }
+        if let Some(replica) = self.replica.take() {
+            let _ = replica.join();
         }
     }
 }
@@ -363,11 +426,11 @@ fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str, retry_after_ms:
 /// Incremental frame decoder tolerant of read timeouts: bytes received so
 /// far are buffered, so a poll that lands mid-frame never loses data (a
 /// plain `read_exact` would).
-struct FrameBuffer {
+pub(crate) struct FrameBuffer {
     buf: Vec<u8>,
 }
 
-enum Fill {
+pub(crate) enum Fill {
     /// Peer closed the connection.
     Eof,
     /// The framing layer is broken beyond recovery.
@@ -375,7 +438,7 @@ enum Fill {
 }
 
 impl FrameBuffer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         FrameBuffer { buf: Vec::new() }
     }
 
@@ -399,7 +462,7 @@ impl FrameBuffer {
 
     /// Read whatever is available (bounded by the stream's read timeout)
     /// and return the first complete frame, if any.
-    fn fill(&mut self, stream: &mut TcpStream) -> Result<Option<Vec<u8>>, Fill> {
+    pub(crate) fn fill(&mut self, stream: &mut TcpStream) -> Result<Option<Vec<u8>>, Fill> {
         if let Some(frame) = self.take_frame()? {
             return Ok(Some(frame));
         }
@@ -438,11 +501,17 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
         prepared: Mutex::new(HashMap::new()),
         next_prepared: AtomicU64::new(1),
     });
+    let peer_addr = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "unknown".into());
     let mut stream = stream;
     let mut frames = FrameBuffer::new();
     let idle_limit = (state.config.idle_timeout_ms > 0)
         .then(|| Duration::from_millis(state.config.idle_timeout_ms));
     let mut last_activity = Instant::now();
+    // A replication subscription bound to this connection, when the peer
+    // sent `Subscribe`. The loop breaks (instead of returning) so the
+    // subscription is always finished — drained on shutdown, severed
+    // otherwise.
+    let mut subscription: Option<Subscription> = None;
 
     loop {
         let payload = match frames.fill(&mut stream) {
@@ -453,12 +522,14 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
             Ok(None) => {
                 if state.shutting_down() {
                     drain_outstanding(&conn);
-                    return;
+                    break;
                 }
                 if let Some(limit) = idle_limit {
-                    // Only reap truly quiet connections: nothing in flight
-                    // and nothing received for the whole idle window.
-                    if conn.outstanding.load(Ordering::Acquire) == 0
+                    // Only reap truly quiet connections: nothing in flight,
+                    // no subscription (a caught-up subscriber is legitimately
+                    // silent), and nothing received for the whole window.
+                    if subscription.is_none()
+                        && conn.outstanding.load(Ordering::Acquire) == 0
                         && last_activity.elapsed() >= limit
                     {
                         state.idle_closed.incr();
@@ -478,11 +549,11 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
                     },
                 );
                 drain_outstanding(&conn);
-                return;
+                break;
             }
             Err(Fill::Eof) => {
                 drain_outstanding(&conn);
-                return;
+                break;
             }
         };
 
@@ -517,13 +588,77 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
             Request::Close => {
                 drain_outstanding(&conn);
                 conn.send(request_id, &Response::Ack { epoch: state.store.epoch() });
-                return;
+                break;
             }
             Request::Shutdown => {
                 state.shutdown.store(true, Ordering::Relaxed);
+                state.repl.wake_all();
                 drain_outstanding(&conn);
                 conn.send(request_id, &Response::Ack { epoch: state.store.epoch() });
-                return;
+                break;
+            }
+            Request::ReplStatus => {
+                conn.send(request_id, &Response::ReplStatus(state.repl_status()));
+            }
+            Request::ReplicaAck { seq, offset } => {
+                // Acks ride the subscription's socket back; a stray ack on
+                // an unsubscribed connection is ignored (a late frame from
+                // a torn-down stream, not an error worth killing reads for).
+                if let Some(sub) = &subscription {
+                    state.repl.record_ack(sub.peer_id, ReplPosition { seq, offset });
+                }
+            }
+            Request::Subscribe { seq, offset } => {
+                if let Some(primary) = state.repl.write_refusal() {
+                    // Replicas don't cascade; subscribers belong on the
+                    // primary.
+                    conn.send(request_id, &replication::not_primary(primary));
+                    continue;
+                }
+                if state.shutting_down() {
+                    conn.send(
+                        request_id,
+                        &Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server is shutting down".into(),
+                            retry_after_ms: 0,
+                        },
+                    );
+                    continue;
+                }
+                if state.durable.is_none() {
+                    conn.send(
+                        request_id,
+                        &Response::Error {
+                            code: ErrorCode::Internal,
+                            message: "replication requires a durable server (set data_dir)".into(),
+                            retry_after_ms: 0,
+                        },
+                    );
+                    continue;
+                }
+                if subscription.is_some() {
+                    conn.send(
+                        request_id,
+                        &Response::Error {
+                            code: ErrorCode::Malformed,
+                            message: "connection already carries a subscription".into(),
+                            retry_after_ms: 0,
+                        },
+                    );
+                    continue;
+                }
+                subscription = Some(replication::spawn_sender(
+                    state,
+                    &conn,
+                    request_id,
+                    ReplPosition { seq, offset },
+                    peer_addr.clone(),
+                ));
+            }
+            Request::Promote => {
+                let resp = handle_promote(state);
+                conn.send(request_id, &resp);
             }
             req @ (Request::Prepare { .. }
             | Request::Execute { .. }
@@ -547,7 +682,8 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
                     request: req,
                     arrival: Instant::now(),
                 };
-                if state.queue.push_try(work).is_err() {
+                let shed = !matches!(apply_delay(failpoints().check(FP_ENQUEUE)), FailAction::Off);
+                if shed || state.queue.push_try(work).is_err() {
                     conn.outstanding.fetch_sub(1, Ordering::AcqRel);
                     state.rejected.incr();
                     conn.send(
@@ -560,6 +696,53 @@ fn reader_loop(stream: TcpStream, state: &Arc<State>) {
                     );
                 }
             }
+        }
+    }
+
+    if let Some(sub) = subscription.take() {
+        if state.shutting_down() {
+            // Graceful drain (the satellite fix): keep consuming acks off
+            // the socket until the sender has flushed everything durable
+            // and sent its clean `Close` segment, so a restarted primary's
+            // replicas resume incrementally instead of re-bootstrapping.
+            while !sub.is_done() {
+                match frames.fill(&mut stream) {
+                    Ok(Some(payload)) => {
+                        if let Ok((_, Request::ReplicaAck { seq, offset })) =
+                            decode_request(&payload)
+                        {
+                            state.repl.record_ack(sub.peer_id, ReplPosition { seq, offset });
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(_) => break,
+                }
+            }
+        }
+        sub.finish(state);
+    }
+}
+
+/// Handle a `Promote` request inline: seal the apply loop, wait for it to
+/// stop (so no shipped record lands after the ack), then turn writable and
+/// bump the term. Idempotent — promoting a primary just acks.
+fn handle_promote(state: &Arc<State>) -> Response {
+    match state.repl.begin_promote() {
+        replication::Promotion::AlreadyPrimary => Response::Ack { epoch: state.store.epoch() },
+        replication::Promotion::Sealed => {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !state.repl.apply_stopped() && Instant::now() < deadline {
+                thread::sleep(Duration::from_millis(1));
+            }
+            if !state.repl.apply_stopped() {
+                return Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "replica apply loop did not stop; promotion aborted".into(),
+                    retry_after_ms: 100,
+                };
+            }
+            state.repl.complete_promote();
+            Response::Ack { epoch: state.store.epoch() }
         }
     }
 }
@@ -689,43 +872,101 @@ fn respond(state: &Arc<State>, work: &Work) -> Response {
                 Err(e) => query_error(state, &e),
             }
         }
-        Request::Insert { table, rows } => match &state.durable {
-            // Durable path: the row is validated against the pinned
-            // snapshot, WAL-appended and fsync'd, and only then published
-            // and acknowledged. The Ack *is* the durability guarantee.
-            Some(durable) => match durable.insert(table, rows) {
-                Ok(epoch) => Response::Ack { epoch },
-                Err(WalError::Data(message)) => {
-                    Response::Error { code: ErrorCode::QueryError, message, retry_after_ms: 0 }
-                }
-                Err(e) => Response::Error {
-                    code: ErrorCode::Internal,
-                    message: format!("durable write failed: {e}"),
-                    retry_after_ms: 0,
-                },
-            },
-            None => {
-                let outcome = state.store.update(|db| -> Result<u64, String> {
-                    // Validate against a scratch copy first so a bad row
-                    // leaves the published database (and its epoch)
-                    // untouched.
-                    let mut scratch = db.relation(table).map_err(|e| e.to_string())?.clone();
-                    for row in rows {
-                        scratch.insert_values(row.values().to_vec()).map_err(|e| e.to_string())?;
+        Request::Insert { table, rows } => {
+            if let Some(primary) = state.repl.write_refusal() {
+                // Replicas serve reads only; the message carries the
+                // primary's address so clients can follow the redirect.
+                return replication::not_primary(primary);
+            }
+            match &state.durable {
+                // Durable path: the row is validated against the pinned
+                // snapshot, WAL-appended and fsync'd, and only then published
+                // and acknowledged. The Ack *is* the durability guarantee —
+                // and under sync replication it additionally waits for the
+                // configured quorum of replica acks.
+                Some(durable) => match durable.insert(table, rows) {
+                    Ok(epoch) => {
+                        let pos = durable.position();
+                        state.repl.publish(pos);
+                        match apply_delay(failpoints().check(FP_PUBLISH)) {
+                            FailAction::Off => {}
+                            // Injected: the write is durable (and already
+                            // streaming to replicas) but the ack is
+                            // withheld — the canonical indeterminate write.
+                            _ => {
+                                return Response::Error {
+                                    code: ErrorCode::Internal,
+                                    message: "injected fault at server.publish: write durable \
+                                              but unacknowledged"
+                                        .into(),
+                                    retry_after_ms: 0,
+                                }
+                            }
+                        }
+                        if let Some((quorum, timeout)) = state.repl.sync_quorum() {
+                            let timer = Timer::start();
+                            let reached = state.repl.wait_quorum(pos, quorum, timeout);
+                            registry()
+                                .histogram(names::REPL_QUORUM_WAIT_NS)
+                                .record(timer.elapsed_ns());
+                            if !reached {
+                                registry().counter(names::REPL_QUORUM_TIMEOUTS).incr();
+                                return Response::Error {
+                                    code: ErrorCode::Internal,
+                                    message: format!(
+                                        "write is durable locally but {quorum} replica ack(s) \
+                                         did not arrive within {}ms; replication state unknown",
+                                        timeout.as_millis()
+                                    ),
+                                    retry_after_ms: 0,
+                                };
+                            }
+                        }
+                        Response::Ack { epoch }
                     }
-                    *db.relation_mut(table).map_err(|e| e.to_string())? = scratch;
-                    Ok(db.schema_epoch())
-                });
-                match outcome {
-                    Ok(epoch) => Response::Ack { epoch },
-                    Err(message) => {
+                    Err(WalError::Data(message)) => {
                         Response::Error { code: ErrorCode::QueryError, message, retry_after_ms: 0 }
+                    }
+                    Err(e) => Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("durable write failed: {e}"),
+                        retry_after_ms: 0,
+                    },
+                },
+                None => {
+                    let outcome = state.store.update(|db| -> Result<u64, String> {
+                        // Validate against a scratch copy first so a bad row
+                        // leaves the published database (and its epoch)
+                        // untouched.
+                        let mut scratch = db.relation(table).map_err(|e| e.to_string())?.clone();
+                        for row in rows {
+                            scratch
+                                .insert_values(row.values().to_vec())
+                                .map_err(|e| e.to_string())?;
+                        }
+                        *db.relation_mut(table).map_err(|e| e.to_string())? = scratch;
+                        Ok(db.schema_epoch())
+                    });
+                    match outcome {
+                        Ok(epoch) => Response::Ack { epoch },
+                        Err(message) => Response::Error {
+                            code: ErrorCode::QueryError,
+                            message,
+                            retry_after_ms: 0,
+                        },
                     }
                 }
             }
-        },
+        }
         // Inline requests never reach the executors.
-        Request::Ping | Request::Stats | Request::Close | Request::Shutdown => Response::Error {
+        Request::Ping
+        | Request::Stats
+        | Request::Close
+        | Request::Shutdown
+        | Request::Subscribe { .. }
+        | Request::ReplicaAck { .. }
+        | Request::Promote
+        | Request::ReplStatus => Response::Error {
             code: ErrorCode::Internal,
             message: "inline request routed to executor".into(),
             retry_after_ms: 0,
